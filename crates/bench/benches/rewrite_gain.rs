@@ -1,0 +1,78 @@
+//! B2: the benefit of the Section-6 logical optimizer — evaluating the
+//! Figure-8/9 queries before (q1, q2) and after (q1′, q2′) rewriting, over
+//! growing hotel relations. Expected shape: the rewritten plans win by a
+//! factor that grows with |Hotels| (the original plans group and split
+//! worlds over the full product; the rewritten ones eliminate the grouping
+//! and push the choice below the join).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relalg::{attrs, Pred, Schema};
+use worldset::WorldSet;
+use wsa::Query;
+use wsa_rewrite::{optimize, RewriteCtx};
+
+fn q1() -> Query {
+    Query::rel("HFlights")
+        .product(Query::rel("Hotels"))
+        .choice(attrs(&["Dep", "City"]))
+        .poss_group(attrs(&["Dep"]), attrs(&["Dep", "Arr", "Name", "City"]))
+        .select(Pred::eq_attr("Arr", "City"))
+        .project(attrs(&["City"]))
+        .cert()
+}
+
+fn q2() -> Query {
+    Query::rel("HFlights")
+        .product(Query::rel("Hotels"))
+        .choice(attrs(&["Dep", "City"]))
+        .poss_group(attrs(&["Dep"]), attrs(&["Dep", "Arr", "Name", "City"]))
+        .select(Pred::eq_attr("Arr", "City"))
+        .project(attrs(&["City"]))
+        .poss()
+}
+
+fn base(name: &str) -> Option<Schema> {
+    match name {
+        "HFlights" => Some(Schema::of(&["Dep", "Arr"])),
+        "Hotels" => Some(Schema::of(&["Name", "City"])),
+        _ => None,
+    }
+}
+
+fn bench_rewrite_gain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite_gain");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1500));
+    let ctx = RewriteCtx { base: &base };
+    let q1_prime = optimize(&q1(), &ctx);
+    let q2_prime = optimize(&q2(), &ctx);
+
+    for &n_hotels in &[4usize, 8, 16] {
+        let flights = datagen::flights(3, 5, 8, 4);
+        let hotels = datagen::hotels(3, n_hotels, 8);
+        let ws = WorldSet::single(vec![("HFlights", flights), ("Hotels", hotels)]);
+
+        for (name, q) in [
+            ("q1_original", q1()),
+            ("q1_rewritten", q1_prime.clone()),
+            ("q2_original", q2()),
+            ("q2_rewritten", q2_prime.clone()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n_hotels), &n_hotels, |b, _| {
+                b.iter(|| wsa::eval_named(&q, &ws, "Ans").unwrap());
+            });
+        }
+    }
+
+    // The optimizer itself (search over the rewrite space).
+    group.bench_function("optimizer_search_q1", |b| {
+        b.iter(|| optimize(&q1(), &ctx));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite_gain);
+criterion_main!(benches);

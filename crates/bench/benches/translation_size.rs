@@ -1,0 +1,66 @@
+//! B5: the size of translated plans is polynomial in the query
+//! (the remark after Theorem 5.7: "any world-set algebra query can be
+//! translated into a relational algebra query of polynomial size").
+//!
+//! Criterion measures translation *time*; the printed table at the end
+//! records the DAG and expanded-tree sizes per query depth. Expected shape:
+//! DAG size linear in depth for both translations; the general
+//! translation's constant is larger (it copies base tables and the world
+//! table into every new world).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relalg::{attrs, Schema};
+use wsa::Query;
+use wsa_inlined::{translate_complete, translate_opt_complete};
+
+fn chain(depth: usize) -> Query {
+    let mut q = Query::rel("R");
+    for _ in 0..depth {
+        q = q.choice(attrs(&["A"]));
+    }
+    q.project(attrs(&["B"])).cert()
+}
+
+fn base(name: &str) -> Option<Schema> {
+    (name == "R").then(|| Schema::of(&["A", "B"]))
+}
+
+fn bench_translation_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translation_size");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1500));
+
+    for &depth in &[1usize, 2, 4, 8] {
+        let q = chain(depth);
+        group.bench_with_input(BenchmarkId::new("general", depth), &depth, |b, _| {
+            b.iter(|| translate_complete(&q, &base, &["R".to_string()]).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", depth), &depth, |b, _| {
+            b.iter(|| translate_opt_complete(&q, &base).unwrap());
+        });
+    }
+    group.finish();
+
+    // Report the sizes (the actual Theorem-5.7 shape check).
+    println!("\nplan sizes per choice-chain depth (dag / expanded tree):");
+    println!("{:>6} {:>14} {:>14}", "depth", "general", "optimized");
+    for depth in [1usize, 2, 4, 8] {
+        let q = chain(depth);
+        let g = translate_complete(&q, &base, &["R".to_string()]).unwrap();
+        let o = translate_opt_complete(&q, &base).unwrap();
+        println!(
+            "{:>6} {:>6}/{:<7} {:>6}/{:<7}",
+            depth,
+            g.dag_size(),
+            g.tree_size(),
+            o.dag_size(),
+            o.tree_size()
+        );
+    }
+}
+
+criterion_group!(benches, bench_translation_size);
+criterion_main!(benches);

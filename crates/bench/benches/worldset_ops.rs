@@ -1,0 +1,94 @@
+//! B6: scaling of the world-set primitives — the ablation bench for the
+//! engine design choices called out in DESIGN.md §6 (deterministic
+//! `BTreeSet` relations; prefix-keyed pairing for binary operators).
+//!
+//! Expected shapes: `choice-of` linear in the number of produced worlds;
+//! `poss`/`cert` linear in worlds × relation size; binary-operator pairing
+//! near-linear in worlds thanks to the map-based prefix join (the naive
+//! pairing would be quadratic); grouping linear in worlds with the
+//! group-key map.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relalg::attrs;
+use worldset::WorldSet;
+use wsa::Query;
+
+fn bench_worldset_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worldset_ops");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1500));
+
+    // choice-of: one world per departure.
+    for &d in &[8usize, 32, 128] {
+        let flights = datagen::flights(17, d, 10, 4);
+        let ws = WorldSet::single(vec![("F", flights)]);
+        let q = Query::rel("F").choice(attrs(&["Dep"]));
+        group.bench_with_input(BenchmarkId::new("choice_of", d), &d, |b, _| {
+            b.iter(|| wsa::eval_named(&q, &ws, "Ans").unwrap());
+        });
+    }
+
+    // poss / cert / grouping over a world-set of d worlds.
+    for &d in &[8usize, 32, 128] {
+        let flights = datagen::flights(19, d, 10, 4);
+        let ws = WorldSet::single(vec![("F", flights)]);
+        let split = wsa::eval_named(
+            &Query::rel("F").choice(attrs(&["Dep"])),
+            &ws,
+            "ByDep",
+        )
+        .unwrap();
+
+        let poss = Query::rel("ByDep").project(attrs(&["Arr"])).poss();
+        group.bench_with_input(BenchmarkId::new("poss", d), &d, |b, _| {
+            b.iter(|| wsa::eval_named(&poss, &split, "Ans").unwrap());
+        });
+
+        let cert = Query::rel("ByDep").project(attrs(&["Arr"])).cert();
+        group.bench_with_input(BenchmarkId::new("cert", d), &d, |b, _| {
+            b.iter(|| wsa::eval_named(&cert, &split, "Ans").unwrap());
+        });
+
+        let grouped = Query::rel("ByDep")
+            .poss_group(attrs(&["Arr"]), attrs(&["Dep", "Arr"]));
+        group.bench_with_input(BenchmarkId::new("poss_group", d), &d, |b, _| {
+            b.iter(|| wsa::eval_named(&grouped, &split, "Ans").unwrap());
+        });
+
+        // Binary pairing across the split worlds (prefix-keyed map join).
+        let pair = Query::rel("ByDep")
+            .project(attrs(&["Arr"]))
+            .union(Query::rel("F").project(attrs(&["Arr"])));
+        group.bench_with_input(BenchmarkId::new("binary_union", d), &d, |b, _| {
+            b.iter(|| wsa::eval_named(&pair, &split, "Ans").unwrap());
+        });
+    }
+
+    // Relational primitives underneath (BTreeSet relations).
+    for &n in &[100usize, 1_000, 10_000] {
+        let flights = datagen::flights(23, 20, 40, n / 20);
+        group.bench_with_input(BenchmarkId::new("relation_project", n), &n, |b, _| {
+            b.iter(|| flights.project(&attrs(&["Arr"])).unwrap());
+        });
+        let arr = flights.project(&attrs(&["Dep"])).unwrap();
+        group.bench_with_input(BenchmarkId::new("relation_divide", n), &n, |b, _| {
+            b.iter(|| {
+                flights
+                    .project(&attrs(&["Arr", "Dep"]))
+                    .unwrap()
+                    .divide(&arr)
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("relation_natural_join", n), &n, |b, _| {
+            b.iter(|| flights.natural_join(&arr));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worldset_ops);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Benchmark harness crate — all content lives in `benches/`:
+//!
+//! * `translation` — B1: direct worlds vs. Figure-6 vs. Section-5.3
+//!   evaluation of the trip query.
+//! * `rewrite_gain` — B2: Figures 8/9 plans before/after the optimizer.
+//! * `division` — B3: choice-of/certain vs. native ÷ vs. NOT-EXISTS.
+//! * `repair` — B4: repair-by-key exponential blow-up (Prop. 4.2).
+//! * `translation_size` — B5: polynomial plan-size claim (Thm. 5.7).
+//! * `worldset_ops` — B6: world-set primitive scaling (ablations).
+//!
+//! See EXPERIMENTS.md for the recorded tables.

@@ -1,0 +1,210 @@
+//! Domain-specific generators mirroring the paper's Section-2 scenarios.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use relalg::{Relation, Schema, Value};
+
+const CITIES: [&str; 20] = [
+    "FRA", "PAR", "PHL", "BCN", "ATL", "LHR", "JFK", "SFO", "MUC", "AMS", "MAD", "FCO", "VIE",
+    "ZRH", "CPH", "OSL", "ARN", "HEL", "LIS", "DUB",
+];
+
+/// A `Flights(Dep, Arr)` relation: `n_dep` departure cities with roughly
+/// `flights_per_dep` destinations each, drawn from a pool of `n_arr` arrival
+/// cities. A common destination is guaranteed so that `cert` queries have a
+/// non-trivial answer.
+pub fn flights(seed: u64, n_dep: usize, n_arr: usize, flights_per_dep: usize) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    let common = "HUB";
+    for d in 0..n_dep {
+        let dep = format!("D{d:03}");
+        rows.push(vec![Value::str(&dep), Value::str(common)]);
+        for _ in 0..flights_per_dep {
+            let arr = if n_arr <= CITIES.len() {
+                CITIES[rng.gen_range(0..n_arr)].to_string()
+            } else {
+                format!("A{:03}", rng.gen_range(0..n_arr))
+            };
+            rows.push(vec![Value::str(&dep), Value::str(&arr)]);
+        }
+    }
+    Relation::from_rows(Schema::of(&["Dep", "Arr"]), rows).expect("arity")
+}
+
+/// A `Hotels(Name, City)` relation with `n` hotels in the same city pool as
+/// [`flights`].
+pub fn hotels(seed: u64, n: usize, n_city: usize) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let mut rows = Vec::with_capacity(n + 1);
+    rows.push(vec![Value::str("HubHotel"), Value::str("HUB")]);
+    for i in 0..n {
+        let city = if n_city <= CITIES.len() {
+            CITIES[rng.gen_range(0..n_city)].to_string()
+        } else {
+            format!("A{:03}", rng.gen_range(0..n_city))
+        };
+        rows.push(vec![Value::str(&format!("H{i:04}")), Value::str(&city)]);
+    }
+    Relation::from_rows(Schema::of(&["Name", "City"]), rows).expect("arity")
+}
+
+/// `Company_Emp(CID, EID)` and `Emp_Skills(EID, Skill)` — the acquisition
+/// scenario. Every company gets 2–5 employees; every employee 1–3 skills
+/// from a fixed skill pool including `Web`.
+pub fn company_skills(seed: u64, n_companies: usize) -> (Relation, Relation) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995);
+    let skills = ["Web", "Java", "SQL", "Rust", "ML"];
+    let mut ce = Vec::new();
+    let mut es = Vec::new();
+    let mut eid = 0usize;
+    for c in 0..n_companies {
+        let cid = format!("C{c:03}");
+        for _ in 0..rng.gen_range(2..=5) {
+            let e = format!("e{eid}");
+            eid += 1;
+            ce.push(vec![Value::str(&cid), Value::str(&e)]);
+            let mut pool: Vec<&str> = skills.to_vec();
+            pool.shuffle(&mut rng);
+            for s in pool.iter().take(rng.gen_range(1..=3)) {
+                es.push(vec![Value::str(&e), Value::str(s)]);
+            }
+        }
+    }
+    (
+        Relation::from_rows(Schema::of(&["CID", "EID"]), ce).expect("arity"),
+        Relation::from_rows(Schema::of(&["EID", "Skill"]), es).expect("arity"),
+    )
+}
+
+/// A simplified TPC-H `Lineitem(Product, Quantity, Price, Year)` with `n`
+/// rows over `n_years` years and `n_quantities` package sizes (Section 2's
+/// what-if revenue query).
+pub fn lineitem(seed: u64, n: usize, n_years: usize, n_quantities: usize) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc2b2_ae35);
+    let quantities = [100i64, 250, 500, 1000, 2000, 5000];
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        // Zipf-ish product skew: low product ids are more frequent.
+        let p = (rng.gen_range(0.0f64..1.0).powi(2) * 50.0) as i64;
+        let q = quantities[rng.gen_range(0..n_quantities.min(quantities.len()))];
+        let price = rng.gen_range(10..=2000) as i64;
+        let year = 2000 + (i % n_years) as i64;
+        rows.push(vec![
+            Value::str(&format!("P{p:02}")),
+            Value::Int(q),
+            Value::Int(price),
+            Value::Int(year),
+        ]);
+    }
+    Relation::from_rows(Schema::of(&["Product", "Quantity", "Price", "Year"]), rows)
+        .expect("arity")
+}
+
+/// A TPC-H-Q6-style `Lineitem(Product, Quantity, Price, Discount, Year)`
+/// with integer percentage discounts 0–10 (the paper's Q6 asks for the
+/// revenue increase from eliminating discounts in a percentage range in a
+/// given year).
+pub fn lineitem_q6(seed: u64, n: usize, n_years: usize) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1656_67b1);
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        rows.push(vec![
+            Value::str(&format!("P{:02}", rng.gen_range(0..40))),
+            Value::Int([100i64, 250, 500, 1000][rng.gen_range(0..4)]),
+            Value::Int(rng.gen_range(10..=2000)),
+            Value::Int(rng.gen_range(0..=10)),
+            Value::Int(2000 + (i % n_years) as i64),
+        ]);
+    }
+    Relation::from_rows(
+        Schema::of(&["Product", "Quantity", "Price", "Discount", "Year"]),
+        rows,
+    )
+    .expect("arity")
+}
+
+/// A `Census(SSN, Name, POB, POW)` relation with `n` clean rows plus
+/// `violations` extra rows that reuse an existing SSN with different data —
+/// the input of the repair-by-key cleaning scenario. The number of repairs
+/// is `2^violations` when each duplicated SSN occurs twice.
+pub fn census(seed: u64, n: usize, violations: usize) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x27d4_eb2f);
+    let names = ["Ann", "Bob", "Cleo", "Dan", "Eve", "Finn", "Gus", "Hana"];
+    let mut rows = Vec::with_capacity(n + violations);
+    for i in 0..n {
+        rows.push(vec![
+            Value::Int(1000 + i as i64),
+            Value::str(names[rng.gen_range(0..names.len())]),
+            Value::str(CITIES[rng.gen_range(0..CITIES.len())]),
+            Value::str(CITIES[rng.gen_range(0..CITIES.len())]),
+        ]);
+    }
+    for v in 0..violations {
+        // Mistyped SSN: collides with row v but carries different data.
+        rows.push(vec![
+            Value::Int(1000 + (v % n.max(1)) as i64),
+            Value::str(&format!("Typo{v}")),
+            Value::str(CITIES[rng.gen_range(0..CITIES.len())]),
+            Value::str(CITIES[rng.gen_range(0..CITIES.len())]),
+        ]);
+    }
+    Relation::from_rows(Schema::of(&["SSN", "Name", "POB", "POW"]), rows).expect("arity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalg::attrs;
+
+    #[test]
+    fn flights_shape_and_determinism() {
+        let f1 = flights(7, 5, 10, 4);
+        let f2 = flights(7, 5, 10, 4);
+        assert_eq!(f1, f2);
+        assert_eq!(f1.schema(), &Schema::of(&["Dep", "Arr"]));
+        let deps = f1.distinct_values(&attrs(&["Dep"])).unwrap();
+        assert_eq!(deps.len(), 5);
+        // Every departure reaches the HUB.
+        let hub = f1
+            .select(&relalg::Pred::eq_const("Arr", "HUB"))
+            .unwrap()
+            .distinct_values(&attrs(&["Dep"]))
+            .unwrap();
+        assert_eq!(hub.len(), 5);
+    }
+
+    #[test]
+    fn company_skills_consistent() {
+        let (ce, es) = company_skills(3, 4);
+        let emp_in_ce = ce.distinct_values(&attrs(&["EID"])).unwrap();
+        let emp_in_es = es.distinct_values(&attrs(&["EID"])).unwrap();
+        assert_eq!(emp_in_ce, emp_in_es);
+        assert!(ce.len() >= 8);
+    }
+
+    #[test]
+    fn lineitem_years() {
+        let li = lineitem(11, 200, 3, 4);
+        let years = li.distinct_values(&attrs(&["Year"])).unwrap();
+        assert_eq!(years.len(), 3);
+    }
+
+    #[test]
+    fn census_has_requested_violations() {
+        let c = census(5, 10, 3);
+        let ssns = c.distinct_values(&attrs(&["SSN"])).unwrap();
+        assert_eq!(ssns.len(), 10);
+        assert_eq!(c.len(), 13);
+    }
+
+    #[test]
+    fn hotels_include_hub() {
+        let h = hotels(9, 20, 10);
+        assert!(!h
+            .select(&relalg::Pred::eq_const("City", "HUB"))
+            .unwrap()
+            .is_empty());
+    }
+}

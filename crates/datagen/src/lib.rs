@@ -1,0 +1,16 @@
+//! Seeded workload generators for tests, examples and benchmarks.
+//!
+//! All generators take an explicit seed and are deterministic, so benchmark
+//! sweeps and property tests are reproducible. The domain generators mirror
+//! the paper's application scenarios (Section 2): flights for trip planning,
+//! companies/skills for the acquisition query, a TPC-H-style `Lineitem` for
+//! the what-if revenue query, and a census table with key violations for
+//! repair-by-key cleaning.
+
+mod domains;
+mod queries;
+mod random;
+
+pub use domains::{census, company_skills, flights, hotels, lineitem, lineitem_q6};
+pub use queries::{random_query, QuerySpec};
+pub use random::{random_bijection, random_relation, random_world_set, RandomSpec};

@@ -1,0 +1,110 @@
+//! Random relations, world-sets and domain bijections for property tests
+//! (genericity, Figure-7 equivalences, conservativity).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use relalg::{Relation, Schema, Value};
+use worldset::{Bijection, World, WorldSet};
+
+/// Shape parameters for random world-set generation.
+#[derive(Clone, Debug)]
+pub struct RandomSpec {
+    /// Attribute names per relation (relation name is `R{i}`).
+    pub schemas: Vec<Vec<&'static str>>,
+    /// Number of worlds to generate (duplicates may collapse).
+    pub worlds: usize,
+    /// Maximum tuples per relation per world.
+    pub max_tuples: usize,
+    /// Domain size: values are integers `0..domain`.
+    pub domain: i64,
+}
+
+impl Default for RandomSpec {
+    fn default() -> Self {
+        RandomSpec {
+            schemas: vec![vec!["A", "B"]],
+            worlds: 3,
+            max_tuples: 6,
+            domain: 5,
+        }
+    }
+}
+
+/// A random relation over `schema` with at most `max_tuples` tuples drawn
+/// from `0..domain`.
+pub fn random_relation(rng: &mut StdRng, schema: &Schema, max_tuples: usize, domain: i64) -> Relation {
+    let n = rng.gen_range(0..=max_tuples);
+    let rows = (0..n).map(|_| {
+        schema
+            .attrs()
+            .iter()
+            .map(|_| Value::Int(rng.gen_range(0..domain)))
+            .collect::<Vec<Value>>()
+    });
+    Relation::from_rows(schema.clone(), rows).expect("arity")
+}
+
+/// A random world-set according to `spec`.
+pub fn random_world_set(seed: u64, spec: &RandomSpec) -> WorldSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schemas: Vec<Schema> = spec.schemas.iter().map(|s| Schema::of(s)).collect();
+    let names: Vec<String> = (0..schemas.len()).map(|i| format!("R{i}")).collect();
+    let worlds = (0..spec.worlds.max(1)).map(|_| {
+        World::new(
+            schemas
+                .iter()
+                .map(|s| random_relation(&mut rng, s, spec.max_tuples, spec.domain))
+                .collect(),
+        )
+    });
+    WorldSet::from_worlds(names, worlds.collect::<Vec<World>>()).expect("uniform schemas")
+}
+
+/// A random permutation of the integer domain `0..domain`, as a bijection.
+pub fn random_bijection(seed: u64, domain: i64) -> Bijection {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x85eb_ca6b);
+    let mut image: Vec<i64> = (0..domain).collect();
+    image.shuffle(&mut rng);
+    Bijection::from_pairs(
+        (0..domain).map(|i| (Value::Int(i), Value::Int(image[i as usize]))),
+    )
+    .expect("permutation is bijective")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_world_set_is_deterministic() {
+        let spec = RandomSpec::default();
+        assert_eq!(random_world_set(42, &spec), random_world_set(42, &spec));
+    }
+
+    #[test]
+    fn random_world_set_respects_spec() {
+        let spec = RandomSpec {
+            schemas: vec![vec!["A"], vec!["B", "C"]],
+            worlds: 4,
+            max_tuples: 3,
+            domain: 2,
+        };
+        let ws = random_world_set(1, &spec);
+        assert!(ws.len() <= 4 && !ws.is_empty());
+        for w in ws.iter() {
+            assert_eq!(w.arity(), 2);
+            assert!(w.rel(0).len() <= 3);
+        }
+    }
+
+    #[test]
+    fn bijection_is_permutation() {
+        let b = random_bijection(3, 10);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..10 {
+            seen.insert(b.apply_value(&Value::Int(i)));
+        }
+        assert_eq!(seen.len(), 10);
+    }
+}

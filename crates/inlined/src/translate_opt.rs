@@ -1,0 +1,449 @@
+//! The optimized translation for complete-to-complete queries
+//! (Section 5.3).
+//!
+//! Two observations drive the optimization:
+//!
+//! 1. The world table `W` is only needed by `cert` and by set-operation
+//!    alignment — so it is computed **lazily, on demand**, from the choice
+//!    domains recorded at each `χ` ("the world-ids created by the query
+//!    `χ_A(R)` can be computed with `π_A(R)`; … for a binary operator the
+//!    new world ids … can be retrieved using the query `q₁′ × q₂′`").
+//! 2. Base relations are never copied into new worlds: a table **without**
+//!    world-id attributes is interpreted as appearing in *all* worlds, and
+//!    tables with different id-attribute sets encode the product of their
+//!    world dimensions.
+//!
+//! On the trip-planning query `cert(π_Arr(χ_Dep(HFlights)))` this yields —
+//! after the `relalg` simplifier — exactly the paper's Example 5.8 plan:
+//! `π{Arr,Dep}(HFlights) ÷ π{Dep}(HFlights)`.
+
+use relalg::{Attr, Expr, Pred, RelalgError, Result, Schema};
+use wsa::typing::is_complete_to_complete;
+use wsa::Query;
+
+/// One world dimension: the id attributes introduced by a `χ` and the
+/// expression computing their domain (the "world ids created" there). The
+/// domain expression's schema is `prior ids ∪ new ids`.
+#[derive(Clone, Debug)]
+struct Dim {
+    new_ids: Vec<Attr>,
+    domain: Expr,
+}
+
+/// The translation of a subquery: the answer expression (schema `D ∪ ids`),
+/// the id attributes currently carried, and the dimensions needed to
+/// materialize the world table on demand.
+#[derive(Clone, Debug)]
+struct Opt {
+    expr: Expr,
+    d: Vec<Attr>,
+    ids: Vec<Attr>,
+    dims: Vec<Dim>,
+}
+
+impl Opt {
+    /// Materialize the world table for this subquery's dimensions:
+    /// the join of the recorded choice domains, projected to the ids.
+    /// With no dimensions this is conceptually `{⟨⟩}` — callers special-case
+    /// that (division by the unit table is the identity).
+    fn world_table(&self) -> Option<Expr> {
+        let mut it = self.dims.iter();
+        let first = it.next()?;
+        let mut w = first.domain.clone();
+        for dim in it {
+            w = w.natural_join(&dim.domain);
+        }
+        Some(w.project(self.ids.clone()))
+    }
+}
+
+struct OptTranslator<'a> {
+    base: &'a dyn Fn(&str) -> Option<Schema>,
+    counter: usize,
+}
+
+impl<'a> OptTranslator<'a> {
+    fn fresh_ids(&mut self, attrs: &[Attr]) -> Vec<Attr> {
+        self.counter += 1;
+        let n = self.counter;
+        attrs
+            .iter()
+            .map(|a| Attr::new(&format!("#{n}.{a}")))
+            .collect()
+    }
+
+    fn translate(&mut self, q: &Query) -> Result<Opt> {
+        match q {
+            Query::Rel(name) => {
+                let d = (self.base)(name)
+                    .ok_or_else(|| RelalgError::UnknownTable { name: name.clone() })?
+                    .attrs()
+                    .to_vec();
+                Ok(Opt {
+                    expr: Expr::table(name),
+                    d,
+                    ids: vec![],
+                    dims: vec![],
+                })
+            }
+
+            Query::Select(p, inner) => {
+                let o = self.translate(inner)?;
+                Ok(Opt {
+                    expr: o.expr.select(p.clone()),
+                    ..o
+                })
+            }
+
+            Query::Rename(map, inner) => {
+                let o = self.translate(inner)?;
+                let d: Vec<Attr> = o
+                    .d
+                    .iter()
+                    .map(|a| {
+                        map.iter()
+                            .find(|(s, _)| s == a)
+                            .map(|(_, t)| t.clone())
+                            .unwrap_or_else(|| a.clone())
+                    })
+                    .collect();
+                Ok(Opt {
+                    expr: o.expr.rename(map.clone()),
+                    d,
+                    ids: o.ids,
+                    dims: o.dims,
+                })
+            }
+
+            Query::Project(attrs, inner) => {
+                let o = self.translate(inner)?;
+                let mut keep = attrs.clone();
+                keep.extend(o.ids.iter().cloned());
+                Ok(Opt {
+                    expr: o.expr.project(keep),
+                    d: attrs.clone(),
+                    ids: o.ids,
+                    dims: o.dims,
+                })
+            }
+
+            Query::Choice(b, inner) => {
+                let o = self.translate(inner)?;
+                let vb = self.fresh_ids(b);
+                // Answer: copy the choice attributes into id columns.
+                let mut proj: Vec<(Attr, Attr)> =
+                    o.d.iter().map(|a| (a.clone(), a.clone())).collect();
+                proj.extend(o.ids.iter().map(|a| (a.clone(), a.clone())));
+                proj.extend(b.iter().cloned().zip(vb.iter().cloned()));
+                let expr = o.expr.project_as(proj);
+                // Domain: π_{prior ids, B as V_B}(R) — the ids that exist.
+                // Under earlier choice dimensions, pad-extend with the prior
+                // world table so that worlds whose answer is empty here
+                // survive (same role as `=⊲⊳` in the general translation).
+                let mut dom_list: Vec<(Attr, Attr)> =
+                    o.ids.iter().map(|a| (a.clone(), a.clone())).collect();
+                dom_list.extend(b.iter().cloned().zip(vb.iter().cloned()));
+                let mut domain = o.expr.project_as(dom_list);
+                if let Some(prior_w) = o.world_table() {
+                    domain = prior_w.outer_pad_join(&domain);
+                }
+                let mut ids = o.ids.clone();
+                ids.extend(vb.iter().cloned());
+                let mut dims = o.dims.clone();
+                dims.push(Dim {
+                    new_ids: vb,
+                    domain,
+                });
+                Ok(Opt {
+                    expr,
+                    d: o.d,
+                    ids,
+                    dims,
+                })
+            }
+
+            Query::Poss(inner) => {
+                let o = self.translate(inner)?;
+                // Union over all worlds = drop the id columns. The result
+                // carries no ids: it appears in every world.
+                Ok(Opt {
+                    expr: o.expr.project(o.d.clone()),
+                    d: o.d,
+                    ids: vec![],
+                    dims: vec![],
+                })
+            }
+
+            Query::Cert(inner) => {
+                let o = self.translate(inner)?;
+                let expr = match o.world_table() {
+                    // Intersection over all worlds: divide by the world
+                    // table (the answer is constant along dimensions it does
+                    // not mention, so dividing by its own dims suffices).
+                    Some(w) => o.expr.divide(&w),
+                    None => o.expr.project(o.d.clone()),
+                };
+                Ok(Opt {
+                    expr,
+                    d: o.d,
+                    ids: vec![],
+                    dims: vec![],
+                })
+            }
+
+            Query::PossGroup { group, proj, input } => {
+                let o = self.translate(input)?;
+                let ((t, _sprime), v2) = self.group_candidates(&o, group)?;
+                let mut list: Vec<(Attr, Attr)> =
+                    proj.iter().map(|a| (a.clone(), a.clone())).collect();
+                list.extend(v2.iter().cloned().zip(o.ids.iter().cloned()));
+                Ok(Opt {
+                    expr: t.project(both(proj, &v2)).project_as(list),
+                    d: proj.clone(),
+                    ids: o.ids,
+                    dims: o.dims,
+                })
+            }
+
+            Query::CertGroup { group, proj, input } => {
+                let o = self.translate(input)?;
+                let ((t, sprime), v2) = self.group_candidates(&o, group)?;
+                let cand = t.project(both(proj, &v2));
+                let mut bvv2 = proj.clone();
+                bvv2.extend(o.ids.iter().cloned());
+                bvv2.extend(v2.iter().cloned());
+                let present = t.project(bvv2);
+                let required = cand.natural_join(&sprime);
+                let missing = required.difference(&present).project(both(proj, &v2));
+                let certc = cand.difference(&missing);
+                let mut list: Vec<(Attr, Attr)> =
+                    proj.iter().map(|a| (a.clone(), a.clone())).collect();
+                list.extend(v2.iter().cloned().zip(o.ids.iter().cloned()));
+                Ok(Opt {
+                    expr: certc.project_as(list),
+                    d: proj.clone(),
+                    ids: o.ids,
+                    dims: o.dims,
+                })
+            }
+
+            Query::Product(a, b) => {
+                let l = self.translate(a)?;
+                let r = self.translate(b)?;
+                // Disjoint value attrs and (by fresh naming) disjoint new
+                // ids: the natural join on any shared prior ids pairs
+                // world combinations.
+                let mut d = l.d.clone();
+                d.extend(r.d.iter().cloned());
+                let mut ids = l.ids.clone();
+                for v in &r.ids {
+                    if !ids.contains(v) {
+                        ids.push(v.clone());
+                    }
+                }
+                let mut dims = l.dims.clone();
+                dims.extend(r.dims.iter().cloned());
+                Ok(Opt {
+                    expr: l.expr.natural_join(&r.expr),
+                    d,
+                    ids,
+                    dims,
+                })
+            }
+
+            Query::Union(a, b) => self.setop(a, b, SetOp::Union),
+            Query::Intersect(a, b) => self.setop(a, b, SetOp::Intersect),
+            Query::Difference(a, b) => self.setop(a, b, SetOp::Difference),
+
+            Query::RepairKey(_, _) => Err(RelalgError::TypeError {
+                detail: "repair-by-key is NP-hard (Proposition 4.2) and has no \
+                         relational translation"
+                    .into(),
+            }),
+        }
+    }
+
+    /// Align both operands onto the union of their world dimensions and
+    /// apply the set operation. A side missing a dimension is replicated
+    /// along it by a product with that dimension's id domain.
+    fn setop(&mut self, a: &Query, b: &Query, op: SetOp) -> Result<Opt> {
+        let l = self.translate(a)?;
+        let r = self.translate(b)?;
+        let expand = |side: &Opt, other: &Opt| -> Expr {
+            let mut e = side.expr.clone();
+            for dim in &other.dims {
+                if dim.new_ids.iter().all(|v| !side.ids.contains(v)) {
+                    e = e.natural_join(&dim.domain);
+                }
+            }
+            e
+        };
+        let le = expand(&l, &r);
+        let re = expand(&r, &l);
+        let expr = match op {
+            SetOp::Union => le.union(&re),
+            SetOp::Intersect => le.intersect(&re),
+            SetOp::Difference => le.difference(&re),
+        };
+        let mut ids = l.ids.clone();
+        for v in &r.ids {
+            if !ids.contains(v) {
+                ids.push(v.clone());
+            }
+        }
+        let mut dims = l.dims.clone();
+        dims.extend(r.dims.iter().cloned());
+        Ok(Opt {
+            expr,
+            d: l.d,
+            ids,
+            dims,
+        })
+    }
+
+    /// Grouping machinery shared with the general translation, operating on
+    /// the lazy representation (no world table involved): returns
+    /// `(T(d,v,v₂), S′(v,v₂))` and the fresh id copies `V₂`.
+    fn group_candidates(&mut self, o: &Opt, group: &[Attr]) -> Result<((Expr, Expr), Vec<Attr>)> {
+        let ids = &o.ids;
+        let v2 = self.fresh_ids(ids);
+        let a2 = self.fresh_ids(group);
+
+        let x = o.expr.project(both(group, ids));
+        let mut list: Vec<(Attr, Attr)> = group
+            .iter()
+            .cloned()
+            .zip(a2.iter().cloned())
+            .collect();
+        list.extend(ids.iter().cloned().zip(v2.iter().cloned()));
+        let x2 = x.project_as(list);
+
+        let worlds1 = o.expr.project(ids.clone());
+        let worlds2 = worlds1.project_as(ids.iter().cloned().zip(v2.iter().cloned()).collect());
+        let all_pairs = worlds1.product(&worlds2);
+
+        let mut eq = Pred::True;
+        for (a, b) in group.iter().zip(&a2) {
+            eq = eq.and(Pred::eq_attr(a.clone(), b.clone()));
+        }
+        let mut avv2 = group.to_vec();
+        avv2.extend(ids.iter().cloned());
+        avv2.extend(v2.iter().cloned());
+        let matched = x.product(&x2).select(eq).project(avv2);
+        let in_v1 = x.product(&worlds2);
+        let diff_dir = in_v1.difference(&matched).project(both(ids, &v2));
+        let mut swap: Vec<(Attr, Attr)> = v2
+            .iter()
+            .cloned()
+            .zip(ids.iter().cloned())
+            .collect();
+        swap.extend(ids.iter().cloned().zip(v2.iter().cloned()));
+        let s = diff_dir.union(&diff_dir.project_as(swap));
+        let sprime = all_pairs.difference(&s);
+
+        let t = o.expr.natural_join(&sprime);
+        Ok(((t, sprime), v2))
+    }
+}
+
+enum SetOp {
+    Union,
+    Intersect,
+    Difference,
+}
+
+fn both(a: &[Attr], b: &[Attr]) -> Vec<Attr> {
+    let mut out = a.to_vec();
+    out.extend(b.iter().cloned());
+    out
+}
+
+/// The Section-5.3 optimized translation of a complete-to-complete query
+/// into a relational algebra expression over the ordinary input database.
+/// Apply [`relalg::simplify`] to obtain the compact plans shown in the
+/// paper (Example 5.8).
+pub fn translate_opt_complete(
+    q: &Query,
+    base: &dyn Fn(&str) -> Option<Schema>,
+) -> Result<Expr> {
+    if !is_complete_to_complete(q) {
+        return Err(RelalgError::TypeError {
+            detail: format!("query is not of type 1↦1: {q}"),
+        });
+    }
+    let mut tr = OptTranslator { base, counter: 0 };
+    let o = tr.translate(q)?;
+    Ok(o.expr.project(o.d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalg::{attrs, Catalog, Relation};
+
+    fn base(name: &str) -> Option<Schema> {
+        match name {
+            "R" => Some(Schema::of(&["A", "B"])),
+            "S" => Some(Schema::of(&["C", "D"])),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn fresh_ids_are_unique_across_instances() {
+        // Two choices on the same attribute must get distinct id columns.
+        let q = Query::rel("R")
+            .choice(attrs(&["A"]))
+            .project(attrs(&["B"]))
+            .rename(vec![("B".into(), "B2".into())])
+            .product(Query::rel("R").choice(attrs(&["A"])).project(attrs(&["B"])))
+            .poss();
+        let expr = translate_opt_complete(&q, &base).unwrap();
+        let printed = expr.to_string();
+        assert!(printed.contains("#1.A") && printed.contains("#2.A"), "{printed}");
+    }
+
+    #[test]
+    fn poss_drops_all_ids() {
+        let q = Query::rel("R").choice(attrs(&["A"])).poss();
+        let expr = translate_opt_complete(&q, &base).unwrap();
+        let schema = expr
+            .infer_schema(&|n| base(n))
+            .unwrap();
+        assert_eq!(schema, Schema::of(&["A", "B"]));
+    }
+
+    #[test]
+    fn cert_divides_by_on_demand_world_table() {
+        let q = Query::rel("R").choice(attrs(&["A"])).cert();
+        let expr = translate_opt_complete(&q, &base).unwrap();
+        assert!(expr.to_string().contains('÷'));
+    }
+
+    #[test]
+    fn relational_queries_translate_without_ids() {
+        let q = Query::rel("R").select(relalg::Pred::eq_const("A", 1));
+        let expr = translate_opt_complete(&q, &base).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.put("R", Relation::table(&["A", "B"], &[&[1i64, 2], &[3, 4]]));
+        assert_eq!(catalog.eval(&expr).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn nested_choice_world_table_pad_extends() {
+        // A χ under another χ pad-extends the prior world table so that
+        // empty-answer worlds survive (the Remark-5.5 mechanism).
+        let q = Query::rel("R")
+            .choice(attrs(&["A"]))
+            .select(relalg::Pred::eq_const("B", 99)) // empties every world
+            .choice(attrs(&["B"]))
+            .project(attrs(&["B"]))
+            .cert();
+        let expr = translate_opt_complete(&q, &base).unwrap();
+        assert!(expr.to_string().contains("=⊲⊳"));
+        let mut catalog = Catalog::new();
+        catalog.put("R", Relation::table(&["A", "B"], &[&[1i64, 2], &[3, 4]]));
+        // cert over worlds with empty answers is empty.
+        assert!(catalog.eval(&expr).unwrap().is_empty());
+    }
+}

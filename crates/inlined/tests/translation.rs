@@ -1,0 +1,391 @@
+//! Conservativity tests (Theorem 5.7): the Figure-6 translation evaluated by
+//! the relational engine must denote exactly the same world-set as the
+//! direct Figure-3 semantics, and the `1↦1` translations must compute the
+//! same answer relation as the direct semantics on complete inputs.
+
+use relalg::{attrs, Catalog, Pred, Relation, Schema};
+use worldset::{World, WorldSet};
+use wsa::{eval_named, Query};
+use wsa_inlined::{run_general, translate_complete, translate_opt_complete, InlinedRep};
+
+fn flights() -> Relation {
+    Relation::table(
+        &["Dep", "Arr"],
+        &[
+            &["FRA", "BCN"],
+            &["FRA", "ATL"],
+            &["PAR", "ATL"],
+            &["PAR", "BCN"],
+            &["PHL", "ATL"],
+        ],
+    )
+}
+
+fn hotels() -> Relation {
+    Relation::table(
+        &["Name", "City"],
+        &[
+            &["Hilton", "ATL"],
+            &["Ritz", "BCN"],
+            &["Ibis", "ATL"],
+            &["Sofitel", "PAR"],
+        ],
+    )
+}
+
+fn r_ab() -> Relation {
+    Relation::table(&["A", "B"], &[&[1i64, 2], &[2, 3], &[2, 4], &[3, 2]])
+}
+
+fn s_cd() -> Relation {
+    Relation::table(&["C", "D"], &[&[2i64, 3], &[4, 5]])
+}
+
+/// Check `rep(⟦q⟧τ(encode(A))) = ⟦q⟧(A)` for the general translation.
+fn assert_conservative(q: &Query, ws: &WorldSet) {
+    let direct = eval_named(q, ws, "Ans").expect("direct semantics");
+    let rep = InlinedRep::encode(ws).expect("encode");
+    let translated = run_general(q, &rep, "Ans").expect("translated evaluation");
+    assert_eq!(
+        translated, direct,
+        "translation disagrees with direct semantics for {q}"
+    );
+}
+
+/// Check the 1↦1 translations against the direct semantics on a complete DB.
+fn assert_complete_equiv(q: &Query, named: Vec<(&str, Relation)>) {
+    let ws = WorldSet::single(named.clone());
+    let direct = eval_named(q, &ws, "Ans").expect("direct semantics");
+    // All worlds carry the same answer for a 1↦1 query.
+    let expected = direct.iter().next().expect("nonempty").last().clone();
+
+    let mut catalog = Catalog::new();
+    for (n, r) in &named {
+        catalog.put(n, r.clone());
+    }
+    let names: Vec<String> = named.iter().map(|(n, _)| n.to_string()).collect();
+    let base = |n: &str| catalog.schema_of(n);
+
+    let general = translate_complete(q, &base, &names).expect("general 1↦1 translation");
+    let got = catalog.eval(&general).expect("evaluate general");
+    assert_eq!(got, expected, "general 1↦1 translation differs for {q}");
+
+    let opt = translate_opt_complete(q, &base).expect("optimized translation");
+    let got = catalog.eval(&opt).expect("evaluate optimized");
+    assert_eq!(got, expected, "optimized translation differs for {q}");
+
+    // Simplification must preserve the plan's meaning.
+    let simplified = relalg::simplify(&opt, &base).expect("simplify");
+    let got = catalog.eval(&simplified).expect("evaluate simplified");
+    assert_eq!(got, expected, "simplified optimized plan differs for {q}");
+}
+
+#[test]
+fn trip_query_conservative() {
+    let q = Query::rel("HFlights")
+        .choice(attrs(&["Dep"]))
+        .project(attrs(&["Arr"]))
+        .cert();
+    let ws = WorldSet::single(vec![("HFlights", flights())]);
+    assert_conservative(&q, &ws);
+    assert_complete_equiv(&q, vec![("HFlights", flights())]);
+}
+
+#[test]
+fn example_5_8_plan_shape() {
+    // The optimized translation simplifies to the paper's division plan.
+    let q = Query::rel("HFlights")
+        .choice(attrs(&["Dep"]))
+        .project(attrs(&["Arr"]))
+        .cert();
+    let base = |n: &str| {
+        (n == "HFlights").then(|| Schema::of(&["Dep", "Arr"]))
+    };
+    let opt = translate_opt_complete(&q, &base).unwrap();
+    let simplified = relalg::simplify(&opt, &base).unwrap();
+    assert_eq!(
+        simplified.to_string(),
+        "(π{Arr,Dep}(HFlights) ÷ π{Dep}(HFlights))"
+    );
+}
+
+#[test]
+fn poss_query_conservative() {
+    let q = Query::rel("HFlights")
+        .choice(attrs(&["Dep"]))
+        .project(attrs(&["Arr"]))
+        .poss();
+    let ws = WorldSet::single(vec![("HFlights", flights())]);
+    assert_conservative(&q, &ws);
+    assert_complete_equiv(&q, vec![("HFlights", flights())]);
+}
+
+#[test]
+fn figure_5_choice_and_group() {
+    // χ_A(R) then pγ^{A,B}_B on the Figure-5 data, general translation on a
+    // multi-world encoding.
+    let ws = WorldSet::single(vec![("R", r_ab()), ("S", s_cd())]);
+    let q = Query::rel("R").choice(attrs(&["A"]));
+    assert_conservative(&q, &ws);
+
+    let q = Query::rel("R")
+        .choice(attrs(&["A"]))
+        .poss_group(attrs(&["B"]), attrs(&["A", "B"]));
+    assert_conservative(&q, &ws);
+}
+
+#[test]
+fn cert_group_conservative() {
+    let ws = WorldSet::single(vec![("R", r_ab())]);
+    let q = Query::rel("R")
+        .choice(attrs(&["A"]))
+        .cert_group(attrs(&["B"]), attrs(&["B"]));
+    assert_conservative(&q, &ws);
+}
+
+#[test]
+fn binary_ops_conservative() {
+    let ws = WorldSet::single(vec![("R", r_ab()), ("S", s_cd())]);
+
+    // Product of two choice branches.
+    let q = Query::rel("R")
+        .choice(attrs(&["A"]))
+        .product(Query::rel("S").choice(attrs(&["C"])));
+    assert_conservative(&q, &ws);
+
+    // Union of a choice branch with a plain relation (schema-aligned).
+    let q = Query::rel("R")
+        .choice(attrs(&["A"]))
+        .union(Query::rel("R"));
+    assert_conservative(&q, &ws);
+
+    // Difference: certain tuples removed per choice world.
+    let q = Query::rel("R").difference(Query::rel("R").choice(attrs(&["A"])));
+    assert_conservative(&q, &ws);
+
+    // Intersection of two independent choices.
+    let q = Query::rel("R")
+        .choice(attrs(&["A"]))
+        .intersect(Query::rel("R").choice(attrs(&["B"])));
+    assert_conservative(&q, &ws);
+}
+
+#[test]
+fn nested_choice_conservative() {
+    let ws = WorldSet::single(vec![("R", r_ab())]);
+    let q = Query::rel("R")
+        .choice(attrs(&["A"]))
+        .choice(attrs(&["B"]))
+        .project(attrs(&["B"]))
+        .poss();
+    assert_conservative(&q, &ws);
+    assert_complete_equiv(&q, vec![("R", r_ab())]);
+}
+
+#[test]
+fn selection_between_choices_conservative() {
+    // Exercises the empty-answer-world paths: σ empties some worlds before
+    // the second χ and the cert.
+    let ws = WorldSet::single(vec![("R", r_ab())]);
+    let q = Query::rel("R")
+        .choice(attrs(&["A"]))
+        .select(Pred::eq_const("B", 2))
+        .choice(attrs(&["B"]))
+        .project(attrs(&["B"]))
+        .cert();
+    assert_conservative(&q, &ws);
+    assert_complete_equiv(&q, vec![("R", r_ab())]);
+}
+
+#[test]
+fn cert_with_empty_world_is_empty() {
+    // One choice world has no B=4 tuples ⇒ cert must be empty.
+    let q = Query::rel("R")
+        .choice(attrs(&["A"]))
+        .select(Pred::eq_const("B", 4))
+        .project(attrs(&["B"]))
+        .cert();
+    let ws = WorldSet::single(vec![("R", r_ab())]);
+    let direct = eval_named(&q, &ws, "Ans").unwrap();
+    for w in direct.iter() {
+        assert!(w.last().is_empty());
+    }
+    assert_conservative(&q, &ws);
+    assert_complete_equiv(&q, vec![("R", r_ab())]);
+}
+
+#[test]
+fn multi_world_input_conservative() {
+    // Start from an already-incomplete database (three worlds).
+    let mk = |rows: &[&[&str]]| World::new(vec![Relation::table(&["Dep", "Arr"], rows)]);
+    let ws = WorldSet::from_worlds(
+        vec!["Flights".into()],
+        vec![
+            mk(&[&["FRA", "BCN"], &["FRA", "ATL"]]),
+            mk(&[&["PAR", "ATL"], &["PAR", "BCN"]]),
+            mk(&[&["PHL", "ATL"]]),
+        ],
+    )
+    .unwrap();
+
+    assert_conservative(&Query::rel("Flights").project(attrs(&["Arr"])).cert(), &ws);
+    assert_conservative(&Query::rel("Flights").project(attrs(&["Arr"])).poss(), &ws);
+    assert_conservative(&Query::rel("Flights").choice(attrs(&["Arr"])), &ws);
+    assert_conservative(
+        &Query::rel("Flights").poss_group(attrs(&["Dep"]), attrs(&["Dep", "Arr"])),
+        &ws,
+    );
+}
+
+#[test]
+fn acquisition_query_conservative() {
+    // Example 4.1's inner grouping pattern on the Section-2 data.
+    let company = Relation::table(
+        &["CID", "EID"],
+        &[
+            &["ACME", "e1"],
+            &["ACME", "e2"],
+            &["HAL", "e3"],
+            &["HAL", "e4"],
+            &["HAL", "e5"],
+        ],
+    );
+    let skills = Relation::table(
+        &["EID2", "Skill"],
+        &[
+            &["e1", "Web"],
+            &["e2", "Web"],
+            &["e3", "Java"],
+            &["e3", "Web"],
+            &["e4", "SQL"],
+            &["e5", "Java"],
+        ],
+    );
+    let ws = WorldSet::single(vec![("CE", company.clone()), ("ES", skills.clone())]);
+
+    // χ over (CID, EID), join skills, group by CID, certain skills, possible.
+    let q = Query::rel("CE")
+        .choice(attrs(&["CID", "EID"]))
+        .join(Query::rel("ES"), Pred::eq_attr("EID", "EID2"))
+        .project(attrs(&["CID", "Skill"]))
+        .cert_group(attrs(&["CID"]), attrs(&["CID", "Skill"]))
+        .select(Pred::eq_const("Skill", "Web"))
+        .project(attrs(&["CID"]))
+        .poss();
+    assert_conservative(&q, &ws);
+    assert_complete_equiv(&q, vec![("CE", company), ("ES", skills)]);
+}
+
+#[test]
+fn q2_rewritten_equivalence_poss_join() {
+    // Example 6.2's q2 on flights × hotels.
+    let ws = WorldSet::single(vec![("HFlights", flights()), ("Hotels", hotels())]);
+    let q2 = Query::rel("HFlights")
+        .product(Query::rel("Hotels"))
+        .choice(attrs(&["Dep", "City"]))
+        .poss_group(attrs(&["Dep"]), attrs(&["Dep", "Arr", "Name", "City"]))
+        .select(Pred::eq_attr("Arr", "City"))
+        .project(attrs(&["City"]))
+        .poss();
+    assert_conservative(&q2, &ws);
+    assert_complete_equiv(&q2, vec![("HFlights", flights()), ("Hotels", hotels())]);
+}
+
+#[test]
+fn translation_size_is_polynomial() {
+    // Nested choices: the DAG grows linearly per operator.
+    let mut q = Query::rel("R");
+    let mut sizes = Vec::new();
+    for depth in 0..6 {
+        let closed = q.clone().project(attrs(&["B"])).cert();
+        let base = |n: &str| (n == "R").then(|| Schema::of(&["A", "B"]));
+        let expr = translate_complete(&closed, &base, &["R".to_string()]).unwrap();
+        sizes.push((depth, expr.dag_size()));
+        q = q.choice(attrs(&["A"]));
+    }
+    // DAG size grows roughly linearly (well under quadratic blowup).
+    for pair in sizes.windows(2) {
+        let (_, a) = pair[0];
+        let (_, b) = pair[1];
+        assert!(b > a, "size must grow with depth");
+        assert!(b - a < 40, "per-operator growth must be bounded: {sizes:?}");
+    }
+}
+
+#[test]
+fn repair_by_key_is_not_translatable() {
+    let q = Query::rel("R").repair_by_key(attrs(&["A"])).poss();
+    let base = |n: &str| (n == "R").then(|| Schema::of(&["A", "B"]));
+    assert!(translate_complete(&q, &base, &["R".to_string()]).is_err());
+    assert!(translate_opt_complete(&q, &base).is_err());
+}
+
+#[test]
+fn non_1to1_queries_rejected_by_complete_translations() {
+    let q = Query::rel("R").choice(attrs(&["A"]));
+    let base = |n: &str| (n == "R").then(|| Schema::of(&["A", "B"]));
+    assert!(translate_complete(&q, &base, &["R".to_string()]).is_err());
+    assert!(translate_opt_complete(&q, &base).is_err());
+}
+
+#[test]
+fn same_attribute_choices_get_distinct_ids() {
+    // Both operands choose on the *same* attribute A. The direct semantics
+    // pairs the two choices freely (all combinations); the translation must
+    // generate distinct id attributes per χ instance or the combinations
+    // would collapse onto the diagonal.
+    let ws = WorldSet::single(vec![("R", r_ab()), ("S", s_cd())]);
+    let left = Query::rel("R").choice(attrs(&["A"]));
+    let right = Query::rel("R")
+        .choice(attrs(&["A"]))
+        .rename(vec![("A".into(), "A2".into()), ("B".into(), "B2".into())]);
+    let q = left.product(right);
+    assert_conservative(&q, &ws);
+
+    // Also as a set operation.
+    let q = Query::rel("R")
+        .choice(attrs(&["A"]))
+        .union(Query::rel("R").choice(attrs(&["A"])));
+    assert_conservative(&q, &ws);
+    let q = Query::rel("R")
+        .choice(attrs(&["A"]))
+        .difference(Query::rel("R").choice(attrs(&["A"])));
+    assert_conservative(&q, &ws);
+}
+
+#[test]
+fn multi_attribute_choice_conservative() {
+    let ws = WorldSet::single(vec![("R", r_ab()), ("S", s_cd())]);
+    let q = Query::rel("R").choice(attrs(&["A", "B"]));
+    assert_conservative(&q, &ws);
+    let q = Query::rel("R")
+        .choice(attrs(&["A", "B"]))
+        .project(attrs(&["B"]))
+        .cert();
+    assert_conservative(&q, &ws);
+    assert_complete_equiv(&q, vec![("R", r_ab())]);
+}
+
+#[test]
+fn grouping_after_binary_conservative() {
+    // Grouping over the combined world dimensions of a product.
+    let ws = WorldSet::single(vec![("R", r_ab()), ("S", s_cd())]);
+    let q = Query::rel("R")
+        .choice(attrs(&["A"]))
+        .product(Query::rel("S").choice(attrs(&["C"])))
+        .poss_group(attrs(&["B"]), attrs(&["B", "D"]));
+    assert_conservative(&q, &ws);
+}
+
+#[test]
+fn deep_mixed_pipeline_conservative() {
+    let ws = WorldSet::single(vec![("R", r_ab()), ("S", s_cd())]);
+    let q = Query::rel("R")
+        .choice(attrs(&["A"]))
+        .poss_group(attrs(&["B"]), attrs(&["A", "B"]))
+        .choice(attrs(&["B"]))
+        .project(attrs(&["A"]))
+        .poss();
+    assert_conservative(&q, &ws);
+    assert_complete_equiv(&q, vec![("R", r_ab())]);
+}

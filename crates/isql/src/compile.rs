@@ -1,0 +1,350 @@
+//! Compilation of the clean I-SQL fragment to World-set Algebra.
+//!
+//! World-set Algebra is "to I-SQL what relational algebra is to SQL"
+//! (Section 1): the fragment without SQL grouping/aggregation compiles to
+//! WSA operators. The compiled query can then be run through the direct
+//! semantics, the Figure-6 translation, or the Section-6 optimizer —
+//! connecting the surface language to the rest of the system.
+//!
+//! Supported: `select [possible|certain] cols from tables/subqueries
+//! [where comparisons] [choice of …] [repair by key …]
+//! [group worlds by cols]`. Aggregates, arithmetic and `in`/`exists`
+//! subqueries are interpreter-only (the paper's algebra excludes them too).
+
+use relalg::{Attr, Pred, Schema};
+use wsa::Query;
+
+use crate::ast::*;
+use crate::lexer::SqlError;
+
+type Result<T> = std::result::Result<T, SqlError>;
+
+/// Compile a clean-fragment select statement to a WSA query.
+///
+/// `base` supplies the schemas of base relations (unqualified column
+/// names). The compiled query projects to the *bare* output column names,
+/// matching the interpreter's output convention.
+pub fn compile_select(
+    stmt: &SelectStmt,
+    base: &dyn Fn(&str) -> Option<Schema>,
+) -> Result<Query> {
+    let (q, schema) = compile_inner(stmt, base)?;
+    let _ = schema;
+    Ok(q)
+}
+
+/// Returns the query plus its qualified output schema.
+fn compile_inner(
+    stmt: &SelectStmt,
+    base: &dyn Fn(&str) -> Option<Schema>,
+) -> Result<(Query, Vec<Attr>)> {
+    if !stmt.group_by.is_empty() {
+        return Err(SqlError(
+            "group by / aggregation is outside the WSA fragment".into(),
+        ));
+    }
+
+    // From-product with alias qualification.
+    let mut acc: Option<(Query, Vec<Attr>)> = None;
+    for item in &stmt.from {
+        let (q, attrs) = compile_from_item(item, base)?;
+        acc = Some(match acc {
+            None => (q, attrs),
+            Some((aq, mut aattrs)) => {
+                aattrs.extend(attrs.iter().cloned());
+                (aq.product(q), aattrs)
+            }
+        });
+    }
+    let (mut q, schema) =
+        acc.ok_or_else(|| SqlError("from clause must not be empty".into()))?;
+
+    // Where.
+    if let Some(cond) = &stmt.where_cond {
+        q = q.select(compile_cond(cond, &schema)?);
+    }
+
+    // choice of / repair by key.
+    if !stmt.choice_of.is_empty() {
+        q = q.choice(resolve_all(&stmt.choice_of, &schema)?);
+    }
+    if !stmt.repair_by_key.is_empty() {
+        q = q.repair_by_key(resolve_all(&stmt.repair_by_key, &schema)?);
+    }
+
+    // Select list: column references only.
+    let mut out_attrs = Vec::new();
+    let mut out_names = Vec::new();
+    if stmt.items.len() == 1 && matches!(stmt.items[0], SelectItem::Star) {
+        for a in &schema {
+            out_attrs.push(a.clone());
+            let bare = a.name().rsplit('.').next().unwrap_or(a.name());
+            let ambiguous = schema
+                .iter()
+                .filter(|b| b.name().rsplit('.').next().unwrap_or(b.name()) == bare)
+                .count()
+                > 1;
+            out_names.push(if ambiguous {
+                a.clone()
+            } else {
+                Attr::new(bare)
+            });
+        }
+    } else {
+        for (i, item) in stmt.items.iter().enumerate() {
+            match item {
+                SelectItem::Expr {
+                    expr: Scalar::Col(c),
+                    alias,
+                } => {
+                    let attr = resolve(c, &schema)?;
+                    out_attrs.push(attr);
+                    out_names.push(Attr::new(
+                        alias.clone().unwrap_or_else(|| c.name.clone()).as_str(),
+                    ));
+                }
+                _ => {
+                    return Err(SqlError(format!(
+                        "select item {i} is outside the WSA fragment (column references only)"
+                    )))
+                }
+            }
+        }
+    }
+
+    // group worlds by (+ possible/certain) or plain projection/closure.
+    match (&stmt.group_worlds_by, stmt.quant) {
+        (Some(GroupWorldsBy::Columns(cols)), Some(quant)) => {
+            let group = resolve_all(cols, &schema)?;
+            q = match quant {
+                Quant::Possible => q.poss_group(group, out_attrs.clone()),
+                Quant::Certain => q.cert_group(group, out_attrs.clone()),
+            };
+        }
+        (Some(_), None) => {
+            return Err(SqlError(
+                "group worlds by requires possible or certain".into(),
+            ))
+        }
+        (Some(GroupWorldsBy::Query(_)), Some(_)) => {
+            return Err(SqlError(
+                "group worlds by subquery is interpreter-only; use the column shorthand".into(),
+            ))
+        }
+        (None, Some(quant)) => {
+            q = q.project(out_attrs.clone());
+            q = match quant {
+                Quant::Possible => q.poss(),
+                Quant::Certain => q.cert(),
+            };
+        }
+        (None, None) => {
+            q = q.project(out_attrs.clone());
+        }
+    }
+
+    // Rename qualified output columns to their bare output names.
+    let renames: Vec<(Attr, Attr)> = out_attrs
+        .iter()
+        .cloned()
+        .zip(out_names.iter().cloned())
+        .filter(|(a, b)| a != b)
+        .collect();
+    if !renames.is_empty() {
+        q = q.rename(renames);
+    }
+    Ok((q, out_names))
+}
+
+fn compile_from_item(
+    item: &FromItem,
+    base: &dyn Fn(&str) -> Option<Schema>,
+) -> Result<(Query, Vec<Attr>)> {
+    match item {
+        FromItem::Table { name, alias } => {
+            let schema = base(name)
+                .ok_or_else(|| SqlError(format!("unknown relation {name}")))?;
+            let alias = alias.clone().unwrap_or_else(|| name.clone());
+            let qualified: Vec<Attr> = schema
+                .attrs()
+                .iter()
+                .map(|a| Attr::new(&format!("{alias}.{}", a.name())))
+                .collect();
+            let renames: Vec<(Attr, Attr)> = schema
+                .attrs()
+                .iter()
+                .cloned()
+                .zip(qualified.iter().cloned())
+                .collect();
+            Ok((Query::rel(name).rename(renames), qualified))
+        }
+        FromItem::Subquery { query, alias } => {
+            let (q, out) = compile_inner(query, base)?;
+            let qualified: Vec<Attr> = out
+                .iter()
+                .map(|a| {
+                    let bare = a.name().rsplit('.').next().unwrap_or(a.name());
+                    Attr::new(&format!("{alias}.{bare}"))
+                })
+                .collect();
+            let renames: Vec<(Attr, Attr)> = out
+                .iter()
+                .cloned()
+                .zip(qualified.iter().cloned())
+                .filter(|(a, b)| a != b)
+                .collect();
+            let q = if renames.is_empty() { q } else { q.rename(renames) };
+            Ok((q, qualified))
+        }
+    }
+}
+
+fn resolve(col: &ColRef, schema: &[Attr]) -> Result<Attr> {
+    let matches: Vec<&Attr> = schema
+        .iter()
+        .filter(|a| {
+            let name = a.name();
+            match &col.qualifier {
+                Some(q) => name == format!("{q}.{}", col.name),
+                None => {
+                    name == col.name
+                        || name
+                            .rsplit_once('.')
+                            .map(|(_, bare)| bare == col.name)
+                            .unwrap_or(false)
+                }
+            }
+        })
+        .collect();
+    match matches.len() {
+        1 => Ok(matches[0].clone()),
+        0 => Err(SqlError(format!("unknown column {col}"))),
+        _ => Err(SqlError(format!("ambiguous column {col}"))),
+    }
+}
+
+fn resolve_all(cols: &[ColRef], schema: &[Attr]) -> Result<Vec<Attr>> {
+    cols.iter().map(|c| resolve(c, schema)).collect()
+}
+
+fn compile_cond(cond: &Cond, schema: &[Attr]) -> Result<Pred> {
+    match cond {
+        Cond::Cmp(l, op, r) => {
+            let lo = compile_operand(l, schema)?;
+            let ro = compile_operand(r, schema)?;
+            Ok(Pred::cmp(lo, op.to_relalg(), ro))
+        }
+        Cond::And(a, b) => Ok(compile_cond(a, schema)?.and(compile_cond(b, schema)?)),
+        Cond::Or(a, b) => Ok(compile_cond(a, schema)?.or(compile_cond(b, schema)?)),
+        Cond::Not(a) => Ok(compile_cond(a, schema)?.not()),
+        Cond::In { .. } | Cond::Exists { .. } => Err(SqlError(
+            "in/exists subqueries are outside the WSA fragment".into(),
+        )),
+    }
+}
+
+fn compile_operand(s: &Scalar, schema: &[Attr]) -> Result<relalg::Operand> {
+    match s {
+        Scalar::Col(c) => Ok(relalg::Operand::Attr(resolve(c, schema)?)),
+        Scalar::Lit(Literal::Int(i)) => Ok(relalg::Operand::Const(relalg::Value::Int(*i))),
+        Scalar::Lit(Literal::Str(t)) => Ok(relalg::Operand::Const(relalg::Value::str(t))),
+        _ => Err(SqlError(
+            "only columns and literals are allowed in WSA conditions".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+    use crate::Stmt;
+
+    fn base(name: &str) -> Option<Schema> {
+        match name {
+            "HFlights" => Some(Schema::of(&["Dep", "Arr"])),
+            "Hotels" => Some(Schema::of(&["Name", "City"])),
+            _ => None,
+        }
+    }
+
+    fn compile(sql: &str) -> Result<Query> {
+        let Stmt::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!("not a select");
+        };
+        compile_select(&sel, &base)
+    }
+
+    #[test]
+    fn compiles_trip_query() {
+        let q = compile("select certain Arr from HFlights choice of Dep;").unwrap();
+        // Output rename over cert over projection over choice.
+        let Query::Rename(_, inner) = &q else {
+            panic!("expected output rename, got {q}")
+        };
+        assert!(matches!(inner.as_ref(), Query::Cert(_)));
+        assert!(q.to_string().contains("χ{HFlights.Dep}"));
+    }
+
+    #[test]
+    fn compiles_group_worlds_by() {
+        let q = compile(
+            "select certain Arr from HFlights choice of Dep group worlds by Dep;",
+        )
+        .unwrap();
+        assert!(matches!(q, Query::Rename(_, _)));
+        assert!(q.to_string().contains("cγ"));
+    }
+
+    #[test]
+    fn compiles_join() {
+        let q = compile(
+            "select possible City from HFlights, Hotels where Arr = City;",
+        )
+        .unwrap();
+        assert!(q.to_string().contains("×"));
+        assert!(q.to_string().contains("poss"));
+    }
+
+    #[test]
+    fn rejects_aggregates() {
+        assert!(compile("select sum(Arr) from HFlights;").is_err());
+        assert!(compile(
+            "select Dep from HFlights where Arr in (select City from Hotels);"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn compiled_semantics_match_interpreter() {
+        use worldset::WorldSet;
+        let flights = relalg::Relation::table(
+            &["Dep", "Arr"],
+            &[
+                &["FRA", "BCN"],
+                &["FRA", "ATL"],
+                &["PAR", "ATL"],
+                &["PAR", "BCN"],
+                &["PHL", "ATL"],
+            ],
+        );
+        let sql = "select certain Arr from HFlights choice of Dep;";
+        let q = compile(sql).unwrap();
+        let ws = WorldSet::single(vec![("HFlights", flights.clone())]);
+        let algebra = wsa::eval_named(&q, &ws, "A").unwrap();
+
+        let mut session = crate::Session::new();
+        session.register("HFlights", flights).unwrap();
+        let out = session.execute(sql).unwrap();
+        let crate::ExecOutcome::Rows { answers, .. } = &out[0] else {
+            panic!()
+        };
+
+        // Both report {ATL} as the certain arrival in every world.
+        let expected = relalg::Relation::table(&["Arr"], &[&["ATL"]]);
+        assert_eq!(answers, &vec![expected.clone()]);
+        for w in algebra.iter() {
+            assert_eq!(w.last(), &expected);
+        }
+    }
+}

@@ -1,0 +1,968 @@
+//! The I-SQL world-set interpreter.
+//!
+//! Evaluation follows the paper's "order of evaluation" (Section 3):
+//! (1) the product of the from-clause relations, (2) the where-condition,
+//! then `choice of`, `repair by key`, `group worlds by`, and finally (3)
+//! the select-list projection with `possible`/`certain` closing the
+//! possible-worlds semantics within world groups.
+//!
+//! Two evaluators cooperate:
+//!
+//! * [`eval_select_ws`] — the world-set level: from-subqueries and
+//!   where-subqueries that use world constructs split worlds exactly like
+//!   the corresponding WSA operators (such where-subqueries are hoisted and
+//!   must be uncorrelated);
+//! * a per-world evaluator for world-construct-free subqueries, supporting
+//!   correlation through a scope stack (used by `in`/`exists` and scalar
+//!   subqueries, e.g. the TPC-H what-if query of Section 2).
+
+use std::collections::BTreeMap;
+
+use relalg::{Attr, Relation, Schema, Tuple, Value};
+use worldset::{World, WorldSet};
+
+use crate::ast::*;
+use crate::lexer::SqlError;
+
+type Result<T> = std::result::Result<T, SqlError>;
+
+fn rel_err(e: relalg::RelalgError) -> SqlError {
+    SqlError(e.to_string())
+}
+
+/// Generate a relation name not yet used in the world-set (nested
+/// evaluations each get their own working relation).
+fn fresh(ws: &WorldSet, base: &str) -> String {
+    if ws.index_of(base).is_none() {
+        return base.to_string();
+    }
+    for i in 2usize.. {
+        let name = format!("{base}{i}");
+        if ws.index_of(&name).is_none() {
+            return name;
+        }
+    }
+    unreachable!()
+}
+
+/// Evaluate a select statement against a world-set, appending the answer
+/// relation under `out_name`.
+pub fn eval_select_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Result<WorldSet> {
+    let base_count = ws.rel_names().len();
+
+    // (1) Fold the from-clause into the working product.
+    let acc_name = fresh(ws, "#acc");
+    let mut cur = ws
+        .extend_with(&acc_name, |_| Ok(Relation::unit()))
+        .map_err(rel_err)?;
+    for item in &stmt.from {
+        cur = add_from_item(item, &cur, &acc_name)?;
+    }
+
+    // (2) Where: hoist world-splitting subqueries, then filter per world.
+    let mut hoisted: Vec<String> = Vec::new();
+    let cond = match &stmt.where_cond {
+        Some(c) => {
+            let (c2, cur2) = hoist_world_subqueries(c.clone(), cur, &mut hoisted)?;
+            cur = cur2;
+            Some(c2)
+        }
+        None => None,
+    };
+    let acc_idx = cur.index_of(&acc_name).expect("working relation present");
+    if let Some(cond) = &cond {
+        cur = cur.map_worlds(|w| {
+            let acc = w.rel(acc_idx);
+            let mut keep = Vec::new();
+            for row in acc.iter() {
+                let mut scopes = vec![(acc.schema().clone(), row.clone())];
+                if eval_cond(cond, w, cur_names(&cur), &mut scopes)? {
+                    keep.push(row.clone());
+                }
+            }
+            let filtered =
+                Relation::from_rows(acc.schema().clone(), keep).map_err(rel_err)?;
+            Ok(replace_rel(w, acc_idx, filtered))
+        })?;
+    }
+
+    // choice of — one world per value combination.
+    if !stmt.choice_of.is_empty() {
+        let cols = stmt.choice_of.clone();
+        cur = cur.flat_map_worlds(|w| {
+            let acc = w.rel(acc_idx);
+            let attrs = resolve_cols(&cols, acc.schema())?;
+            if acc.is_empty() {
+                return Ok(vec![w.clone()]);
+            }
+            let mut out = Vec::new();
+            for v in acc.distinct_values(&attrs).map_err(rel_err)? {
+                let mut pred = relalg::Pred::True;
+                for (a, val) in attrs.iter().zip(&v) {
+                    pred = pred.and(relalg::Pred::eq_const(a.clone(), val.clone()));
+                }
+                out.push(replace_rel(w, acc_idx, acc.select(&pred).map_err(rel_err)?));
+            }
+            Ok(out)
+        })?;
+    }
+
+    // repair by key — one world per maximal repair.
+    if !stmt.repair_by_key.is_empty() {
+        let cols = stmt.repair_by_key.clone();
+        cur = cur.flat_map_worlds(|w| {
+            let acc = w.rel(acc_idx);
+            let attrs = resolve_cols(&cols, acc.schema())?;
+            let repairs = repairs_by_key(acc, &attrs)?;
+            Ok(repairs
+                .into_iter()
+                .map(|r| replace_rel(w, acc_idx, r))
+                .collect())
+        })?;
+    }
+
+    // (3) Group worlds (on the pre-projection answer, per the paper's
+    // order of evaluation), project with aggregation, then close with
+    // possible/certain within each world group.
+    let names_snapshot: Vec<String> = cur.rel_names().to_vec();
+    match stmt.quant {
+        None => {
+            if stmt.group_worlds_by.is_some() {
+                return Err(SqlError(
+                    "group worlds by requires possible or certain".into(),
+                ));
+            }
+            cur = cur.map_worlds(|w| {
+                let answer = project_world(stmt, w, &names_snapshot, acc_idx)?;
+                Ok(replace_rel(w, acc_idx, answer))
+            })?;
+        }
+        Some(quant) => {
+            // Grouping keys come from the working product *before* the
+            // select-list projection (the paper applies group-worlds-by
+            // between repair-by-key and step (3)).
+            let group_key = |w: &World| -> Result<Relation> {
+                match &stmt.group_worlds_by {
+                    None => Ok(Relation::unit()),
+                    Some(GroupWorldsBy::Columns(cols)) => {
+                        let acc = w.rel(acc_idx);
+                        let attrs = resolve_cols(cols, acc.schema())?;
+                        acc.project(&attrs).map_err(rel_err)
+                    }
+                    Some(GroupWorldsBy::Query(q)) => {
+                        if q.uses_world_constructs() {
+                            return Err(SqlError(
+                                "group worlds by subquery must not use world constructs"
+                                    .into(),
+                            ));
+                        }
+                        eval_select_local(q, w, &names_snapshot, &mut Vec::new())
+                    }
+                }
+            };
+            let mut entries: Vec<(World, Relation)> = Vec::new();
+            let mut groups: BTreeMap<Relation, Relation> = BTreeMap::new();
+            for w in cur.iter() {
+                let key = group_key(w)?;
+                let ans = project_world(stmt, w, &names_snapshot, acc_idx)?;
+                match groups.entry(key.clone()) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(ans);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        let merged = match quant {
+                            Quant::Possible => e.get().union(&ans).map_err(rel_err)?,
+                            Quant::Certain => e.get().intersect(&ans).map_err(rel_err)?,
+                        };
+                        e.insert(merged);
+                    }
+                }
+                entries.push((w.clone(), key));
+            }
+            let worlds: Vec<World> = entries
+                .into_iter()
+                .map(|(w, key)| replace_rel(&w, acc_idx, groups[&key].clone()))
+                .collect();
+            cur = WorldSet::from_worlds(cur.rel_names().to_vec(), worlds)
+                .map_err(rel_err)?;
+        }
+    }
+
+    // Strip temporaries: keep base relations plus the answer (renamed).
+    let mut keep: Vec<usize> = (0..base_count).collect();
+    keep.push(acc_idx);
+    let kept = cur.keep_rels(&keep);
+    let mut names: Vec<String> = kept.rel_names().to_vec();
+    *names.last_mut().expect("answer present") = out_name.to_string();
+    Ok(kept.with_rel_names(names))
+}
+
+fn cur_names(ws: &WorldSet) -> &[String] {
+    ws.rel_names()
+}
+
+fn replace_rel(w: &World, idx: usize, rel: Relation) -> World {
+    let mut rels = w.rels().to_vec();
+    rels[idx] = rel;
+    World::new(rels)
+}
+
+/// Add one from-item to the working product.
+fn add_from_item(item: &FromItem, cur: &WorldSet, acc_name: &str) -> Result<WorldSet> {
+    let acc_idx = cur.index_of(acc_name).expect("working relation present");
+    match item {
+        FromItem::Table { name, alias } => {
+            let idx = cur
+                .index_of(name)
+                .ok_or_else(|| SqlError(format!("unknown relation {name}")))?;
+            let alias = alias.clone().unwrap_or_else(|| name.clone());
+            cur.map_worlds(|w| {
+                let qualified = qualify(w.rel(idx), &alias)?;
+                let acc = w.rel(acc_idx);
+                Ok(replace_rel(
+                    w,
+                    acc_idx,
+                    acc.product(&qualified).map_err(rel_err)?,
+                ))
+            })
+        }
+        FromItem::Subquery { query, alias } => {
+            // Evaluate the subquery at world-set level (it may split
+            // worlds), then fold its answer into the product.
+            let sub_name = fresh(cur, "#sub");
+            let sub = eval_select_ws(query, cur, &sub_name)?;
+            let sub_idx = sub.index_of(&sub_name).expect("just added");
+            let acc_idx = sub.index_of(acc_name).expect("still present");
+            let folded = sub.map_worlds(|w| {
+                let qualified = qualify(w.rel(sub_idx), alias)?;
+                let acc = w.rel(acc_idx);
+                Ok(replace_rel(
+                    w,
+                    acc_idx,
+                    acc.product(&qualified).map_err(rel_err)?,
+                ))
+            })?;
+            // Drop the subquery answer again.
+            let keep: Vec<usize> = (0..folded.rel_names().len())
+                .filter(|&i| i != sub_idx)
+                .collect();
+            Ok(folded.keep_rels(&keep))
+        }
+    }
+}
+
+/// Rename all columns of `rel` to `alias.column` (stripping any previous
+/// qualifier).
+fn qualify(rel: &Relation, alias: &str) -> Result<Relation> {
+    let list: Vec<(Attr, Attr)> = rel
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| {
+            let bare = a.name().rsplit('.').next().unwrap_or(a.name());
+            (a.clone(), Attr::new(&format!("{alias}.{bare}")))
+        })
+        .collect();
+    rel.project_as(&list).map_err(rel_err)
+}
+
+/// Resolve a column reference against a schema of qualified names.
+fn resolve_col(col: &ColRef, schema: &Schema) -> Result<Attr> {
+    let matches: Vec<&Attr> = schema
+        .attrs()
+        .iter()
+        .filter(|a| {
+            let name = a.name();
+            match &col.qualifier {
+                Some(q) => name == format!("{q}.{}", col.name),
+                None => {
+                    name == col.name
+                        || name
+                            .rsplit_once('.')
+                            .map(|(_, bare)| bare == col.name)
+                            .unwrap_or(false)
+                }
+            }
+        })
+        .collect();
+    match matches.len() {
+        1 => Ok(matches[0].clone()),
+        0 => Err(SqlError(format!("unknown column {col} in {schema}"))),
+        _ => Err(SqlError(format!("ambiguous column {col} in {schema}"))),
+    }
+}
+
+fn resolve_cols(cols: &[ColRef], schema: &Schema) -> Result<Vec<Attr>> {
+    cols.iter().map(|c| resolve_col(c, schema)).collect()
+}
+
+/// All repairs of `rel` under `key` (same construction as
+/// `wsa::repair`, local to the interpreter).
+fn repairs_by_key(rel: &Relation, key: &[Attr]) -> Result<Vec<Relation>> {
+    if rel.is_empty() {
+        return Ok(vec![rel.clone()]);
+    }
+    let key_idx: Vec<usize> = key
+        .iter()
+        .map(|a| rel.schema().index_of(a).expect("resolved"))
+        .collect();
+    let mut groups: BTreeMap<Tuple, Vec<Tuple>> = BTreeMap::new();
+    for t in rel.iter() {
+        let k: Tuple = key_idx.iter().map(|&i| t[i].clone()).collect();
+        groups.entry(k).or_default().push(t.clone());
+    }
+    let mut picks: Vec<Vec<Tuple>> = vec![vec![]];
+    for tuples in groups.values() {
+        let mut next = Vec::with_capacity(picks.len() * tuples.len());
+        for partial in &picks {
+            for t in tuples {
+                let mut ext = partial.clone();
+                ext.push(t.clone());
+                next.push(ext);
+            }
+        }
+        picks = next;
+    }
+    picks
+        .into_iter()
+        .map(|rows| Relation::from_rows(rel.schema().clone(), rows).map_err(rel_err))
+        .collect()
+}
+
+/// Hoist where-subqueries that use world constructs: evaluate each as a
+/// world-set operation materializing a relation `#h{i}`, and rewrite the
+/// condition to reference it. Such subqueries must be uncorrelated.
+fn hoist_world_subqueries(
+    cond: Cond,
+    mut cur: WorldSet,
+    hoisted: &mut Vec<String>,
+) -> Result<(Cond, WorldSet)> {
+    let rewritten = match cond {
+        Cond::In {
+            expr,
+            query,
+            negated,
+        } if query.uses_world_constructs() => {
+            let name = fresh(&cur, &format!("#h{}", hoisted.len()));
+            cur = eval_select_ws(&query, &cur, &name)?;
+            hoisted.push(name.clone());
+            Cond::In {
+                expr,
+                query: Box::new(materialized_ref(&name)),
+                negated,
+            }
+        }
+        Cond::Exists { query, negated } if query.uses_world_constructs() => {
+            let name = fresh(&cur, &format!("#h{}", hoisted.len()));
+            cur = eval_select_ws(&query, &cur, &name)?;
+            hoisted.push(name.clone());
+            Cond::Exists {
+                query: Box::new(materialized_ref(&name)),
+                negated,
+            }
+        }
+        Cond::And(a, b) => {
+            let (a2, cur2) = hoist_world_subqueries(*a, cur, hoisted)?;
+            let (b2, cur3) = hoist_world_subqueries(*b, cur2, hoisted)?;
+            cur = cur3;
+            Cond::And(Box::new(a2), Box::new(b2))
+        }
+        Cond::Or(a, b) => {
+            let (a2, cur2) = hoist_world_subqueries(*a, cur, hoisted)?;
+            let (b2, cur3) = hoist_world_subqueries(*b, cur2, hoisted)?;
+            cur = cur3;
+            Cond::Or(Box::new(a2), Box::new(b2))
+        }
+        Cond::Not(a) => {
+            let (a2, cur2) = hoist_world_subqueries(*a, cur, hoisted)?;
+            cur = cur2;
+            Cond::Not(Box::new(a2))
+        }
+        other => other,
+    };
+    Ok((rewritten, cur))
+}
+
+/// A `select * from #hN` reference to a hoisted subquery result.
+fn materialized_ref(name: &str) -> SelectStmt {
+    SelectStmt {
+        quant: None,
+        items: vec![SelectItem::Star],
+        from: vec![FromItem::Table {
+            name: name.to_string(),
+            alias: Some(name.to_string()),
+        }],
+        where_cond: None,
+        group_by: vec![],
+        choice_of: vec![],
+        repair_by_key: vec![],
+        group_worlds_by: None,
+    }
+}
+
+// ---- per-world evaluation ----
+
+/// Scope stack for correlated subqueries: innermost last.
+type Scopes = Vec<(Schema, Tuple)>;
+
+/// Evaluate a world-construct-free select statement inside one world, with
+/// outer-row bindings available for correlation.
+pub fn eval_select_local(
+    stmt: &SelectStmt,
+    world: &World,
+    names: &[String],
+    scopes: &mut Scopes,
+) -> Result<Relation> {
+    if stmt.quant.is_some()
+        || !stmt.choice_of.is_empty()
+        || !stmt.repair_by_key.is_empty()
+        || stmt.group_worlds_by.is_some()
+    {
+        return Err(SqlError(
+            "subquery in this position must not use world constructs".into(),
+        ));
+    }
+    // From-product.
+    let mut acc = Relation::unit();
+    for item in &stmt.from {
+        let (rel, alias) = match item {
+            FromItem::Table { name, alias } => {
+                let idx = names
+                    .iter()
+                    .position(|n| n == name)
+                    .ok_or_else(|| SqlError(format!("unknown relation {name}")))?;
+                (
+                    world.rel(idx).clone(),
+                    alias.clone().unwrap_or_else(|| name.clone()),
+                )
+            }
+            FromItem::Subquery { query, alias } => (
+                eval_select_local(query, world, names, scopes)?,
+                alias.clone(),
+            ),
+        };
+        acc = acc.product(&qualify(&rel, &alias)?).map_err(rel_err)?;
+    }
+    // Where.
+    if let Some(cond) = &stmt.where_cond {
+        let mut keep = Vec::new();
+        for row in acc.iter() {
+            scopes.push((acc.schema().clone(), row.clone()));
+            let ok = eval_cond(cond, world, names, scopes)?;
+            scopes.pop();
+            if ok {
+                keep.push(row.clone());
+            }
+        }
+        acc = Relation::from_rows(acc.schema().clone(), keep).map_err(rel_err)?;
+    }
+    project_rows(stmt, &acc, world, names, scopes)
+}
+
+/// Final projection of a select statement over the filtered product `acc`,
+/// including SQL grouping and aggregation.
+fn project_world(
+    stmt: &SelectStmt,
+    world: &World,
+    names: &[String],
+    acc_idx: usize,
+) -> Result<Relation> {
+    let acc = world.rel(acc_idx).clone();
+    project_rows(stmt, &acc, world, names, &mut Vec::new())
+}
+
+fn has_aggregates(items: &[SelectItem]) -> bool {
+    items.iter().any(|i| match i {
+        SelectItem::Star => false,
+        SelectItem::Expr { expr, .. } => scalar_has_agg(expr),
+    })
+}
+
+fn scalar_has_agg(s: &Scalar) -> bool {
+    match s {
+        Scalar::Agg(_, _) | Scalar::CountStar => true,
+        Scalar::Arith(_, a, b) => scalar_has_agg(a) || scalar_has_agg(b),
+        _ => false,
+    }
+}
+
+fn output_name(item: &SelectItem, i: usize) -> String {
+    match item {
+        SelectItem::Star => unreachable!("star expanded separately"),
+        SelectItem::Expr { alias: Some(a), .. } => a.clone(),
+        SelectItem::Expr {
+            expr: Scalar::Col(c),
+            ..
+        } => c.name.clone(),
+        SelectItem::Expr { .. } => format!("expr{i}"),
+    }
+}
+
+fn project_rows(
+    stmt: &SelectStmt,
+    acc: &Relation,
+    world: &World,
+    names: &[String],
+    scopes: &mut Scopes,
+) -> Result<Relation> {
+    // `select *`: strip qualifiers where unambiguous.
+    if stmt.items.len() == 1 && matches!(stmt.items[0], SelectItem::Star) {
+        if !stmt.group_by.is_empty() {
+            return Err(SqlError("select * cannot be combined with group by".into()));
+        }
+        let attrs = acc.schema().attrs();
+        let mut out_names: Vec<String> = Vec::with_capacity(attrs.len());
+        for a in attrs {
+            let bare = a.name().rsplit('.').next().unwrap_or(a.name()).to_string();
+            let ambiguous = attrs
+                .iter()
+                .filter(|b| b.name().rsplit('.').next().unwrap_or(b.name()) == bare)
+                .count()
+                > 1;
+            out_names.push(if ambiguous { a.name().to_string() } else { bare });
+        }
+        let list: Vec<(Attr, Attr)> = attrs
+            .iter()
+            .zip(&out_names)
+            .map(|(a, n)| (a.clone(), Attr::new(n)))
+            .collect();
+        return acc.project_as(&list).map_err(rel_err);
+    }
+
+    let aggregating = has_aggregates(&stmt.items) || !stmt.group_by.is_empty();
+    let out_schema = Schema::try_new(
+        stmt.items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| Attr::new(&output_name(item, i)))
+            .collect(),
+    )
+    .ok_or_else(|| SqlError("duplicate output column name".into()))?;
+
+    if !aggregating {
+        let mut rows = Vec::new();
+        for row in acc.iter() {
+            scopes.push((acc.schema().clone(), row.clone()));
+            let mut out = Vec::with_capacity(stmt.items.len());
+            for item in &stmt.items {
+                let SelectItem::Expr { expr, .. } = item else {
+                    return Err(SqlError("* must be the only select item".into()));
+                };
+                out.push(eval_scalar(expr, world, names, scopes, None)?);
+            }
+            scopes.pop();
+            rows.push(out);
+        }
+        return Relation::from_rows(out_schema, rows).map_err(rel_err);
+    }
+
+    // Aggregation: group rows by the group-by columns.
+    let group_attrs = resolve_cols(&stmt.group_by, acc.schema())?;
+    let idx: Vec<usize> = group_attrs
+        .iter()
+        .map(|a| acc.schema().index_of(a).expect("resolved"))
+        .collect();
+    let mut groups: BTreeMap<Tuple, Vec<Tuple>> = BTreeMap::new();
+    for row in acc.iter() {
+        let key: Tuple = idx.iter().map(|&i| row[i].clone()).collect();
+        groups.entry(key).or_default().push(row.clone());
+    }
+    // SQL convention: an ungrouped aggregate over an empty input produces
+    // one row (sum = 0, count = 0) — needed by scalar subqueries.
+    if groups.is_empty() && group_attrs.is_empty() {
+        groups.insert(vec![], vec![]);
+    }
+    let mut rows = Vec::new();
+    for rows_in_group in groups.values() {
+        let first = rows_in_group
+            .first()
+            .cloned()
+            .unwrap_or_else(|| vec![Value::Pad; acc.schema().arity()]);
+        scopes.push((acc.schema().clone(), first.clone()));
+        let mut out = Vec::with_capacity(stmt.items.len());
+        for item in &stmt.items {
+            let SelectItem::Expr { expr, .. } = item else {
+                return Err(SqlError("* cannot appear with aggregates".into()));
+            };
+            out.push(eval_scalar(
+                expr,
+                world,
+                names,
+                scopes,
+                Some((acc.schema(), rows_in_group.as_slice())),
+            )?);
+        }
+        scopes.pop();
+        rows.push(out);
+    }
+    Relation::from_rows(out_schema, rows).map_err(rel_err)
+}
+
+/// Evaluate a condition for the innermost scope row.
+fn eval_cond(cond: &Cond, world: &World, names: &[String], scopes: &mut Scopes) -> Result<bool> {
+    match cond {
+        Cond::Cmp(l, op, r) => {
+            let lv = eval_scalar(l, world, names, scopes, None)?;
+            let rv = eval_scalar(r, world, names, scopes, None)?;
+            Ok(op.to_relalg().apply(&lv, &rv))
+        }
+        Cond::In {
+            expr,
+            query,
+            negated,
+        } => {
+            let v = eval_scalar(expr, world, names, scopes, None)?;
+            let rel = eval_select_local(query, world, names, scopes)?;
+            // Column selection: a one-column subquery probes that column;
+            // a multi-column subquery (the paper writes `Quantity not in
+            // (select * from Lineitem choice of Quantity)`) probes the
+            // column with the probe expression's name.
+            let col = if rel.schema().arity() == 1 {
+                0
+            } else if let Scalar::Col(c) = expr {
+                let attr = resolve_col(c, rel.schema())?;
+                rel.schema().index_of(&attr).expect("resolved")
+            } else {
+                return Err(SqlError(
+                    "IN over a multi-column subquery requires a column probe".into(),
+                ));
+            };
+            let found = rel.iter().any(|t| t[col] == v);
+            Ok(found != *negated)
+        }
+        Cond::Exists { query, negated } => {
+            let rel = eval_select_local(query, world, names, scopes)?;
+            Ok(rel.is_empty() == *negated)
+        }
+        Cond::And(a, b) => {
+            Ok(eval_cond(a, world, names, scopes)? && eval_cond(b, world, names, scopes)?)
+        }
+        Cond::Or(a, b) => {
+            Ok(eval_cond(a, world, names, scopes)? || eval_cond(b, world, names, scopes)?)
+        }
+        Cond::Not(a) => Ok(!eval_cond(a, world, names, scopes)?),
+    }
+}
+
+/// Evaluate a scalar. `agg_rows` supplies the group rows when evaluating
+/// aggregate functions.
+fn eval_scalar(
+    s: &Scalar,
+    world: &World,
+    names: &[String],
+    scopes: &mut Scopes,
+    agg_rows: Option<(&Schema, &[Tuple])>,
+) -> Result<Value> {
+    match s {
+        Scalar::Lit(Literal::Int(i)) => Ok(Value::Int(*i)),
+        Scalar::Lit(Literal::Str(t)) => Ok(Value::str(t)),
+        Scalar::Col(c) => {
+            // Innermost scope that can resolve the column wins.
+            for (schema, row) in scopes.iter().rev() {
+                if let Ok(attr) = resolve_col(c, schema) {
+                    let i = schema.index_of(&attr).expect("resolved");
+                    return Ok(row[i].clone());
+                }
+            }
+            Err(SqlError(format!("unresolved column {c}")))
+        }
+        Scalar::Arith(op, a, b) => {
+            let l = eval_scalar(a, world, names, scopes, agg_rows)?;
+            let r = eval_scalar(b, world, names, scopes, agg_rows)?;
+            let (Value::Int(x), Value::Int(y)) = (&l, &r) else {
+                return Err(SqlError(format!("arithmetic on non-integers {l} and {r}")));
+            };
+            Ok(Value::Int(match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => {
+                    if *y == 0 {
+                        return Err(SqlError("division by zero".into()));
+                    }
+                    x / y
+                }
+            }))
+        }
+        Scalar::CountStar => {
+            let (_, rows) = agg_rows
+                .ok_or_else(|| SqlError("count(*) outside aggregation context".into()))?;
+            Ok(Value::Int(rows.len() as i64))
+        }
+        Scalar::Agg(f, inner) => {
+            let (schema, rows) = agg_rows
+                .ok_or_else(|| SqlError("aggregate outside aggregation context".into()))?;
+            let mut vals = Vec::with_capacity(rows.len());
+            for row in rows {
+                scopes.push((schema.clone(), row.clone()));
+                let v = eval_scalar(inner, world, names, scopes, None)?;
+                scopes.pop();
+                vals.push(v);
+            }
+            match f {
+                AggFn::Count => Ok(Value::Int(vals.len() as i64)),
+                AggFn::Min => vals
+                    .into_iter()
+                    .min()
+                    .ok_or_else(|| SqlError("min over empty group".into())),
+                AggFn::Max => vals
+                    .into_iter()
+                    .max()
+                    .ok_or_else(|| SqlError("max over empty group".into())),
+                AggFn::Sum | AggFn::Avg => {
+                    let mut total = 0i64;
+                    let n = vals.len() as i64;
+                    for v in vals {
+                        match v {
+                            Value::Int(i) => total += i,
+                            other => {
+                                return Err(SqlError(format!("sum/avg over non-integer {other}")))
+                            }
+                        }
+                    }
+                    if *f == AggFn::Avg {
+                        if n == 0 {
+                            return Err(SqlError("avg over empty group".into()));
+                        }
+                        Ok(Value::Int(total / n))
+                    } else {
+                        Ok(Value::Int(total))
+                    }
+                }
+            }
+        }
+        Scalar::Subquery(q) => {
+            let rel = eval_select_local(q, world, names, scopes)?;
+            if rel.schema().arity() != 1 {
+                return Err(SqlError("scalar subquery must produce one column".into()));
+            }
+            if rel.len() != 1 {
+                return Err(SqlError(format!(
+                    "scalar subquery produced {} rows",
+                    rel.len()
+                )));
+            }
+            let value = rel.iter().next().expect("one row")[0].clone();
+            Ok(value)
+        }
+    }
+}
+
+// ---- helpers for DML (Session) ----
+
+/// Evaluate a condition against one row (used by `delete`/`update`).
+pub(crate) fn eval_cond_public(
+    cond: &Cond,
+    world: &World,
+    names: &[String],
+    schema: &Schema,
+    row: &Tuple,
+) -> Result<bool> {
+    let mut scopes = vec![(schema.clone(), row.clone())];
+    eval_cond(cond, world, names, &mut scopes)
+}
+
+/// Apply `set` assignments to one row (used by `update`).
+pub(crate) fn eval_update_row(
+    sets: &[(String, Scalar)],
+    world: &World,
+    names: &[String],
+    schema: &Schema,
+    row: &Tuple,
+) -> Result<Tuple> {
+    let mut out = row.clone();
+    let mut scopes = vec![(schema.clone(), row.clone())];
+    for (col, expr) in sets {
+        let attr = resolve_col(&ColRef::new(col), schema)?;
+        let i = schema.index_of(&attr).expect("resolved");
+        out[i] = eval_scalar(expr, world, names, &mut scopes, None)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+    use crate::Stmt;
+
+    fn ws() -> WorldSet {
+        WorldSet::single(vec![
+            (
+                "R",
+                Relation::table(&["A", "B"], &[&["x", "1"], &["y", "2"], &["x", "3"]]),
+            ),
+            ("S", Relation::table(&["B", "C"], &[&["1", "c1"], &["2", "c2"]])),
+        ])
+    }
+
+    fn run(sql: &str) -> WorldSet {
+        let Stmt::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!("not a select")
+        };
+        eval_select_ws(&sel, &ws(), "Ans").unwrap()
+    }
+
+    fn answer(sql: &str) -> Relation {
+        let out = run(sql);
+        assert_eq!(out.len(), 1, "expected single world for {sql}");
+        let ans = out.iter().next().unwrap().last().clone();
+        ans
+    }
+
+    #[test]
+    fn star_strips_qualifiers() {
+        let a = answer("select * from R;");
+        assert_eq!(a.schema(), &Schema::of(&["A", "B"]));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn star_keeps_qualified_on_collision() {
+        let a = answer("select * from R R1, R R2 where R1.A = R2.A;");
+        assert!(a
+            .schema()
+            .attrs()
+            .iter()
+            .any(|x| x.name() == "R1.A"));
+    }
+
+    #[test]
+    fn join_two_tables() {
+        let a = answer("select A, C from R, S where R.B = S.B;");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.schema(), &Schema::of(&["A", "C"]));
+    }
+
+    #[test]
+    fn where_with_in_subquery() {
+        let a = answer("select A from R where B in (select B from S);");
+        assert_eq!(a.len(), 2); // x(1), y(2)
+    }
+
+    #[test]
+    fn correlated_exists() {
+        let a = answer(
+            "select A from R where exists (select * from S where S.B = R.B);",
+        );
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn correlated_scalar_subquery() {
+        let a = answer(
+            "select A from R where (select count(*) from S where S.B = R.B) = 1;",
+        );
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn aggregation_group_by() {
+        let a = answer("select A, count(*) as N from R group by A;");
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(&vec![Value::str("x"), Value::Int(2)]));
+        assert!(a.contains(&vec![Value::str("y"), Value::Int(1)]));
+    }
+
+    #[test]
+    fn aggregates_over_empty_input() {
+        let a = answer("select count(*) as N from R where A = 'zzz';");
+        assert_eq!(a.len(), 1);
+        assert!(a.contains(&vec![Value::Int(0)]));
+        let a = answer("select sum(B) as S from S where C = 'zzz';");
+        assert!(a.contains(&vec![Value::Int(0)]));
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let mut s = crate::Session::new();
+        s.register(
+            "N",
+            Relation::table(&["V"], &[&[10i64], &[20], &[30]]),
+        )
+        .unwrap();
+        let out = s
+            .execute("select min(V) as Lo, max(V) as Hi, avg(V) as Mid from N;")
+            .unwrap();
+        let crate::ExecOutcome::Rows { answers, .. } = &out[0] else {
+            panic!()
+        };
+        assert!(answers[0].contains(&vec![
+            Value::Int(10),
+            Value::Int(30),
+            Value::Int(20)
+        ]));
+    }
+
+    #[test]
+    fn choice_of_splits_then_certain_closes() {
+        let out = run("select certain B from R choice of A;");
+        // Worlds: A=x → B∈{1,3}; A=y → B∈{2}; certain = ∅.
+        for w in out.iter() {
+            assert!(w.last().is_empty());
+        }
+    }
+
+    #[test]
+    fn hoisted_choice_subquery_in_where() {
+        // `B not in (select * from S choice of B)` splits into one world
+        // per S.B value; in each world the rows with that B are excluded.
+        let out = run("select A, B from R where B not in (select * from S choice of B);");
+        assert_eq!(out.len(), 2);
+        for w in out.iter() {
+            assert_eq!(w.last().len(), 2); // 3 rows minus the excluded B
+        }
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        let Stmt::Select(sel) =
+            parse_statement("select A from R R1, R R2;").unwrap()
+        else {
+            panic!()
+        };
+        assert!(eval_select_ws(&sel, &ws(), "Ans").is_err());
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let Stmt::Select(sel) = parse_statement("select * from Nope;").unwrap() else {
+            panic!()
+        };
+        assert!(eval_select_ws(&sel, &ws(), "Ans").is_err());
+    }
+
+    #[test]
+    fn arithmetic_in_select() {
+        let mut s = crate::Session::new();
+        s.register("N", Relation::table(&["V"], &[&[10i64]])).unwrap();
+        let out = s
+            .execute("select V + 5 as Up, V * 2 as Double, V - 1 as Down, V / 2 as Half from N;")
+            .unwrap();
+        let crate::ExecOutcome::Rows { answers, .. } = &out[0] else {
+            panic!()
+        };
+        assert!(answers[0].contains(&vec![
+            Value::Int(15),
+            Value::Int(20),
+            Value::Int(9),
+            Value::Int(5)
+        ]));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let mut s = crate::Session::new();
+        s.register("N", Relation::table(&["V"], &[&[10i64]])).unwrap();
+        assert!(s.execute("select V / 0 as Bad from N;").is_err());
+    }
+
+    #[test]
+    fn fresh_names_for_nested_evaluations() {
+        // Nested from-subqueries each get their own working relation.
+        let a = answer(
+            "select A from (select * from (select * from R) Inner2) Outer1;",
+        );
+        assert_eq!(a.len(), 2); // x, y after projection dedup
+    }
+}

@@ -1,0 +1,678 @@
+//! Recursive-descent parser for the Figure-1 grammar.
+
+use crate::ast::*;
+use crate::lexer::{lex, SqlError, Token};
+
+/// Parse a script of `;`-separated statements.
+pub fn parse_script(input: &str) -> Result<Vec<Stmt>, SqlError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    while !p.at_end() {
+        out.push(p.statement()?);
+        while p.eat(&Token::Semicolon) {}
+    }
+    Ok(out)
+}
+
+/// Parse exactly one statement (a trailing `;` is allowed).
+pub fn parse_statement(input: &str) -> Result<Stmt, SqlError> {
+    let stmts = parse_script(input)?;
+    match stmts.len() {
+        1 => Ok(stmts.into_iter().next().unwrap()),
+        n => Err(SqlError(format!("expected one statement, found {n}"))),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_ahead(&self, n: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + n)
+    }
+
+    fn next(&mut self) -> Result<Token, SqlError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| SqlError("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), SqlError> {
+        let got = self.next()?;
+        if &got == t {
+            Ok(())
+        } else {
+            Err(SqlError(format!("expected {t}, found {got}")))
+        }
+    }
+
+    fn is_kw(&self, n: usize, kw: &str) -> bool {
+        matches!(self.peek_ahead(n), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(0, kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(SqlError(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, SqlError> {
+        if self.is_kw(0, "select") {
+            return Ok(Stmt::Select(self.select_stmt()?));
+        }
+        if self.is_kw(0, "create") {
+            self.eat_kw("create");
+            self.expect_kw("view")?;
+            let name = self.ident()?;
+            self.expect_kw("as")?;
+            let query = self.select_stmt()?;
+            return Ok(Stmt::CreateView { name, query });
+        }
+        if self.is_kw(0, "insert") {
+            self.eat_kw("insert");
+            self.expect_kw("into")?;
+            let table = self.ident()?;
+            self.expect_kw("values")?;
+            let mut rows = vec![self.value_row()?];
+            while self.eat(&Token::Comma) {
+                rows.push(self.value_row()?);
+            }
+            return Ok(Stmt::Insert { table, rows });
+        }
+        if self.is_kw(0, "delete") {
+            self.eat_kw("delete");
+            self.expect_kw("from")?;
+            let table = self.ident()?;
+            let cond = if self.eat_kw("where") {
+                Some(self.cond()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Delete { table, cond });
+        }
+        if self.is_kw(0, "update") {
+            self.eat_kw("update");
+            let table = self.ident()?;
+            self.expect_kw("set")?;
+            let mut sets = Vec::new();
+            loop {
+                let col = self.ident()?;
+                self.expect(&Token::Eq)?;
+                let val = self.scalar()?;
+                sets.push((col, val));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            let cond = if self.eat_kw("where") {
+                Some(self.cond()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Update { table, sets, cond });
+        }
+        Err(SqlError(format!(
+            "expected a statement, found {:?}",
+            self.peek()
+        )))
+    }
+
+    fn value_row(&mut self) -> Result<Vec<Literal>, SqlError> {
+        self.expect(&Token::LParen)?;
+        let mut row = Vec::new();
+        loop {
+            row.push(self.literal()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(row)
+    }
+
+    fn literal(&mut self) -> Result<Literal, SqlError> {
+        match self.next()? {
+            Token::Int(i) => Ok(Literal::Int(i)),
+            Token::Str(s) => Ok(Literal::Str(s)),
+            Token::Minus => match self.next()? {
+                Token::Int(i) => Ok(Literal::Int(-i)),
+                other => Err(SqlError(format!("expected number after '-', found {other}"))),
+            },
+            other => Err(SqlError(format!("expected literal, found {other}"))),
+        }
+    }
+
+    fn select_stmt(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect_kw("select")?;
+        let quant = if self.eat_kw("possible") {
+            Some(Quant::Possible)
+        } else if self.eat_kw("certain") {
+            Some(Quant::Certain)
+        } else {
+            None
+        };
+        let items = self.select_list()?;
+        self.expect_kw("from")?;
+        let mut from = vec![self.parse_from_item()?];
+        while self.eat(&Token::Comma) {
+            from.push(self.parse_from_item()?);
+        }
+        let where_cond = if self.eat_kw("where") {
+            Some(self.cond()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        let mut choice_of = Vec::new();
+        let mut repair_by_key = Vec::new();
+        let mut group_worlds_by = None;
+        loop {
+            if self.is_kw(0, "group") && self.is_kw(1, "by") {
+                self.eat_kw("group");
+                self.eat_kw("by");
+                group_by = self.colref_list()?;
+            } else if self.is_kw(0, "group") && self.is_kw(1, "worlds") {
+                self.eat_kw("group");
+                self.eat_kw("worlds");
+                self.expect_kw("by")?;
+                group_worlds_by = Some(self.group_worlds_spec()?);
+            } else if self.is_kw(0, "choice") {
+                self.eat_kw("choice");
+                self.expect_kw("of")?;
+                choice_of = self.colref_list()?;
+            } else if self.is_kw(0, "repair") {
+                self.eat_kw("repair");
+                self.expect_kw("by")?;
+                self.expect_kw("key")?;
+                repair_by_key = self.colref_list()?;
+            } else {
+                break;
+            }
+        }
+        Ok(SelectStmt {
+            quant,
+            items,
+            from,
+            where_cond,
+            group_by,
+            choice_of,
+            repair_by_key,
+            group_worlds_by,
+        })
+    }
+
+    fn group_worlds_spec(&mut self) -> Result<GroupWorldsBy, SqlError> {
+        if self.peek() == Some(&Token::LParen) {
+            if self.is_kw(1, "select") {
+                self.expect(&Token::LParen)?;
+                let q = self.select_stmt()?;
+                self.expect(&Token::RParen)?;
+                return Ok(GroupWorldsBy::Query(Box::new(q)));
+            }
+            self.expect(&Token::LParen)?;
+            let cols = self.colref_list()?;
+            self.expect(&Token::RParen)?;
+            return Ok(GroupWorldsBy::Columns(cols));
+        }
+        Ok(GroupWorldsBy::Columns(self.colref_list()?))
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        if self.eat(&Token::Star) {
+            return Ok(vec![SelectItem::Star]);
+        }
+        let mut items = Vec::new();
+        loop {
+            let expr = self.scalar()?;
+            let alias = if self.eat_kw("as") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            items.push(SelectItem::Expr { expr, alias });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_from_item(&mut self) -> Result<FromItem, SqlError> {
+        if self.eat(&Token::LParen) {
+            let query = self.select_stmt()?;
+            self.expect(&Token::RParen)?;
+            self.eat_kw("as");
+            let alias = self.ident()?;
+            return Ok(FromItem::Subquery {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.ident()?;
+        // An optional alias: the next identifier, unless it is a clause
+        // keyword.
+        let has_alias = self.eat_kw("as")
+            || matches!(self.peek(), Some(Token::Ident(s)) if !is_clause_keyword(s));
+        let alias = if has_alias { Some(self.ident()?) } else { None };
+        Ok(FromItem::Table { name, alias })
+    }
+
+    fn colref_list(&mut self) -> Result<Vec<ColRef>, SqlError> {
+        let mut cols = vec![self.colref()?];
+        while self.eat(&Token::Comma) {
+            cols.push(self.colref()?);
+        }
+        Ok(cols)
+    }
+
+    fn colref(&mut self) -> Result<ColRef, SqlError> {
+        let first = self.ident()?;
+        if self.eat(&Token::Dot) {
+            let second = self.ident()?;
+            Ok(ColRef {
+                qualifier: Some(first),
+                name: second,
+            })
+        } else {
+            Ok(ColRef {
+                qualifier: None,
+                name: first,
+            })
+        }
+    }
+
+    // ---- conditions ----
+
+    fn cond(&mut self) -> Result<Cond, SqlError> {
+        let mut left = self.and_cond()?;
+        while self.eat_kw("or") {
+            let right = self.and_cond()?;
+            left = Cond::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_cond(&mut self) -> Result<Cond, SqlError> {
+        let mut left = self.not_cond()?;
+        while self.eat_kw("and") {
+            let right = self.not_cond()?;
+            left = Cond::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_cond(&mut self) -> Result<Cond, SqlError> {
+        if self.is_kw(0, "not") && self.is_kw(1, "exists") {
+            self.eat_kw("not");
+            let c = self.not_cond()?;
+            return Ok(Cond::Not(Box::new(c)));
+        }
+        if self.is_kw(0, "not") && self.peek_ahead(1) == Some(&Token::LParen) {
+            self.eat_kw("not");
+            let c = self.not_cond()?;
+            return Ok(Cond::Not(Box::new(c)));
+        }
+        self.primary_cond()
+    }
+
+    fn primary_cond(&mut self) -> Result<Cond, SqlError> {
+        if self.is_kw(0, "exists") {
+            self.eat_kw("exists");
+            self.expect(&Token::LParen)?;
+            let q = self.select_stmt()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Cond::Exists {
+                query: Box::new(q),
+                negated: false,
+            });
+        }
+        // Parenthesized condition (but not a scalar subquery).
+        if self.peek() == Some(&Token::LParen) && !self.is_kw(1, "select") {
+            self.expect(&Token::LParen)?;
+            let c = self.cond()?;
+            self.expect(&Token::RParen)?;
+            return Ok(c);
+        }
+        let left = self.scalar()?;
+        if self.is_kw(0, "not") && self.is_kw(1, "in") {
+            self.eat_kw("not");
+            self.eat_kw("in");
+            self.expect(&Token::LParen)?;
+            let q = self.select_stmt()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Cond::In {
+                expr: left,
+                query: Box::new(q),
+                negated: true,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect(&Token::LParen)?;
+            let q = self.select_stmt()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Cond::In {
+                expr: left,
+                query: Box::new(q),
+                negated: false,
+            });
+        }
+        let op = match self.next()? {
+            Token::Eq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            other => return Err(SqlError(format!("expected comparison, found {other}"))),
+        };
+        let right = self.scalar()?;
+        Ok(Cond::Cmp(left, op, right))
+    }
+
+    // ---- scalar expressions ----
+
+    fn scalar(&mut self) -> Result<Scalar, SqlError> {
+        let mut left = self.term()?;
+        loop {
+            if self.eat(&Token::Plus) {
+                left = Scalar::Arith(ArithOp::Add, Box::new(left), Box::new(self.term()?));
+            } else if self.eat(&Token::Minus) {
+                left = Scalar::Arith(ArithOp::Sub, Box::new(left), Box::new(self.term()?));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Scalar, SqlError> {
+        let mut left = self.factor()?;
+        loop {
+            if self.eat(&Token::Star) {
+                left = Scalar::Arith(ArithOp::Mul, Box::new(left), Box::new(self.factor()?));
+            } else if self.eat(&Token::Slash) {
+                left = Scalar::Arith(ArithOp::Div, Box::new(left), Box::new(self.factor()?));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Scalar, SqlError> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Scalar::Lit(Literal::Int(i)))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                match self.next()? {
+                    Token::Int(i) => Ok(Scalar::Lit(Literal::Int(-i))),
+                    other => Err(SqlError(format!("expected number after '-', found {other}"))),
+                }
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Scalar::Lit(Literal::Str(s)))
+            }
+            Some(Token::LParen) => {
+                if self.is_kw(1, "select") {
+                    self.expect(&Token::LParen)?;
+                    let q = self.select_stmt()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(Scalar::Subquery(Box::new(q)))
+                } else {
+                    self.expect(&Token::LParen)?;
+                    let s = self.scalar()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(s)
+                }
+            }
+            Some(Token::Ident(name)) => {
+                let agg = match name.to_ascii_lowercase().as_str() {
+                    "sum" => Some(AggFn::Sum),
+                    "count" => Some(AggFn::Count),
+                    "min" => Some(AggFn::Min),
+                    "max" => Some(AggFn::Max),
+                    "avg" => Some(AggFn::Avg),
+                    _ => None,
+                };
+                if let Some(f) = agg {
+                    if self.peek_ahead(1) == Some(&Token::LParen) {
+                        self.pos += 1; // function name
+                        self.expect(&Token::LParen)?;
+                        if f == AggFn::Count && self.eat(&Token::Star) {
+                            self.expect(&Token::RParen)?;
+                            return Ok(Scalar::CountStar);
+                        }
+                        let inner = self.scalar()?;
+                        self.expect(&Token::RParen)?;
+                        return Ok(Scalar::Agg(f, Box::new(inner)));
+                    }
+                }
+                Ok(Scalar::Col(self.colref()?))
+            }
+            other => Err(SqlError(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    matches!(
+        s.to_ascii_lowercase().as_str(),
+        "where"
+            | "group"
+            | "choice"
+            | "repair"
+            | "on"
+            | "order"
+            | "select"
+            | "from"
+            | "and"
+            | "or"
+            | "not"
+            | "in"
+            | "exists"
+            | "values"
+            | "set"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_trip_query() {
+        let s = parse_statement("select certain Arr from HFlights choice of Dep;").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        assert_eq!(sel.quant, Some(Quant::Certain));
+        assert_eq!(sel.choice_of, vec![ColRef::new("Dep")]);
+        assert_eq!(sel.items.len(), 1);
+    }
+
+    #[test]
+    fn parses_acquisition_step2() {
+        let s = parse_statement(
+            "select R1.CID, R1.EID \
+             from Company_Emp R1, (select * from U choice of EID) R2 \
+             where R1.CID = R2.CID and R1.EID != R2.EID;",
+        )
+        .unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        assert_eq!(sel.from.len(), 2);
+        match &sel.from[1] {
+            FromItem::Subquery { alias, query } => {
+                assert_eq!(alias, "R2");
+                assert_eq!(query.choice_of, vec![ColRef::new("EID")]);
+            }
+            other => panic!("expected subquery, got {other:?}"),
+        }
+        assert!(matches!(sel.where_cond, Some(Cond::And(_, _))));
+    }
+
+    #[test]
+    fn parses_group_worlds_by_query() {
+        let s = parse_statement(
+            "select certain CID, Skill from V, Emp_Skill \
+             where V.EID = Emp_Skill.EID \
+             group worlds by (select CID from V);",
+        )
+        .unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        assert!(matches!(
+            sel.group_worlds_by,
+            Some(GroupWorldsBy::Query(_))
+        ));
+    }
+
+    #[test]
+    fn parses_group_worlds_by_columns() {
+        let s =
+            parse_statement("select possible A from R group worlds by B, C;").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        assert_eq!(
+            sel.group_worlds_by,
+            Some(GroupWorldsBy::Columns(vec![
+                ColRef::new("B"),
+                ColRef::new("C")
+            ]))
+        );
+    }
+
+    #[test]
+    fn parses_tpch_view() {
+        let s = parse_statement(
+            "create view YearQuantity as \
+             select A.Year, sum(A.Price) as Revenue \
+             from (select * from Lineitem choice of Year) as A \
+             where Quantity not in (select * from Lineitem choice of Quantity) \
+             group by A.Year;",
+        )
+        .unwrap();
+        let Stmt::CreateView { name, query } = s else { panic!() };
+        assert_eq!(name, "YearQuantity");
+        assert_eq!(query.group_by, vec![ColRef::qualified("A", "Year")]);
+        assert!(matches!(
+            query.where_cond,
+            Some(Cond::In { negated: true, .. })
+        ));
+    }
+
+    #[test]
+    fn parses_scalar_subquery_arithmetic() {
+        let s = parse_statement(
+            "select possible Year from YearQuantity as Y \
+             where (select sum(Price) from Lineitem where Lineitem.Year = Y.Year) \
+                   - Y.Revenue > 1000000;",
+        )
+        .unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        match sel.where_cond {
+            Some(Cond::Cmp(Scalar::Arith(ArithOp::Sub, l, _), CmpOp::Gt, _)) => {
+                assert!(matches!(*l, Scalar::Subquery(_)));
+            }
+            other => panic!("unexpected condition {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_repair_by_key() {
+        let s = parse_statement("select * from Census repair by key SSN;").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        assert_eq!(sel.repair_by_key, vec![ColRef::new("SSN")]);
+    }
+
+    #[test]
+    fn parses_nested_not_exists_division() {
+        let s = parse_statement(
+            "select Arr from HFlights F1 \
+             where not exists \
+               (select * from HFlights F2 \
+                where not exists \
+                  (select * from HFlights F3 \
+                   where F3.Dep = F2.Dep and F3.Arr = F1.Arr));",
+        )
+        .unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        assert!(matches!(sel.where_cond, Some(Cond::Not(_))));
+    }
+
+    #[test]
+    fn parses_dml() {
+        assert!(matches!(
+            parse_statement("insert into Flights values ('FRA', 'BCN'), ('PAR', 'ATL');"),
+            Ok(Stmt::Insert { rows, .. }) if rows.len() == 2
+        ));
+        assert!(matches!(
+            parse_statement("delete from Flights where Arr = 'ATL';"),
+            Ok(Stmt::Delete { cond: Some(_), .. })
+        ));
+        assert!(matches!(
+            parse_statement("update Flights set Arr = 'XXX' where Dep = 'FRA';"),
+            Ok(Stmt::Update { sets, .. }) if sets.len() == 1
+        ));
+    }
+
+    #[test]
+    fn parses_script() {
+        let stmts = parse_script(
+            "create view V as select * from R choice of A; \
+             select certain B from V;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_statement("selec * from R;").is_err());
+        assert!(parse_statement("select from R;").is_err());
+        assert!(parse_statement("select * R;").is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! An I-SQL session: a world-set, key constraints, and statement execution.
+
+use std::collections::BTreeMap;
+
+use relalg::{Relation, Value};
+use worldset::WorldSet;
+
+use crate::ast::*;
+use crate::interp::{eval_cond_public, eval_select_ws, eval_update_row};
+use crate::lexer::SqlError;
+use crate::parser::parse_script;
+
+type Result<T> = std::result::Result<T, SqlError>;
+
+/// The result of executing one statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecOutcome {
+    /// A select: the answer relation was added to every world under `name`;
+    /// `answers` lists the distinct per-world instances.
+    Rows {
+        /// Name the answer was materialized under.
+        name: String,
+        /// Distinct answer relations across worlds.
+        answers: Vec<Relation>,
+    },
+    /// A view definition was materialized in every world.
+    ViewCreated {
+        /// The view name.
+        name: String,
+        /// Number of worlds after materialization.
+        worlds: usize,
+    },
+    /// A DML statement; `applied == false` means a constraint was violated
+    /// in some world, so (per Section 3) the update was discarded in *all*
+    /// worlds.
+    Dml {
+        /// Whether the change was applied.
+        applied: bool,
+    },
+}
+
+/// An interactive I-SQL session over a world-set database.
+///
+/// ```
+/// use isql::Session;
+/// use relalg::Relation;
+///
+/// let mut s = Session::new();
+/// s.register("Flights", Relation::table(
+///     &["Dep", "Arr"],
+///     &[&["FRA", "BCN"], &["FRA", "ATL"], &["PAR", "ATL"]],
+/// )).unwrap();
+/// let out = s.execute("select certain Arr from Flights choice of Dep;").unwrap();
+/// let isql::ExecOutcome::Rows { answers, .. } = &out[0] else { panic!() };
+/// assert_eq!(answers[0], Relation::table(&["Arr"], &[&["ATL"]]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Session {
+    ws: WorldSet,
+    keys: BTreeMap<String, Vec<String>>,
+    query_counter: usize,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session over a single empty world.
+    pub fn new() -> Session {
+        Session {
+            ws: WorldSet::single(vec![]),
+            keys: BTreeMap::new(),
+            query_counter: 0,
+        }
+    }
+
+    /// A session over an existing world-set.
+    pub fn with_world_set(ws: WorldSet) -> Session {
+        Session {
+            ws,
+            keys: BTreeMap::new(),
+            query_counter: 0,
+        }
+    }
+
+    /// Register a base relation (added to every world).
+    pub fn register(&mut self, name: &str, rel: Relation) -> Result<()> {
+        if self.ws.index_of(name).is_some() {
+            return Err(SqlError(format!("relation {name} already exists")));
+        }
+        self.ws = self
+            .ws
+            .extend_with(name, |_| Ok::<Relation, SqlError>(rel.clone()))?;
+        Ok(())
+    }
+
+    /// Declare a key constraint `cols → rest` on `table`, enforced by
+    /// `insert` with the paper's discard-in-all-worlds semantics.
+    pub fn declare_key(&mut self, table: &str, cols: &[&str]) {
+        self.keys
+            .insert(table.to_string(), cols.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// The current world-set.
+    pub fn world_set(&self) -> &WorldSet {
+        &self.ws
+    }
+
+    /// Distinct instances of relation `name` across worlds.
+    pub fn answers(&self, name: &str) -> Result<Vec<Relation>> {
+        let idx = self
+            .ws
+            .index_of(name)
+            .ok_or_else(|| SqlError(format!("unknown relation {name}")))?;
+        let mut seen = std::collections::BTreeSet::new();
+        for w in self.ws.iter() {
+            seen.insert(w.rel(idx).clone());
+        }
+        Ok(seen.into_iter().collect())
+    }
+
+    /// Parse and execute a script of `;`-separated statements.
+    pub fn execute(&mut self, script: &str) -> Result<Vec<ExecOutcome>> {
+        let stmts = parse_script(script)?;
+        stmts.into_iter().map(|s| self.run(s)).collect()
+    }
+
+    /// Execute one statement.
+    pub fn run(&mut self, stmt: Stmt) -> Result<ExecOutcome> {
+        match stmt {
+            Stmt::Select(sel) => {
+                self.query_counter += 1;
+                let name = format!("Q{}", self.query_counter);
+                self.ws = eval_select_ws(&sel, &self.ws, &name)?;
+                Ok(ExecOutcome::Rows {
+                    answers: self.answers(&name)?,
+                    name,
+                })
+            }
+            Stmt::CreateView { name, query } => {
+                if self.ws.index_of(&name).is_some() {
+                    return Err(SqlError(format!("relation {name} already exists")));
+                }
+                self.ws = eval_select_ws(&query, &self.ws, &name)?;
+                Ok(ExecOutcome::ViewCreated {
+                    name,
+                    worlds: self.ws.len(),
+                })
+            }
+            Stmt::Insert { table, rows } => self.insert(&table, rows),
+            Stmt::Delete { table, cond } => self.delete(&table, cond),
+            Stmt::Update { table, sets, cond } => self.update(&table, sets, cond),
+        }
+    }
+
+    fn table_index(&self, table: &str) -> Result<usize> {
+        self.ws
+            .index_of(table)
+            .ok_or_else(|| SqlError(format!("unknown relation {table}")))
+    }
+
+    /// `insert`: the rows are added in every world; if the insertion
+    /// violates a declared key in *some* world, it is discarded in all
+    /// (Section 3, "Data Manipulation").
+    fn insert(&mut self, table: &str, rows: Vec<Vec<Literal>>) -> Result<ExecOutcome> {
+        let idx = self.table_index(table)?;
+        let values: Vec<Vec<Value>> = rows
+            .into_iter()
+            .map(|r| r.into_iter().map(lit_to_value).collect())
+            .collect();
+        let proposed = self.ws.map_worlds(|w| {
+            let mut rel = w.rel(idx).clone();
+            for row in &values {
+                rel.insert(row.clone())
+                    .map_err(|e| SqlError(e.to_string()))?;
+            }
+            let mut rels = w.rels().to_vec();
+            rels[idx] = rel;
+            Ok(worldset::World::new(rels))
+        })?;
+        if let Some(key_cols) = self.keys.get(table) {
+            let key_attrs: Vec<relalg::Attr> =
+                key_cols.iter().map(|c| relalg::Attr::new(c)).collect();
+            for w in proposed.iter() {
+                let rel = w.rel(idx);
+                let distinct_keys = rel
+                    .distinct_values(&key_attrs)
+                    .map_err(|e| SqlError(e.to_string()))?;
+                if distinct_keys.len() != rel.len() {
+                    return Ok(ExecOutcome::Dml { applied: false });
+                }
+            }
+        }
+        self.ws = proposed;
+        Ok(ExecOutcome::Dml { applied: true })
+    }
+
+    /// `delete from R [where φ]` in every world.
+    fn delete(&mut self, table: &str, cond: Option<Cond>) -> Result<ExecOutcome> {
+        let idx = self.table_index(table)?;
+        let names: Vec<String> = self.ws.rel_names().to_vec();
+        self.ws = self.ws.map_worlds(|w| {
+            let rel = w.rel(idx);
+            let mut keep = Vec::new();
+            for row in rel.iter() {
+                let matches = match &cond {
+                    None => true,
+                    Some(c) => eval_cond_public(c, w, &names, rel.schema(), row)?,
+                };
+                if !matches {
+                    keep.push(row.clone());
+                }
+            }
+            let mut rels = w.rels().to_vec();
+            rels[idx] = Relation::from_rows(rel.schema().clone(), keep)
+                .map_err(|e| SqlError(e.to_string()))?;
+            Ok(worldset::World::new(rels))
+        })?;
+        Ok(ExecOutcome::Dml { applied: true })
+    }
+
+    /// `update R set … [where φ]` in every world.
+    fn update(
+        &mut self,
+        table: &str,
+        sets: Vec<(String, Scalar)>,
+        cond: Option<Cond>,
+    ) -> Result<ExecOutcome> {
+        let idx = self.table_index(table)?;
+        let names: Vec<String> = self.ws.rel_names().to_vec();
+        self.ws = self.ws.map_worlds(|w| {
+            let rel = w.rel(idx);
+            let mut rows = Vec::new();
+            for row in rel.iter() {
+                let matches = match &cond {
+                    None => true,
+                    Some(c) => eval_cond_public(c, w, &names, rel.schema(), row)?,
+                };
+                if matches {
+                    rows.push(eval_update_row(&sets, w, &names, rel.schema(), row)?);
+                } else {
+                    rows.push(row.clone());
+                }
+            }
+            let mut rels = w.rels().to_vec();
+            rels[idx] = Relation::from_rows(rel.schema().clone(), rows)
+                .map_err(|e| SqlError(e.to_string()))?;
+            Ok(worldset::World::new(rels))
+        })?;
+        Ok(ExecOutcome::Dml { applied: true })
+    }
+}
+
+fn lit_to_value(l: Literal) -> Value {
+    match l {
+        Literal::Int(i) => Value::Int(i),
+        Literal::Str(s) => Value::str(&s),
+    }
+}

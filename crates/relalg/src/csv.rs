@@ -1,0 +1,153 @@
+//! A minimal CSV reader/writer for relations — enough to load ad-hoc data
+//! into the I-SQL shell and to export world tables for inspection. Values
+//! that parse as integers become [`Value::Int`]; everything else is a
+//! string. Fields may be double-quoted; `""` escapes a quote.
+
+use crate::{Relation, RelalgError, Result, Schema, Value};
+
+/// Parse CSV text: the first line is the header (attribute names).
+pub fn relation_from_csv(text: &str) -> Result<Relation> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| RelalgError::TypeError {
+        detail: "empty CSV input".into(),
+    })?;
+    let names = split_csv_line(header)?;
+    let schema = Schema::try_new(
+        names.iter().map(|n| crate::Attr::new(n.trim())).collect(),
+    )
+    .ok_or_else(|| RelalgError::TypeError {
+        detail: "duplicate column in CSV header".into(),
+    })?;
+    let mut rows = Vec::new();
+    for line in lines {
+        let fields = split_csv_line(line)?;
+        if fields.len() != schema.arity() {
+            return Err(RelalgError::ArityMismatch {
+                expected: schema.arity(),
+                got: fields.len(),
+            });
+        }
+        rows.push(
+            fields
+                .into_iter()
+                .map(|f| {
+                    let t = f.trim();
+                    t.parse::<i64>()
+                        .map(Value::Int)
+                        .unwrap_or_else(|_| Value::str(t))
+                })
+                .collect(),
+        );
+    }
+    Relation::from_rows(schema, rows)
+}
+
+/// Serialize a relation as CSV (header + rows, sorted tuple order).
+pub fn relation_to_csv(rel: &Relation) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = rel
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| quote_if_needed(a.name()))
+        .collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for t in rel.iter() {
+        let fields: Vec<String> = t
+            .iter()
+            .map(|v| quote_if_needed(&v.to_string()))
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn quote_if_needed(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn split_csv_line(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(RelalgError::TypeError {
+            detail: format!("unterminated quote in CSV line: {line}"),
+        });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let rel = Relation::table(
+            &["Dep", "Arr", "N"],
+            &[&["FRA", "BCN", "2"], &["PAR", "ATL", "7"]],
+        );
+        // Numeric-looking strings become ints after the roundtrip.
+        let back = relation_from_csv(&relation_to_csv(&rel)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.schema().arity(), 3);
+        assert!(back
+            .iter()
+            .any(|t| t[2] == Value::Int(7)));
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let rel = relation_from_csv("A,B\n\"hello, world\",\"say \"\"hi\"\"\"\n").unwrap();
+        let t = rel.iter().next().unwrap();
+        assert_eq!(t[0], Value::str("hello, world"));
+        assert_eq!(t[1], Value::str("say \"hi\""));
+    }
+
+    #[test]
+    fn type_inference() {
+        let rel = relation_from_csv("X,Y\n42,abc\n-7,9z\n").unwrap();
+        assert!(rel.contains(&vec![Value::Int(42), Value::str("abc")]));
+        assert!(rel.contains(&vec![Value::Int(-7), Value::str("9z")]));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(relation_from_csv("").is_err());
+        assert!(relation_from_csv("A,A\n1,2\n").is_err());
+        assert!(relation_from_csv("A,B\n1\n").is_err());
+        assert!(relation_from_csv("A\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let rel = relation_from_csv("A\n\n1\n\n2\n").unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+}

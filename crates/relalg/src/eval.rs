@@ -1,0 +1,191 @@
+use std::collections::{BTreeMap, HashMap};
+
+use crate::{Expr, ExprKind, Relation, RelalgError, Result, Schema};
+
+/// A catalog of named base relations — the database the expression
+/// evaluator runs against.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Catalog {
+    tables: BTreeMap<String, Relation>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn put(&mut self, name: &str, rel: Relation) {
+        self.tables.insert(name.to_string(), rel);
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.tables.get(name)
+    }
+
+    /// Remove a table, returning it if present.
+    pub fn take(&mut self, name: &str) -> Option<Relation> {
+        self.tables.remove(name)
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    /// Schema lookup function compatible with [`Expr::infer_schema`].
+    pub fn schema_of(&self, name: &str) -> Option<Schema> {
+        self.tables.get(name).map(|r| r.schema().clone())
+    }
+
+    /// Evaluate an expression against this catalog.
+    ///
+    /// Shared sub-expressions (DAG nodes) are evaluated once: results are
+    /// memoized by node identity. This matters for the Figure-6 translation
+    /// output, where the world table `W` is referenced by every base table
+    /// copy.
+    pub fn eval(&self, expr: &Expr) -> Result<Relation> {
+        let mut memo: HashMap<usize, Relation> = HashMap::new();
+        self.eval_memo(expr, &mut memo)
+    }
+
+    fn eval_memo(&self, expr: &Expr, memo: &mut HashMap<usize, Relation>) -> Result<Relation> {
+        if let Some(hit) = memo.get(&expr.id()) {
+            return Ok(hit.clone());
+        }
+        let out = match expr.kind() {
+            ExprKind::Table(name) => self
+                .tables
+                .get(name)
+                .cloned()
+                .ok_or_else(|| RelalgError::UnknownTable { name: name.clone() })?,
+            ExprKind::Lit(rel) => rel.clone(),
+            ExprKind::Select(p, e) => self.eval_memo(e, memo)?.select(p)?,
+            ExprKind::Project(attrs, e) => self.eval_memo(e, memo)?.project(attrs)?,
+            ExprKind::ProjectAs(list, e) => self.eval_memo(e, memo)?.project_as(list)?,
+            ExprKind::Rename(map, e) => self.eval_memo(e, memo)?.rename(map)?,
+            ExprKind::Product(a, b) => {
+                let l = self.eval_memo(a, memo)?;
+                let r = self.eval_memo(b, memo)?;
+                l.product(&r)?
+            }
+            ExprKind::Union(a, b) => {
+                let l = self.eval_memo(a, memo)?;
+                let r = self.eval_memo(b, memo)?;
+                l.union(&r)?
+            }
+            ExprKind::Intersect(a, b) => {
+                let l = self.eval_memo(a, memo)?;
+                let r = self.eval_memo(b, memo)?;
+                l.intersect(&r)?
+            }
+            ExprKind::Difference(a, b) => {
+                let l = self.eval_memo(a, memo)?;
+                let r = self.eval_memo(b, memo)?;
+                l.difference(&r)?
+            }
+            ExprKind::NaturalJoin(a, b) => {
+                let l = self.eval_memo(a, memo)?;
+                let r = self.eval_memo(b, memo)?;
+                l.natural_join(&r)
+            }
+            ExprKind::ThetaJoin(p, a, b) => {
+                let l = self.eval_memo(a, memo)?;
+                let r = self.eval_memo(b, memo)?;
+                l.theta_join(&r, p)?
+            }
+            ExprKind::Divide(a, b) => {
+                let l = self.eval_memo(a, memo)?;
+                let r = self.eval_memo(b, memo)?;
+                l.divide(&r)?
+            }
+            ExprKind::OuterPadJoin(a, b) => {
+                let l = self.eval_memo(a, memo)?;
+                let r = self.eval_memo(b, memo)?;
+                l.outer_pad_join(&r)
+            }
+        };
+        memo.insert(expr.id(), out.clone());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{attrs, Pred};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.put(
+            "Flights",
+            Relation::table(
+                &["Dep", "Arr"],
+                &[
+                    &["FRA", "BCN"],
+                    &["FRA", "ATL"],
+                    &["PAR", "ATL"],
+                    &["PAR", "BCN"],
+                    &["PHL", "ATL"],
+                ],
+            ),
+        );
+        c
+    }
+
+    #[test]
+    fn eval_pipeline() {
+        let c = catalog();
+        let e = Expr::table("Flights")
+            .select(Pred::eq_const("Arr", "BCN"))
+            .project(attrs(&["Dep"]));
+        let r = c.eval(&e).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn eval_division_trip_query() {
+        // Example 5.8 target plan: π{Arr,Dep}(F) ÷ π{Dep}(F).
+        let c = catalog();
+        let f = Expr::table("Flights");
+        let e = f
+            .project(attrs(&["Arr", "Dep"]))
+            .divide(&f.project(attrs(&["Dep"])));
+        let r = c.eval(&e).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&vec!["ATL".into()]));
+    }
+
+    #[test]
+    fn unknown_table_error() {
+        let c = catalog();
+        assert!(matches!(
+            c.eval(&Expr::table("Nope")),
+            Err(RelalgError::UnknownTable { .. })
+        ));
+    }
+
+    #[test]
+    fn memoization_shares_nodes() {
+        // A DAG whose shared node is huge; correctness check only — the
+        // benches measure the speedup.
+        let c = catalog();
+        let shared = Expr::table("Flights").project(attrs(&["Dep"]));
+        let e = shared.product(&shared.rename(vec![("Dep".into(), "Dep2".into())]));
+        let r = c.eval(&e).unwrap();
+        assert_eq!(r.len(), 9);
+    }
+
+    #[test]
+    fn catalog_crud() {
+        let mut c = catalog();
+        assert!(c.get("Flights").is_some());
+        assert_eq!(c.schema_of("Flights").unwrap().arity(), 2);
+        let f = c.take("Flights").unwrap();
+        assert!(c.get("Flights").is_none());
+        c.put("F2", f);
+        assert_eq!(c.names().collect::<Vec<_>>(), vec!["F2"]);
+    }
+}

@@ -1,0 +1,709 @@
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use crate::{Attr, Pred, RelalgError, Result, Schema, Value};
+
+/// A tuple: one value per schema attribute, in column order.
+pub type Tuple = Vec<Value>;
+
+/// A set-semantics relation: a schema plus a sorted set of tuples.
+///
+/// Tuples are stored in a `BTreeSet` so that iteration order — and therefore
+/// everything derived from it (printed tables, golden tests, benchmark
+/// inputs) — is deterministic.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Relation {
+    schema: Schema,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation over the given schema.
+    pub fn empty(schema: Schema) -> Relation {
+        Relation {
+            schema,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Build a relation from rows, validating arity.
+    pub fn from_rows(schema: Schema, rows: impl IntoIterator<Item = Tuple>) -> Result<Relation> {
+        let mut tuples = BTreeSet::new();
+        for row in rows {
+            if row.len() != schema.arity() {
+                return Err(RelalgError::ArityMismatch {
+                    expected: schema.arity(),
+                    got: row.len(),
+                });
+            }
+            tuples.insert(row);
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// Convenience constructor from attribute names and value-convertible
+    /// rows; panics on arity mismatch (intended for literals in tests and
+    /// examples).
+    pub fn table<V: Into<Value> + Clone>(names: &[&str], rows: &[&[V]]) -> Relation {
+        let schema = Schema::of(names);
+        let rows = rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.clone().into()).collect::<Tuple>());
+        Relation::from_rows(schema, rows).expect("row arity mismatch in Relation::table")
+    }
+
+    /// The nullary relation containing the single empty tuple: `{⟨⟩}`.
+    /// This is the initial world table `W` of a one-world database
+    /// (Example 5.6, step 1).
+    pub fn unit() -> Relation {
+        let mut tuples = BTreeSet::new();
+        tuples.insert(vec![]);
+        Relation {
+            schema: Schema::nullary(),
+            tuples,
+        }
+    }
+
+    /// The nullary relation with no tuples (the empty world-set encoding).
+    pub fn nullary_empty() -> Relation {
+        Relation::empty(Schema::nullary())
+    }
+
+    /// The relation schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterate tuples in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Insert a tuple (validating arity).
+    pub fn insert(&mut self, t: Tuple) -> Result<()> {
+        if t.len() != self.schema.arity() {
+            return Err(RelalgError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: t.len(),
+            });
+        }
+        self.tuples.insert(t);
+        Ok(())
+    }
+
+    /// Remove a tuple.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tuples.remove(t)
+    }
+
+    fn positions(&self, attrs: &[Attr]) -> Result<Vec<usize>> {
+        attrs
+            .iter()
+            .map(|a| {
+                self.schema
+                    .index_of(a)
+                    .ok_or_else(|| RelalgError::UnknownAttr {
+                        attr: a.clone(),
+                        schema: self.schema.clone(),
+                    })
+            })
+            .collect()
+    }
+
+    /// Projection `π_A`: keep the listed attributes (deduplicating tuples).
+    pub fn project(&self, attrs: &[Attr]) -> Result<Relation> {
+        let list: Vec<(Attr, Attr)> = attrs.iter().map(|a| (a.clone(), a.clone())).collect();
+        self.project_as(&list)
+    }
+
+    /// Generalized projection with output names: each `(src, dst)` pair
+    /// copies column `src` to output column `dst`. This subsumes plain
+    /// projection, column duplication (`π_{D, B as V_B}` in the Figure-6
+    /// choice-of translation) and projection-with-renaming.
+    pub fn project_as(&self, list: &[(Attr, Attr)]) -> Result<Relation> {
+        let srcs: Vec<Attr> = list.iter().map(|(s, _)| s.clone()).collect();
+        let idx = self.positions(&srcs)?;
+        let out_schema = Schema::try_new(list.iter().map(|(_, d)| d.clone()).collect())
+            .ok_or_else(|| RelalgError::DuplicateAttr {
+                attr: list
+                    .iter()
+                    .map(|(_, d)| d.clone())
+                    .find(|d| list.iter().filter(|(_, x)| x == d).count() > 1)
+                    .unwrap_or_else(|| Attr::new("?")),
+            })?;
+        let tuples = self
+            .tuples
+            .iter()
+            .map(|t| idx.iter().map(|&i| t[i].clone()).collect())
+            .collect();
+        Ok(Relation {
+            schema: out_schema,
+            tuples,
+        })
+    }
+
+    /// Selection `σ_φ`.
+    pub fn select(&self, pred: &Pred) -> Result<Relation> {
+        let compiled = pred.compile(&self.schema)?;
+        let tuples = self
+            .tuples
+            .iter()
+            .filter(|t| compiled.eval(t))
+            .cloned()
+            .collect();
+        Ok(Relation {
+            schema: self.schema.clone(),
+            tuples,
+        })
+    }
+
+    /// Renaming `δ_{src→dst}`: columns keep their position; names change.
+    /// Unlisted attributes are preserved.
+    pub fn rename(&self, map: &[(Attr, Attr)]) -> Result<Relation> {
+        for (src, _) in map {
+            if !self.schema.contains(src) {
+                return Err(RelalgError::UnknownAttr {
+                    attr: src.clone(),
+                    schema: self.schema.clone(),
+                });
+            }
+        }
+        let new_attrs: Vec<Attr> = self
+            .schema
+            .attrs()
+            .iter()
+            .map(|a| {
+                map.iter()
+                    .find(|(s, _)| s == a)
+                    .map(|(_, d)| d.clone())
+                    .unwrap_or_else(|| a.clone())
+            })
+            .collect();
+        let schema = Schema::try_new(new_attrs.clone()).ok_or_else(|| {
+            RelalgError::DuplicateAttr {
+                attr: new_attrs
+                    .iter()
+                    .find(|d| new_attrs.iter().filter(|x| x == d).count() > 1)
+                    .cloned()
+                    .unwrap_or_else(|| Attr::new("?")),
+            }
+        })?;
+        Ok(Relation {
+            schema,
+            tuples: self.tuples.clone(),
+        })
+    }
+
+    /// Cartesian product `×` over disjoint schemas.
+    pub fn product(&self, other: &Relation) -> Result<Relation> {
+        if !self.schema.disjoint(&other.schema) {
+            return Err(RelalgError::NotDisjoint {
+                left: self.schema.clone(),
+                right: other.schema.clone(),
+            });
+        }
+        let mut attrs = self.schema.attrs().to_vec();
+        attrs.extend_from_slice(other.schema.attrs());
+        let schema = Schema::new(attrs);
+        let mut tuples = BTreeSet::new();
+        for l in &self.tuples {
+            for r in &other.tuples {
+                let mut t = Vec::with_capacity(l.len() + r.len());
+                t.extend_from_slice(l);
+                t.extend_from_slice(r);
+                tuples.insert(t);
+            }
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// Reorder `other`'s columns into `self`'s column order (both must have
+    /// the same attribute set); used by the set operations.
+    fn aligned(&self, other: &Relation) -> Result<BTreeSet<Tuple>> {
+        if !self.schema.same_attr_set(&other.schema) {
+            return Err(RelalgError::SchemaMismatch {
+                left: self.schema.clone(),
+                right: other.schema.clone(),
+            });
+        }
+        if self.schema == other.schema {
+            return Ok(other.tuples.clone());
+        }
+        let idx: Vec<usize> = self
+            .schema
+            .attrs()
+            .iter()
+            .map(|a| other.schema.index_of(a).expect("checked same_attr_set"))
+            .collect();
+        Ok(other
+            .tuples
+            .iter()
+            .map(|t| idx.iter().map(|&i| t[i].clone()).collect())
+            .collect())
+    }
+
+    /// Union `∪` (same attribute set; right side is reordered as needed).
+    pub fn union(&self, other: &Relation) -> Result<Relation> {
+        let right = self.aligned(other)?;
+        let mut tuples = self.tuples.clone();
+        tuples.extend(right);
+        Ok(Relation {
+            schema: self.schema.clone(),
+            tuples,
+        })
+    }
+
+    /// Intersection `∩`.
+    pub fn intersect(&self, other: &Relation) -> Result<Relation> {
+        let right = self.aligned(other)?;
+        let tuples = self.tuples.intersection(&right).cloned().collect();
+        Ok(Relation {
+            schema: self.schema.clone(),
+            tuples,
+        })
+    }
+
+    /// Difference `−`.
+    pub fn difference(&self, other: &Relation) -> Result<Relation> {
+        let right = self.aligned(other)?;
+        let tuples = self.tuples.difference(&right).cloned().collect();
+        Ok(Relation {
+            schema: self.schema.clone(),
+            tuples,
+        })
+    }
+
+    /// Natural join `⋈` on the common attributes (hash join).
+    pub fn natural_join(&self, other: &Relation) -> Relation {
+        let common = self.schema.common(&other.schema);
+        let l_idx: Vec<usize> = common
+            .iter()
+            .map(|a| self.schema.index_of(a).unwrap())
+            .collect();
+        let r_idx: Vec<usize> = common
+            .iter()
+            .map(|a| other.schema.index_of(a).unwrap())
+            .collect();
+        let r_extra: Vec<usize> = other
+            .schema
+            .attrs()
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !common.contains(a))
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut attrs = self.schema.attrs().to_vec();
+        for &i in &r_extra {
+            attrs.push(other.schema.attrs()[i].clone());
+        }
+        let schema = Schema::new(attrs);
+
+        // Build hash index on the smaller probe key side (right).
+        let mut index: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::new();
+        for t in &other.tuples {
+            let key: Vec<&Value> = r_idx.iter().map(|&i| &t[i]).collect();
+            index.entry(key).or_default().push(t);
+        }
+        let mut tuples = BTreeSet::new();
+        for l in &self.tuples {
+            let key: Vec<&Value> = l_idx.iter().map(|&i| &l[i]).collect();
+            if let Some(matches) = index.get(&key) {
+                for r in matches {
+                    let mut t = l.clone();
+                    for &i in &r_extra {
+                        t.push(r[i].clone());
+                    }
+                    tuples.insert(t);
+                }
+            }
+        }
+        Relation { schema, tuples }
+    }
+
+    /// Theta join `⋈_φ` over disjoint schemas: `σ_φ(self × other)`.
+    pub fn theta_join(&self, other: &Relation, pred: &Pred) -> Result<Relation> {
+        self.product(other)?.select(pred)
+    }
+
+    /// Semijoin `⋉`: tuples of `self` with a natural-join partner in `other`.
+    pub fn semijoin(&self, other: &Relation) -> Relation {
+        let common = self.schema.common(&other.schema);
+        let l_idx: Vec<usize> = common
+            .iter()
+            .map(|a| self.schema.index_of(a).unwrap())
+            .collect();
+        let r_idx: Vec<usize> = common
+            .iter()
+            .map(|a| other.schema.index_of(a).unwrap())
+            .collect();
+        let keys: BTreeSet<Vec<&Value>> = other
+            .tuples
+            .iter()
+            .map(|t| r_idx.iter().map(|&i| &t[i]).collect())
+            .collect();
+        let tuples = self
+            .tuples
+            .iter()
+            .filter(|t| {
+                let key: Vec<&Value> = l_idx.iter().map(|&i| &t[i]).collect();
+                keys.contains(&key)
+            })
+            .cloned()
+            .collect();
+        Relation {
+            schema: self.schema.clone(),
+            tuples,
+        }
+    }
+
+    /// Division `÷`: for `R[A ∪ B] ÷ S[B]`, the `A`-tuples `a` such that
+    /// `(a, b) ∈ R` for **every** `b ∈ S`. Used by the `cert` translation
+    /// (`R ÷ W` in Figure 6). When `S` is empty the result is `π_A(R)`
+    /// (vacuous universal quantification), consistent with the classical
+    /// RA definition `π_A(R) − π_A(π_A(R) × S − R)`.
+    pub fn divide(&self, divisor: &Relation) -> Result<Relation> {
+        let b: Vec<Attr> = divisor.schema.attrs().to_vec();
+        if !self.schema.contains_all(&b) {
+            return Err(RelalgError::BadDivision {
+                left: self.schema.clone(),
+                right: divisor.schema.clone(),
+            });
+        }
+        let a: Vec<Attr> = self.schema.minus(&b);
+        let a_idx: Vec<usize> = a.iter().map(|x| self.schema.index_of(x).unwrap()).collect();
+        let b_idx: Vec<usize> = b.iter().map(|x| self.schema.index_of(x).unwrap()).collect();
+
+        // Group R by its A-part, collecting the set of B-parts seen.
+        let mut groups: HashMap<Tuple, BTreeSet<Tuple>> = HashMap::new();
+        for t in &self.tuples {
+            let ka: Tuple = a_idx.iter().map(|&i| t[i].clone()).collect();
+            let kb: Tuple = b_idx.iter().map(|&i| t[i].clone()).collect();
+            groups.entry(ka).or_default().insert(kb);
+        }
+        let needed: BTreeSet<Tuple> = divisor.tuples.iter().cloned().collect();
+        let mut tuples = BTreeSet::new();
+        if needed.is_empty() {
+            // Vacuously true: every A-part qualifies.
+            for ka in groups.into_keys() {
+                tuples.insert(ka);
+            }
+        } else {
+            for (ka, seen) in groups {
+                if needed.is_subset(&seen) {
+                    tuples.insert(ka);
+                }
+            }
+        }
+        Ok(Relation {
+            schema: Schema::new(a),
+            tuples,
+        })
+    }
+
+    /// The modified left outer join `=⊲⊳` of Remark 5.5:
+    /// `R =⊲⊳ S = (R ⋈ S) ∪ (R − R ⋉ S) × {⟨c,…,c⟩}` — natural join, with
+    /// dangling `R`-tuples padded on `S`'s private attributes by the
+    /// constant [`Value::Pad`].
+    pub fn outer_pad_join(&self, other: &Relation) -> Relation {
+        let joined = self.natural_join(other);
+        let dangling = self
+            .difference(&self.semijoin(other))
+            .expect("same schema by construction");
+        let pad_count = joined.schema.arity() - self.schema.arity();
+        let mut tuples = joined.tuples;
+        for t in &dangling.tuples {
+            let mut padded = t.clone();
+            padded.extend(std::iter::repeat_n(Value::Pad, pad_count));
+            tuples.insert(padded);
+        }
+        Relation {
+            schema: joined.schema,
+            tuples,
+        }
+    }
+
+    /// The distinct values of the listed attributes, as a set of sub-tuples
+    /// (i.e. `π_attrs` as raw tuples — convenient for world grouping).
+    pub fn distinct_values(&self, attrs: &[Attr]) -> Result<BTreeSet<Tuple>> {
+        Ok(self.project(attrs)?.tuples)
+    }
+
+    /// Render as an aligned ASCII table (used by examples and docs).
+    pub fn to_table_string(&self, name: &str) -> String {
+        let headers: Vec<String> = self.schema.attrs().iter().map(|a| a.to_string()).collect();
+        let rows: Vec<Vec<String>> = self
+            .tuples
+            .iter()
+            .map(|t| t.iter().map(|v| v.to_string()).collect())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(name);
+        if self.schema.arity() == 0 {
+            out.push_str(&format!("  ({} nullary tuple(s))\n", self.tuples.len()));
+            return out;
+        }
+        out.push_str("  ");
+        for (h, w) in headers.iter().zip(&widths) {
+            out.push_str(&format!("{h:<w$}  "));
+        }
+        out.push('\n');
+        for row in &rows {
+            out.push_str(&" ".repeat(name.len()));
+            out.push_str("  ");
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!("{cell:<w$}  "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.schema)?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "(")?;
+            for (j, v) in t.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{attr, attrs};
+
+    fn r() -> Relation {
+        Relation::table("A B".split(' ').collect::<Vec<_>>().as_slice(), &[
+            &[1i64, 2],
+            &[2, 3],
+            &[2, 4],
+            &[3, 2],
+        ])
+    }
+
+    fn s() -> Relation {
+        Relation::table(&["C", "D"], &[&[2i64, 3], &[4, 5]])
+    }
+
+    #[test]
+    fn construction_and_dedup() {
+        let rel = Relation::from_rows(
+            Schema::of(&["A"]),
+            vec![vec![Value::int(1)], vec![Value::int(1)], vec![Value::int(2)]],
+        )
+        .unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let bad = Relation::from_rows(Schema::of(&["A"]), vec![vec![]]);
+        assert!(matches!(bad, Err(RelalgError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn unit_and_nullary() {
+        assert_eq!(Relation::unit().len(), 1);
+        assert_eq!(Relation::unit().schema().arity(), 0);
+        assert!(Relation::nullary_empty().is_empty());
+    }
+
+    #[test]
+    fn project_dedups() {
+        let p = r().project(&attrs(&["A"])).unwrap();
+        assert_eq!(p.len(), 3); // 1, 2, 3
+    }
+
+    #[test]
+    fn project_as_copies_columns() {
+        let p = r()
+            .project_as(&[
+                (attr("A"), attr("A")),
+                (attr("B"), attr("B")),
+                (attr("A"), attr("V.A")),
+            ])
+            .unwrap();
+        assert_eq!(p.schema().arity(), 3);
+        assert!(p.contains(&vec![Value::int(1), Value::int(2), Value::int(1)]));
+    }
+
+    #[test]
+    fn project_unknown_attr() {
+        assert!(r().project(&attrs(&["Z"])).is_err());
+    }
+
+    #[test]
+    fn project_as_duplicate_output() {
+        let bad = r().project_as(&[(attr("A"), attr("X")), (attr("B"), attr("X"))]);
+        assert!(matches!(bad, Err(RelalgError::DuplicateAttr { .. })));
+    }
+
+    #[test]
+    fn select_filters() {
+        let sel = r().select(&Pred::eq_const("A", 2)).unwrap();
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn rename_keeps_positions() {
+        let ren = r().rename(&[(attr("A"), attr("X"))]).unwrap();
+        assert_eq!(ren.schema().attrs(), &[attr("X"), attr("B")]);
+        assert_eq!(ren.len(), 4);
+    }
+
+    #[test]
+    fn rename_collision_rejected() {
+        assert!(matches!(
+            r().rename(&[(attr("A"), attr("B"))]),
+            Err(RelalgError::DuplicateAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn product_disjoint_only() {
+        let p = r().product(&s()).unwrap();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.schema().arity(), 4);
+        assert!(r().product(&r()).is_err());
+    }
+
+    #[test]
+    fn set_ops_align_columns() {
+        let left = Relation::table(&["A", "B"], &[&[1i64, 10]]);
+        let right = Relation::table(&["B", "A"], &[&[10i64, 1], &[20, 2]]);
+        assert_eq!(left.union(&right).unwrap().len(), 2);
+        assert_eq!(left.intersect(&right).unwrap().len(), 1);
+        assert_eq!(right.difference(&left).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn set_ops_schema_mismatch() {
+        assert!(r().union(&s()).is_err());
+    }
+
+    #[test]
+    fn natural_join_basic() {
+        let t = Relation::table(&["B", "E"], &[&[2i64, 100], &[3, 200]]);
+        let j = r().natural_join(&t);
+        assert_eq!(j.schema().attrs(), &[attr("A"), attr("B"), attr("E")]);
+        // B=2 matches (1,2) and (3,2); B=3 matches (2,3)
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
+    fn natural_join_no_common_is_product() {
+        let j = r().natural_join(&s());
+        assert_eq!(j.len(), 8);
+    }
+
+    #[test]
+    fn semijoin_basic() {
+        let t = Relation::table(&["B"], &[&[2i64]]);
+        let sj = r().semijoin(&t);
+        assert_eq!(sj.len(), 2); // (1,2) and (3,2)
+    }
+
+    #[test]
+    fn divide_basic() {
+        // Flights-style: Arr appearing with every Dep.
+        let f = Relation::table(
+            &["Dep", "Arr"],
+            &[
+                &["FRA", "BCN"],
+                &["FRA", "ATL"],
+                &["PAR", "ATL"],
+                &["PAR", "BCN"],
+                &["PHL", "ATL"],
+            ],
+        );
+        let deps = f.project(&attrs(&["Dep"])).unwrap();
+        let q = f.divide(&deps).unwrap();
+        assert_eq!(q.schema().attrs(), &[attr("Arr")]);
+        assert_eq!(q.len(), 1);
+        assert!(q.contains(&vec![Value::str("ATL")]));
+    }
+
+    #[test]
+    fn divide_by_empty_is_vacuous() {
+        let empty = Relation::empty(Schema::of(&["B"]));
+        let q = r().divide(&empty).unwrap();
+        assert_eq!(q, r().project(&attrs(&["A"])).unwrap());
+    }
+
+    #[test]
+    fn divide_bad_divisor() {
+        assert!(r().divide(&s()).is_err());
+    }
+
+    #[test]
+    fn outer_pad_join_pads_with_constant() {
+        let w = Relation::table(&["V"], &[&[1i64], &[2], &[3]]);
+        let x = Relation::table(&["V", "P"], &[&[1i64, 10]]);
+        let j = w.outer_pad_join(&x);
+        assert_eq!(j.len(), 3);
+        assert!(j.contains(&vec![Value::int(1), Value::int(10)]));
+        assert!(j.contains(&vec![Value::int(2), Value::Pad]));
+        assert!(j.contains(&vec![Value::int(3), Value::Pad]));
+    }
+
+    #[test]
+    fn outer_pad_join_on_unit_world_table() {
+        // Example 5.6 step 3: W = {⟨⟩}, joined with a non-empty relation is
+        // that relation; with an empty relation it is one all-pad tuple.
+        let w = Relation::unit();
+        let f = Relation::table(&["Dep"], &[&["FRA"], &["PAR"]]);
+        assert_eq!(w.outer_pad_join(&f).len(), 2);
+        let e = Relation::empty(Schema::of(&["Dep"]));
+        let j = w.outer_pad_join(&e);
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&vec![Value::Pad]));
+    }
+
+    #[test]
+    fn theta_join_works() {
+        let t = Relation::table(&["E", "F"], &[&[2i64, 1], &[9, 9]]);
+        let j = r().theta_join(&t, &Pred::eq_attr("B", "E")).unwrap();
+        assert_eq!(j.len(), 2); // (1,2)×(2,1), (3,2)×(2,1)
+    }
+
+    #[test]
+    fn table_string_renders() {
+        let s = r().to_table_string("R");
+        assert!(s.contains('A'));
+        assert!(s.contains('1'));
+    }
+}

@@ -1,0 +1,284 @@
+//! A small algebraic simplifier for relational expressions.
+//!
+//! The Section-5.3 optimized translation produces plans that are correct but
+//! syntactically noisy (chains of generalized projections that copy choice
+//! attributes into world-id columns). These rewrites normalize such plans so
+//! that, e.g., the trip-planning query of Example 5.8 prints literally as
+//! `π{Arr,Dep}(HFlights) ÷ π{Dep}(HFlights)`.
+//!
+//! All rules are semantics-preserving for set-semantics relations:
+//!
+//! * `σ_true(e) → e`
+//! * projection/generalized-projection chain fusion
+//! * `e × {⟨⟩} → e` and `{⟨⟩} × e → e` (unit world table elimination)
+//! * renaming elimination across `÷` when the renamed columns are divided
+//!   away on both sides
+//! * all-identity generalized projections become plain projections, and
+//!   full-schema identity projections disappear
+
+use crate::{Attr, Expr, ExprKind, Pred, Relation, Result, Schema};
+
+/// Simplify `expr` to a fixpoint. `base` supplies base-table schemas (needed
+/// to recognize identity projections).
+pub fn simplify(expr: &Expr, base: &dyn Fn(&str) -> Option<Schema>) -> Result<Expr> {
+    let mut cur = expr.clone();
+    for _ in 0..64 {
+        let next = pass(&cur, base)?;
+        if next == cur {
+            return Ok(next);
+        }
+        cur = next;
+    }
+    Ok(cur)
+}
+
+fn pass(expr: &Expr, base: &dyn Fn(&str) -> Option<Schema>) -> Result<Expr> {
+    // Rewrite children first.
+    let e = rebuild_children(expr, base)?;
+    rewrite_node(&e, base)
+}
+
+fn rebuild_children(expr: &Expr, base: &dyn Fn(&str) -> Option<Schema>) -> Result<Expr> {
+    Ok(match expr.kind() {
+        ExprKind::Table(_) | ExprKind::Lit(_) => expr.clone(),
+        ExprKind::Select(p, e) => pass(e, base)?.select(p.clone()),
+        ExprKind::Project(attrs, e) => pass(e, base)?.project(attrs.clone()),
+        ExprKind::ProjectAs(list, e) => pass(e, base)?.project_as(list.clone()),
+        ExprKind::Rename(map, e) => pass(e, base)?.rename(map.clone()),
+        ExprKind::Product(a, b) => pass(a, base)?.product(&pass(b, base)?),
+        ExprKind::Union(a, b) => pass(a, base)?.union(&pass(b, base)?),
+        ExprKind::Intersect(a, b) => pass(a, base)?.intersect(&pass(b, base)?),
+        ExprKind::Difference(a, b) => pass(a, base)?.difference(&pass(b, base)?),
+        ExprKind::NaturalJoin(a, b) => pass(a, base)?.natural_join(&pass(b, base)?),
+        ExprKind::ThetaJoin(p, a, b) => pass(a, base)?.theta_join(&pass(b, base)?, p.clone()),
+        ExprKind::Divide(a, b) => pass(a, base)?.divide(&pass(b, base)?),
+        ExprKind::OuterPadJoin(a, b) => pass(a, base)?.outer_pad_join(&pass(b, base)?),
+    })
+}
+
+fn is_unit(e: &Expr) -> bool {
+    matches!(e.kind(), ExprKind::Lit(rel) if *rel == Relation::unit())
+}
+
+/// View a node as a generalized projection list, if it is one.
+fn as_projection(e: &Expr) -> Option<(Vec<(Attr, Attr)>, Expr)> {
+    match e.kind() {
+        ExprKind::Project(attrs, inner) => Some((
+            attrs.iter().map(|a| (a.clone(), a.clone())).collect(),
+            inner.clone(),
+        )),
+        ExprKind::ProjectAs(list, inner) => Some((list.clone(), inner.clone())),
+        _ => None,
+    }
+}
+
+fn projection_expr(list: Vec<(Attr, Attr)>, inner: Expr) -> Expr {
+    if list.iter().all(|(s, d)| s == d) {
+        inner.project(list.into_iter().map(|(_, d)| d).collect())
+    } else {
+        inner.project_as(list)
+    }
+}
+
+fn rewrite_node(expr: &Expr, base: &dyn Fn(&str) -> Option<Schema>) -> Result<Expr> {
+    // σ_true(e) → e
+    if let ExprKind::Select(Pred::True, e) = expr.kind() {
+        return Ok(e.clone());
+    }
+
+    // e × {⟨⟩} → e ; {⟨⟩} × e → e ; same for natural join with unit.
+    match expr.kind() {
+        ExprKind::Product(a, b) | ExprKind::NaturalJoin(a, b) => {
+            if is_unit(a) {
+                return Ok(b.clone());
+            }
+            if is_unit(b) {
+                return Ok(a.clone());
+            }
+        }
+        _ => {}
+    }
+
+    // Projection chain fusion: π_L1(π_L2(e)) → π_{L1 ∘ L2}(e).
+    if let Some((l1, inner)) = as_projection(expr) {
+        if let Some((l2, inner2)) = as_projection(&inner) {
+            let mut fused = Vec::with_capacity(l1.len());
+            let mut ok = true;
+            for (s1, d1) in &l1 {
+                match l2.iter().find(|(_, d2)| d2 == s1) {
+                    Some((s2, _)) => fused.push((s2.clone(), d1.clone())),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                return Ok(projection_expr(fused, inner2));
+            }
+        }
+
+        // Identity projection over a known schema disappears.
+        if let Ok(schema) = inner.infer_schema(base) {
+            let identical = l1.len() == schema.arity()
+                && l1
+                    .iter()
+                    .zip(schema.attrs())
+                    .all(|((s, d), a)| s == d && s == a);
+            if identical {
+                return Ok(inner);
+            }
+        }
+
+        // Normalize all-identity ProjectAs to Project.
+        if matches!(expr.kind(), ExprKind::ProjectAs(_, _)) && l1.iter().all(|(s, d)| s == d) {
+            return Ok(inner.project(l1.into_iter().map(|(_, d)| d).collect()));
+        }
+    }
+
+    // Renaming elimination across division: if both operands are projections
+    // from which the divisor renames column `s` to `d` consistently, and `d`
+    // is divided away, the rename is unobservable.
+    if let ExprKind::Divide(l, r) = expr.kind() {
+        if let (Some((l1, e1)), Some((l2, e2))) = (as_projection(l), as_projection(r)) {
+            let renames: Vec<(Attr, Attr)> = l2
+                .iter()
+                .filter(|(s, d)| s != d)
+                .cloned()
+                .collect();
+            if !renames.is_empty() && renames.iter().all(|p| l1.contains(p)) {
+                // Substituting d→s must not create duplicate outputs.
+                let sub = |list: &[(Attr, Attr)]| -> Option<Vec<(Attr, Attr)>> {
+                    let new: Vec<(Attr, Attr)> = list
+                        .iter()
+                        .map(|(s, d)| {
+                            let nd = renames
+                                .iter()
+                                .find(|(_, rd)| rd == d)
+                                .map(|(rs, _)| rs.clone())
+                                .unwrap_or_else(|| d.clone());
+                            (s.clone(), nd)
+                        })
+                        .collect();
+                    let names: Vec<&Attr> = new.iter().map(|(_, d)| d).collect();
+                    for (i, n) in names.iter().enumerate() {
+                        if names[..i].contains(n) {
+                            return None;
+                        }
+                    }
+                    Some(new)
+                };
+                if let (Some(n1), Some(n2)) = (sub(&l1), sub(&l2)) {
+                    return Ok(projection_expr(n1, e1).divide(&projection_expr(n2, e2)));
+                }
+            }
+        }
+    }
+
+    // Empty rename map disappears; rename of nothing-changed disappears.
+    if let ExprKind::Rename(map, e) = expr.kind() {
+        if map.iter().all(|(s, d)| s == d) {
+            return Ok(e.clone());
+        }
+    }
+
+    Ok(expr.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{attr, attrs, Catalog};
+
+    fn base(name: &str) -> Option<Schema> {
+        match name {
+            "HFlights" => Some(Schema::of(&["Dep", "Arr"])),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn select_true_removed() {
+        let e = Expr::table("HFlights").select(Pred::True);
+        assert_eq!(simplify(&e, &base).unwrap(), Expr::table("HFlights"));
+    }
+
+    #[test]
+    fn unit_product_removed() {
+        let e = Expr::lit(Relation::unit()).product(&Expr::table("HFlights"));
+        assert_eq!(simplify(&e, &base).unwrap(), Expr::table("HFlights"));
+    }
+
+    #[test]
+    fn projection_chains_fuse() {
+        let e = Expr::table("HFlights")
+            .project_as(vec![
+                (attr("Dep"), attr("Dep")),
+                (attr("Arr"), attr("Arr")),
+                (attr("Dep"), attr("V.Dep")),
+            ])
+            .project(attrs(&["Arr", "V.Dep"]));
+        let s = simplify(&e, &base).unwrap();
+        assert_eq!(
+            s,
+            Expr::table("HFlights")
+                .project_as(vec![(attr("Arr"), attr("Arr")), (attr("Dep"), attr("V.Dep"))])
+        );
+    }
+
+    #[test]
+    fn identity_projection_removed() {
+        let e = Expr::table("HFlights").project(attrs(&["Dep", "Arr"]));
+        assert_eq!(simplify(&e, &base).unwrap(), Expr::table("HFlights"));
+    }
+
+    #[test]
+    fn example_5_8_shape() {
+        // What the optimized translation produces for
+        // cert(π_Arr(χ_Dep(HFlights))) before cleanup …
+        let hf = Expr::table("HFlights");
+        let with_id = hf.project_as(vec![
+            (attr("Dep"), attr("Dep")),
+            (attr("Arr"), attr("Arr")),
+            (attr("Dep"), attr("#1.Dep")),
+        ]);
+        let ans = with_id.project(attrs(&["Arr", "#1.Dep"]));
+        let dom = hf.project_as(vec![(attr("Dep"), attr("#1.Dep"))]);
+        let e = ans.divide(&dom);
+
+        // … simplifies to the paper's π{Arr,Dep}(HFlights) ÷ π{Dep}(HFlights).
+        let s = simplify(&e, &base).unwrap();
+        let target = hf
+            .project(attrs(&["Arr", "Dep"]))
+            .divide(&hf.project(attrs(&["Dep"])));
+        assert_eq!(s, target);
+        assert_eq!(
+            s.to_string(),
+            "(π{Arr,Dep}(HFlights) ÷ π{Dep}(HFlights))"
+        );
+    }
+
+    #[test]
+    fn simplification_preserves_semantics() {
+        let mut c = Catalog::new();
+        c.put(
+            "HFlights",
+            Relation::table(
+                &["Dep", "Arr"],
+                &[&["FRA", "BCN"], &["FRA", "ATL"], &["PAR", "ATL"]],
+            ),
+        );
+        let hf = Expr::table("HFlights");
+        let noisy = hf
+            .project_as(vec![
+                (attr("Dep"), attr("Dep")),
+                (attr("Arr"), attr("Arr")),
+                (attr("Dep"), attr("#1.Dep")),
+            ])
+            .project(attrs(&["Arr", "#1.Dep"]))
+            .divide(&hf.project_as(vec![(attr("Dep"), attr("#1.Dep"))]))
+            .select(Pred::True);
+        let simplified = simplify(&noisy, &|n| c.schema_of(n)).unwrap();
+        assert_eq!(c.eval(&noisy).unwrap(), c.eval(&simplified).unwrap());
+    }
+}

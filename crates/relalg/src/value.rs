@@ -1,0 +1,126 @@
+use std::fmt;
+use std::sync::Arc;
+
+/// A domain value stored in a relation.
+///
+/// The paper's data model is untyped first-order constants; we provide
+/// integers, strings and booleans. [`Value::Pad`] is the distinguished
+/// constant `c` used by the modified left outer join `=⊲⊳` of Remark 5.5 to
+/// pad tuples without a join partner ("here we use a constant for practical
+/// reasons" — i.e. it is an ordinary value, not a NULL with three-valued
+/// logic).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// The padding constant `c` of the `=⊲⊳` operator.
+    Pad,
+    /// Boolean constant.
+    Bool(bool),
+    /// 64-bit integer constant.
+    Int(i64),
+    /// Interned string constant.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// True iff this is the padding constant.
+    pub fn is_pad(&self) -> bool {
+        matches!(self, Value::Pad)
+    }
+
+    /// The integer inside, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Pad => write!(f, "#c"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_sorts_first() {
+        let mut vs = [Value::int(3), Value::str("a"), Value::Pad, Value::Bool(true)];
+        vs.sort();
+        assert_eq!(vs[0], Value::Pad);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::int(-7).to_string(), "-7");
+        assert_eq!(Value::str("BCN").to_string(), "BCN");
+        assert_eq!(Value::Pad.to_string(), "#c");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::int(5).as_int(), Some(5));
+        assert_eq!(Value::str("x").as_int(), None);
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert!(Value::Pad.is_pad());
+        assert!(!Value::int(0).is_pad());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::int(3));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+}

@@ -1,0 +1,190 @@
+//! Algebraic laws of the relational substrate, property-tested: the
+//! classical identities that the WSA translation relies on (division by
+//! difference, the `=⊲⊳` definition of Remark 5.5, join/semijoin
+//! decompositions, set-operation laws).
+
+use proptest::prelude::*;
+use relalg::{attr, attrs, Pred, Relation, Schema, Value};
+
+fn rel_ab(rows: Vec<(i64, i64)>) -> Relation {
+    Relation::from_rows(
+        Schema::of(&["A", "B"]),
+        rows.into_iter()
+            .map(|(a, b)| vec![Value::Int(a), Value::Int(b)]),
+    )
+    .unwrap()
+}
+
+fn rel_b(rows: Vec<i64>) -> Relation {
+    Relation::from_rows(
+        Schema::of(&["B"]),
+        rows.into_iter().map(|b| vec![Value::Int(b)]),
+    )
+    .unwrap()
+}
+
+fn rel_bc(rows: Vec<(i64, i64)>) -> Relation {
+    Relation::from_rows(
+        Schema::of(&["B", "C"]),
+        rows.into_iter()
+            .map(|(b, c)| vec![Value::Int(b), Value::Int(c)]),
+    )
+    .unwrap()
+}
+
+fn small_pairs() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..4, 0i64..4), 0..8)
+}
+
+fn small_vals() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(0i64..4, 0..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// R ÷ S = π_A(R) − π_A(π_A(R) × S − R)  (classical definition).
+    #[test]
+    fn division_by_difference(r in small_pairs(), s in small_vals()) {
+        let r = rel_ab(r);
+        let s = rel_b(s);
+        let lhs = r.divide(&s).unwrap();
+        let pa = r.project(&attrs(&["A"])).unwrap();
+        let rhs = pa
+            .difference(
+                &pa.product(&s)
+                    .unwrap()
+                    .difference(&r)
+                    .unwrap()
+                    .project(&attrs(&["A"]))
+                    .unwrap(),
+            )
+            .unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// R =⊲⊳ S = (R ⋈ S) ∪ (R − R⋉S) × {⟨c,…,c⟩}  (Remark 5.5).
+    #[test]
+    fn outer_pad_join_definition(r in small_pairs(), s in small_pairs()) {
+        let r = rel_ab(r);
+        let s = rel_bc(s);
+        let lhs = r.outer_pad_join(&s);
+        let joined = r.natural_join(&s);
+        let dangling = r.difference(&r.semijoin(&s)).unwrap();
+        let pad = Relation::from_rows(
+            Schema::of(&["C"]),
+            vec![vec![Value::Pad]],
+        )
+        .unwrap();
+        let rhs = joined.union(&dangling.product(&pad).unwrap()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Semijoin is the projection of the join onto the left schema.
+    #[test]
+    fn semijoin_is_projected_join(r in small_pairs(), s in small_pairs()) {
+        let r = rel_ab(r);
+        let s = rel_bc(s);
+        let lhs = r.semijoin(&s);
+        let rhs = r.natural_join(&s).project(&attrs(&["A", "B"])).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Natural join over disjoint-attribute renamed copies is the theta
+    /// join σ_{B=B'}(R × δ(S)).
+    #[test]
+    fn natural_join_is_selected_product(r in small_pairs(), s in small_pairs()) {
+        let r = rel_ab(r);
+        let s = rel_bc(s);
+        let renamed = s.rename(&[(attr("B"), attr("B2"))]).unwrap();
+        let theta = r
+            .theta_join(&renamed, &Pred::eq_attr("B", "B2"))
+            .unwrap()
+            .project(&attrs(&["A", "B", "C"]))
+            .unwrap();
+        prop_assert_eq!(r.natural_join(&s), theta);
+    }
+
+    /// Set-operation laws: idempotence, commutativity-as-sets, absorption.
+    #[test]
+    fn set_operation_laws(r in small_pairs(), s in small_pairs()) {
+        let r = rel_ab(r);
+        let s = rel_ab(s);
+        prop_assert_eq!(r.union(&r).unwrap(), r.clone());
+        prop_assert_eq!(r.intersect(&r).unwrap(), r.clone());
+        prop_assert_eq!(r.difference(&r).unwrap().len(), 0);
+        prop_assert_eq!(r.union(&s).unwrap(), s.union(&r).unwrap());
+        prop_assert_eq!(r.intersect(&s).unwrap(), s.intersect(&r).unwrap());
+        // R − (R − S) = R ∩ S.
+        prop_assert_eq!(
+            r.difference(&r.difference(&s).unwrap()).unwrap(),
+            r.intersect(&s).unwrap()
+        );
+        // |R × S| = |R|·|S| on disjoint schemas.
+        let t = rel_bc(vec![(0, 0), (1, 1)])
+            .rename(&[(attr("B"), attr("X")), (attr("C"), attr("Y"))])
+            .unwrap();
+        prop_assert_eq!(r.product(&t).unwrap().len(), r.len() * t.len());
+    }
+
+    /// Selection distributes over the set operations.
+    #[test]
+    fn selection_distributes(r in small_pairs(), s in small_pairs()) {
+        let r = rel_ab(r);
+        let s = rel_ab(s);
+        let phi = Pred::eq_const("A", 1);
+        prop_assert_eq!(
+            r.union(&s).unwrap().select(&phi).unwrap(),
+            r.select(&phi).unwrap().union(&s.select(&phi).unwrap()).unwrap()
+        );
+        prop_assert_eq!(
+            r.difference(&s).unwrap().select(&phi).unwrap(),
+            r.select(&phi).unwrap().difference(&s.select(&phi).unwrap()).unwrap()
+        );
+    }
+
+    /// Projection is idempotent and monotone in the kept attributes.
+    #[test]
+    fn projection_laws(r in small_pairs()) {
+        let r = rel_ab(r);
+        let pa = r.project(&attrs(&["A"])).unwrap();
+        prop_assert_eq!(pa.project(&attrs(&["A"])).unwrap(), pa.clone());
+        prop_assert!(pa.len() <= r.len());
+        // Rename round-trip is the identity.
+        let renamed = r
+            .rename(&[(attr("A"), attr("X"))])
+            .unwrap()
+            .rename(&[(attr("X"), attr("A"))])
+            .unwrap();
+        prop_assert_eq!(renamed, r);
+    }
+
+    /// The expression evaluator agrees with direct relation operations.
+    #[test]
+    fn expr_eval_matches_direct(r in small_pairs(), s in small_vals()) {
+        use relalg::{Catalog, Expr};
+        let r = rel_ab(r);
+        let s = rel_b(s);
+        let mut catalog = Catalog::new();
+        catalog.put("R", r.clone());
+        catalog.put("S", s.clone());
+
+        let e = Expr::table("R")
+            .select(Pred::eq_const("A", 1))
+            .project(attrs(&["B"]))
+            .union(&Expr::table("S"));
+        let direct = r
+            .select(&Pred::eq_const("A", 1))
+            .unwrap()
+            .project(&attrs(&["B"]))
+            .unwrap()
+            .union(&s)
+            .unwrap();
+        prop_assert_eq!(catalog.eval(&e).unwrap(), direct);
+
+        let e = Expr::table("R").divide(&Expr::table("S"));
+        prop_assert_eq!(catalog.eval(&e).unwrap(), r.divide(&s).unwrap());
+        let e = Expr::table("R").outer_pad_join(&Expr::table("S"));
+        prop_assert_eq!(catalog.eval(&e).unwrap(), r.outer_pad_join(&s));
+    }
+}

@@ -1,0 +1,78 @@
+//! A simple cost model for WSA logical plans.
+//!
+//! The dominant cost driver in possible-worlds evaluation is world-set
+//! machinery: `χ` multiplies worlds, the grouping operators scan and
+//! partition all worlds, `poss`/`cert` scan all worlds once, and
+//! `repair-by-key` is exponential. Relational operators are cheap, with a
+//! discount for a selection applied directly on top of a product (a join,
+//! cf. Figures 8(b)/9(b)).
+
+use wsa::Query;
+
+/// Operator weights (dimensionless; only the ordering matters).
+const W_REL: u64 = 1;
+const W_UNARY: u64 = 1;
+const W_PRODUCT: u64 = 10;
+const W_JOIN: u64 = 5;
+const W_SETOP: u64 = 3;
+const W_CHOICE: u64 = 20;
+const W_GROUP: u64 = 40;
+const W_CLOSE: u64 = 5;
+const W_REPAIR: u64 = 1000;
+
+/// Estimated cost of a logical plan.
+pub fn cost(q: &Query) -> u64 {
+    match q {
+        Query::Rel(_) => W_REL,
+        // σ directly over × is a join: discounted.
+        Query::Select(_, inner) => match inner.as_ref() {
+            Query::Product(a, b) => W_JOIN + cost(a) + cost(b),
+            _ => W_UNARY + cost(inner),
+        },
+        Query::Project(_, inner) | Query::Rename(_, inner) => W_UNARY + cost(inner),
+        Query::Product(a, b) => W_PRODUCT + cost(a) + cost(b),
+        Query::Union(a, b) | Query::Intersect(a, b) | Query::Difference(a, b) => {
+            W_SETOP + cost(a) + cost(b)
+        }
+        Query::Choice(_, inner) => W_CHOICE + cost(inner),
+        Query::Poss(inner) | Query::Cert(inner) => W_CLOSE + cost(inner),
+        Query::PossGroup { input, .. } | Query::CertGroup { input, .. } => {
+            W_GROUP + cost(input)
+        }
+        Query::RepairKey(_, inner) => W_REPAIR + cost(inner),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalg::{attrs, Pred};
+
+    #[test]
+    fn join_cheaper_than_select_over_poss_of_product() {
+        // poss(σφ(a × b)) — join formed — beats σφ(poss(a × b)).
+        let a = Query::rel("A");
+        let b = Query::rel("B");
+        let join_inside = a
+            .clone()
+            .product(b.clone())
+            .select(Pred::eq_attr("X", "Y"))
+            .poss();
+        let select_outside = a.product(b).poss().select(Pred::eq_attr("X", "Y"));
+        assert!(cost(&join_inside) < cost(&select_outside));
+    }
+
+    #[test]
+    fn eliminating_choice_reduces_cost() {
+        let with_choice = Query::rel("R").choice(attrs(&["A"])).poss();
+        let without = Query::rel("R").poss();
+        assert!(cost(&without) < cost(&with_choice));
+    }
+
+    #[test]
+    fn grouping_is_expensive() {
+        let grouped = Query::rel("R").poss_group(attrs(&["A"]), attrs(&["A", "B"]));
+        let projected = Query::rel("R").project(attrs(&["A", "B"]));
+        assert!(cost(&projected) < cost(&grouped));
+    }
+}

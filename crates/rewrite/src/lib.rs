@@ -1,0 +1,36 @@
+//! Algebraic equivalences of World-set Algebra (Figure 7) and a logical
+//! optimizer (Section 6).
+//!
+//! Each equivalence `l = r` of the paper becomes a [`Rule`] usable as a
+//! rewrite `l → r` (some also `r → l` where that direction is the useful
+//! one). The [`optimize`] entry point searches the space of rewrites for a
+//! minimum-cost plan under a simple cost model, reproducing the paper's
+//! Example 6.1 (`q₁ → q₁′`, Figure 8) and Example 6.2 (`q₂ → q₂′`,
+//! Figure 9).
+//!
+//! ## Soundness notes (errata — see EXPERIMENTS.md)
+//!
+//! All rules in [`rules::rule_set`] are property-tested against the direct
+//! Figure-3 semantics. Three printed equivalences are **unsound as stated**
+//! and are repaired here:
+//!
+//! * **Eq (9)/(10)** (`σ`/group-worlds-by commute): a selection can change
+//!   the grouping key `π_U(answer)`, merging groups on one side only. We
+//!   include the counterexample as a test and omit the rule (the special
+//!   case `V ⊆ U` is already covered by Eq (12)).
+//! * **Eq (18)/(19)** (nested group-worlds-by): sound only when the inner
+//!   and outer *grouping* attribute sets coincide and the inner operator is
+//!   `pγ`; implemented in that corrected form.
+//! * **Eq (20)/(21)** (group-worlds-by over choice-of): sound when the
+//!   choice-of operand has a uniform answer across worlds (e.g. below the
+//!   first world-splitting operator of a query over a complete database) —
+//!   the setting of the paper's Examples 6.1/6.2. The rule checks this
+//!   statically via the typing module.
+
+pub mod cost;
+pub mod engine;
+pub mod rules;
+
+pub use cost::cost;
+pub use engine::{optimize, optimize_traced, RewriteCtx, Trace};
+pub use rules::{rule_set, Rule};

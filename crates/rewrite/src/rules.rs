@@ -1,0 +1,477 @@
+//! The Figure-7 equivalences as rewrite rules.
+//!
+//! A rule matches the *root* of a query and returns the rewritten query;
+//! the engine applies rules at every subterm. Side conditions that need
+//! attribute sets use the schema-inference context; conditions that need
+//! world-type information (uniform answers) use [`wsa::typing::world_type`].
+
+use std::collections::BTreeSet;
+
+use relalg::{Attr, Schema};
+use wsa::typing::{output_schema, world_type, Multiplicity};
+use wsa::Query;
+
+/// Context handed to rules: base-relation schemas for `Attrs(q)` queries.
+pub struct RewriteCtx<'a> {
+    /// Schema lookup for base relations.
+    pub base: &'a dyn Fn(&str) -> Option<Schema>,
+}
+
+impl<'a> RewriteCtx<'a> {
+    /// The output attributes of a subquery, if it is well-typed.
+    pub fn attrs_of(&self, q: &Query) -> Option<BTreeSet<Attr>> {
+        output_schema(q, self.base)
+            .ok()
+            .map(|s| s.attrs().iter().cloned().collect())
+    }
+
+    /// Whether `q`'s answer is guaranteed uniform across worlds when the
+    /// query is evaluated over a complete (one-world) database — the setting
+    /// of the paper's Section-6 examples.
+    pub fn is_uniform(&self, q: &Query) -> bool {
+        world_type(q, Multiplicity::One).uniform
+    }
+}
+
+/// A named rewrite rule; `paper_eq` cites the Figure-7 equation.
+pub struct Rule {
+    /// Rule identifier used in traces.
+    pub name: &'static str,
+    /// The Figure-7 equation this implements (or "struct" for structural
+    /// cleanups).
+    pub paper_eq: &'static str,
+    /// Attempt to rewrite the root of `q`.
+    pub apply: fn(&Query, &RewriteCtx) -> Option<Query>,
+}
+
+fn subset(a: &[Attr], b: &BTreeSet<Attr>) -> bool {
+    a.iter().all(|x| b.contains(x))
+}
+
+fn subset_vec(a: &[Attr], b: &[Attr]) -> bool {
+    a.iter().all(|x| b.contains(x))
+}
+
+fn same_set(a: &[Attr], b: &[Attr]) -> bool {
+    a.len() == b.len() && subset_vec(a, b) && subset_vec(b, a)
+}
+
+/// The full rule set, in the order the engine tries them.
+pub fn rule_set() -> Vec<Rule> {
+    vec![
+        // ---- Reduce rules (these strictly shrink world-set machinery) ----
+        Rule {
+            name: "poss-absorbs-choice",
+            paper_eq: "(11)",
+            apply: |q, _| match q {
+                Query::Poss(inner) => match inner.as_ref() {
+                    Query::Choice(_, body) => Some(Query::Poss(body.clone())),
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            name: "group-proj-subset-of-group",
+            paper_eq: "(12)",
+            apply: |q, _| match q {
+                Query::PossGroup { group, proj, input }
+                | Query::CertGroup { group, proj, input }
+                    if subset_vec(proj, group) =>
+                {
+                    Some(Query::Project(proj.clone(), input.clone()))
+                }
+                _ => None,
+            },
+        },
+        Rule {
+            name: "project-collapses-group",
+            paper_eq: "(13)",
+            apply: |q, _| match q {
+                Query::Project(z, inner) => match inner.as_ref() {
+                    Query::PossGroup { group, proj, input }
+                        if subset_vec(z, group) && subset_vec(z, proj) =>
+                    {
+                        Some(Query::Project(z.clone(), input.clone()))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            name: "project-absorbed-by-possgroup",
+            paper_eq: "(14)",
+            apply: |q, _| match q {
+                Query::Project(z, inner) => match inner.as_ref() {
+                    Query::PossGroup { group, proj, input } if subset_vec(z, proj) => {
+                        Some(Query::PossGroup {
+                            group: group.clone(),
+                            proj: z.clone(),
+                            input: input.clone(),
+                        })
+                    }
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            name: "poss-absorbs-possgroup",
+            paper_eq: "(15)",
+            apply: |q, _| match q {
+                Query::Poss(inner) => match inner.as_ref() {
+                    Query::PossGroup { proj, input, .. } => Some(Query::Poss(Box::new(
+                        Query::Project(proj.clone(), input.clone()),
+                    ))),
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            name: "cert-absorbs-certgroup",
+            paper_eq: "(16)",
+            apply: |q, _| match q {
+                Query::Cert(inner) => match inner.as_ref() {
+                    Query::CertGroup { proj, input, .. } => Some(Query::Cert(Box::new(
+                        Query::Project(proj.clone(), input.clone()),
+                    ))),
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            name: "choice-fusion",
+            paper_eq: "(17)",
+            apply: |q, _| match q {
+                Query::Choice(x, inner) => match inner.as_ref() {
+                    Query::Choice(y, body) => {
+                        let mut xy = x.clone();
+                        for a in y {
+                            if !xy.contains(a) {
+                                xy.push(a.clone());
+                            }
+                        }
+                        Some(Query::Choice(xy, body.clone()))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            // Corrected Eq (18): sound when the grouping attribute sets of
+            // the nested operators coincide and the inner operator is pγ
+            // (see the counterexample test for the printed form).
+            name: "nested-group-fusion",
+            paper_eq: "(18*)",
+            apply: |q, _| match q {
+                Query::PossGroup { group, proj, input }
+                | Query::CertGroup { group, proj, input } => match input.as_ref() {
+                    Query::PossGroup {
+                        group: ig,
+                        proj: ip,
+                        input: iq,
+                    } if same_set(group, ig) && subset_vec(proj, ip) && subset_vec(group, ip) => {
+                        Some(Query::PossGroup {
+                            group: group.clone(),
+                            proj: proj.clone(),
+                            input: iq.clone(),
+                        })
+                    }
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            // Eq (20): pγ^Y_X(χ_C(q)) = π_Y(χ_X(q)) when X ⊆ C — sound when
+            // q's answer is uniform across worlds (complete-database
+            // setting; see EXPERIMENTS.md for the multi-answer
+            // counterexample).
+            name: "possgroup-absorbed-by-choice",
+            paper_eq: "(20)",
+            apply: |q, ctx| match q {
+                Query::PossGroup { group, proj, input } => match input.as_ref() {
+                    Query::Choice(c, body)
+                        if subset_vec(group, c) && ctx.is_uniform(body) =>
+                    {
+                        Some(Query::Project(
+                            proj.clone(),
+                            Box::new(Query::Choice(group.clone(), body.clone())),
+                        ))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            // Corrected Eq (21): grouping on *all* answer attributes makes
+            // every group a set of worlds with identical answers, so cγ (and
+            // pγ, via Eq 12) degenerate to a projection.
+            name: "certgroup-on-full-schema",
+            paper_eq: "(21*)",
+            apply: |q, ctx| match q {
+                Query::CertGroup { group, proj, input } => {
+                    let attrs = ctx.attrs_of(input)?;
+                    if group.len() == attrs.len() && subset(group, &attrs) {
+                        Some(Query::Project(proj.clone(), input.clone()))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            },
+        },
+        Rule {
+            name: "closure-idempotence",
+            paper_eq: "(22)(23)",
+            apply: |q, _| match q {
+                Query::Poss(inner) | Query::Cert(inner) => match inner.as_ref() {
+                    Query::Cert(_) | Query::Poss(_) => Some(inner.as_ref().clone()),
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            name: "cert-diff-inner-cert",
+            paper_eq: "(24)",
+            apply: |q, _| match q {
+                Query::Cert(inner) => match inner.as_ref() {
+                    Query::Difference(a, b) => match a.as_ref() {
+                        Query::Cert(ia) => Some(Query::Cert(Box::new(Query::Difference(
+                            ia.clone(),
+                            b.clone(),
+                        )))),
+                        _ => None,
+                    },
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        // ---- Commute rules ----
+        Rule {
+            name: "poss-past-select",
+            paper_eq: "(1)",
+            apply: |q, _| match q {
+                Query::Poss(inner) => match inner.as_ref() {
+                    Query::Select(p, body) => Some(Query::Select(
+                        p.clone(),
+                        Box::new(Query::Poss(body.clone())),
+                    )),
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            // (1) right-to-left: pull the selection inside the closure; the
+            // engine's cost model makes this fire when it forms a join.
+            name: "select-into-poss",
+            paper_eq: "(1←)",
+            apply: |q, _| match q {
+                Query::Select(p, inner) => match inner.as_ref() {
+                    Query::Poss(body) => Some(Query::Poss(Box::new(Query::Select(
+                        p.clone(),
+                        body.clone(),
+                    )))),
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            name: "poss-past-project",
+            paper_eq: "(2)",
+            apply: |q, _| match q {
+                Query::Poss(inner) => match inner.as_ref() {
+                    Query::Project(x, body) => Some(Query::Project(
+                        x.clone(),
+                        Box::new(Query::Poss(body.clone())),
+                    )),
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            name: "poss-distributes-union",
+            paper_eq: "(3)",
+            apply: |q, _| match q {
+                Query::Poss(inner) => match inner.as_ref() {
+                    Query::Union(a, b) => Some(Query::Union(
+                        Box::new(Query::Poss(a.clone())),
+                        Box::new(Query::Poss(b.clone())),
+                    )),
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            name: "cert-past-select",
+            paper_eq: "(4)",
+            apply: |q, _| match q {
+                Query::Cert(inner) => match inner.as_ref() {
+                    Query::Select(p, body) => Some(Query::Select(
+                        p.clone(),
+                        Box::new(Query::Cert(body.clone())),
+                    )),
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            name: "select-into-cert",
+            paper_eq: "(4←)",
+            apply: |q, _| match q {
+                Query::Select(p, inner) => match inner.as_ref() {
+                    Query::Cert(body) => Some(Query::Cert(Box::new(Query::Select(
+                        p.clone(),
+                        body.clone(),
+                    )))),
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            name: "cert-distributes-intersect",
+            paper_eq: "(5)",
+            apply: |q, _| match q {
+                Query::Cert(inner) => match inner.as_ref() {
+                    Query::Intersect(a, b) => Some(Query::Intersect(
+                        Box::new(Query::Cert(a.clone())),
+                        Box::new(Query::Cert(b.clone())),
+                    )),
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            name: "cert-distributes-product",
+            paper_eq: "(6)",
+            apply: |q, _| match q {
+                Query::Cert(inner) => match inner.as_ref() {
+                    Query::Product(a, b) => Some(Query::Product(
+                        Box::new(Query::Cert(a.clone())),
+                        Box::new(Query::Cert(b.clone())),
+                    )),
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            name: "project-past-choice",
+            paper_eq: "(7)",
+            apply: |q, _| match q {
+                Query::Project(xy, inner) => match inner.as_ref() {
+                    Query::Choice(x, body) if subset_vec(x, xy) => Some(Query::Choice(
+                        x.clone(),
+                        Box::new(Query::Project(xy.clone(), body.clone())),
+                    )),
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            // (8) right-to-left: push the choice into the smaller operand.
+            name: "choice-pushdown-product",
+            paper_eq: "(8←)",
+            apply: |q, ctx| match q {
+                Query::Choice(x, inner) => match inner.as_ref() {
+                    Query::Product(a, b) => {
+                        let aa = ctx.attrs_of(a)?;
+                        if subset(x, &aa) {
+                            return Some(Query::Product(
+                                Box::new(Query::Choice(x.clone(), a.clone())),
+                                b.clone(),
+                            ));
+                        }
+                        let bb = ctx.attrs_of(b)?;
+                        if subset(x, &bb) {
+                            return Some(Query::Product(
+                                a.clone(),
+                                Box::new(Query::Choice(x.clone(), b.clone())),
+                            ));
+                        }
+                        None
+                    }
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            // (8) left-to-right: lift the choice over the product (useful
+            // under a `poss` that will absorb it via Eq 11).
+            name: "choice-liftup-product",
+            paper_eq: "(8)",
+            apply: |q, ctx| match q {
+                Query::Product(a, b) => match a.as_ref() {
+                    Query::Choice(x, inner) => {
+                        let _ = ctx;
+                        Some(Query::Choice(
+                            x.clone(),
+                            Box::new(Query::Product(inner.clone(), b.clone())),
+                        ))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        // ---- Structural cleanups ----
+        Rule {
+            name: "identity-projection",
+            paper_eq: "struct",
+            apply: |q, ctx| match q {
+                Query::Project(x, inner) => {
+                    let attrs = ctx.attrs_of(inner)?;
+                    if x.len() == attrs.len() && subset(x, &attrs) {
+                        Some(inner.as_ref().clone())
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            },
+        },
+        Rule {
+            name: "projection-fusion",
+            paper_eq: "struct",
+            apply: |q, _| match q {
+                Query::Project(x, inner) => match inner.as_ref() {
+                    Query::Project(y, body) if subset_vec(x, y) => {
+                        Some(Query::Project(x.clone(), body.clone()))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+        Rule {
+            name: "selection-fusion",
+            paper_eq: "struct",
+            apply: |q, _| match q {
+                Query::Select(p1, inner) => match inner.as_ref() {
+                    Query::Select(p2, body) => Some(Query::Select(
+                        p1.clone().and(p2.clone()),
+                        body.clone(),
+                    )),
+                    _ => None,
+                },
+                _ => None,
+            },
+        },
+    ]
+}

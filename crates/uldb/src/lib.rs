@@ -1,0 +1,15 @@
+//! A minimal ULDB (database with uncertainty and lineage) in the style of
+//! Trio, sufficient to reproduce **Remark 4.6**: the TriQL query language is
+//! *not generic* — two ULDBs representing the same world-set can produce
+//! different world-sets under the same TriQL query, because TriQL constructs
+//! (horizontal selection) read the representation, not the represented
+//! world-set.
+//!
+//! The model implements x-tuples with alternatives, maybe-('?')-annotations
+//! and lineage pointing to alternatives of external x-tuples, plus the
+//! `rep()` enumeration of possible worlds and the horizontal-selection
+//! query used in the paper's counterexample.
+
+mod xtuple;
+
+pub use xtuple::{horizontal_select_distinct_alts, Alternative, Uldb, XTuple};

@@ -1,0 +1,89 @@
+//! The Section-2 business decision-support scenario, step by step.
+//!
+//! "Suppose I consider buying one company to gain the competency 'Web',
+//! but one key employee might leave — which targets guarantee the skill?"
+//!
+//! Each step materializes a view over the growing world-set, printing the
+//! same tables the paper shows (U₁/U₂, V₁.₁…V₂.₃, W, Result).
+//!
+//! Run with: `cargo run --example acquisition`
+
+use world_set_db::prelude::*;
+
+fn main() {
+    let mut s = Session::new();
+    s.register(
+        "Company_Emp",
+        Relation::table(
+            &["CID", "EID"],
+            &[
+                &["ACME", "e1"],
+                &["ACME", "e2"],
+                &["HAL", "e3"],
+                &["HAL", "e4"],
+                &["HAL", "e5"],
+            ],
+        ),
+    )
+    .unwrap();
+    s.register(
+        "Emp_Skills",
+        Relation::table(
+            &["EID", "Skill"],
+            &[
+                &["e1", "Web"],
+                &["e2", "Web"],
+                &["e3", "Java"],
+                &["e3", "Web"],
+                &["e4", "SQL"],
+                &["e5", "Java"],
+            ],
+        ),
+    )
+    .unwrap();
+
+    println!("== Step 1: choose exactly one company to buy ==");
+    s.execute("create view U as select * from Company_Emp choice of CID;")
+        .unwrap();
+    show(&s, "U");
+
+    println!("== Step 2: one (key) employee leaves that company ==");
+    s.execute(
+        "create view V as select R1.CID, R1.EID \
+         from Company_Emp R1, (select * from U choice of EID) R2 \
+         where R1.CID = R2.CID and R1.EID != R2.EID;",
+    )
+    .unwrap();
+    show(&s, "V");
+
+    println!("== Step 3: which skills do I gain for certain? ==");
+    s.execute(
+        "create view W as select certain CID, Skill from V, Emp_Skills \
+         where V.EID = Emp_Skills.EID group worlds by (select CID from V);",
+    )
+    .unwrap();
+    show(&s, "W");
+
+    println!("== Step 4: possible targets that guarantee 'Web' ==");
+    let out = s
+        .execute("select possible CID from W where Skill = 'Web';")
+        .unwrap();
+    let isql::ExecOutcome::Rows { answers, .. } = &out[0] else {
+        unreachable!()
+    };
+    for r in answers {
+        print!("{}", r.to_table_string("Result"));
+    }
+    println!(
+        "\nworld-set now has {} worlds over relations {:?}",
+        s.world_set().len(),
+        s.world_set().rel_names()
+    );
+}
+
+fn show(s: &Session, name: &str) {
+    for (i, rel) in s.answers(name).unwrap().iter().enumerate() {
+        print!("{}", rel.to_table_string(&format!("{name}[{}]", i + 1)));
+    }
+    println!("({} worlds)\n", s.world_set().len());
+}

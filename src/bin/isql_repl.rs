@@ -1,0 +1,167 @@
+//! An interactive I-SQL shell over a possible-worlds database.
+//!
+//! ```text
+//! cargo run --bin isql_repl
+//! isql> load flights
+//! isql> select certain Arr from Flights choice of Dep;
+//! isql> \worlds
+//! ```
+//!
+//! Statements end with `;`. Meta-commands: `\worlds` prints the current
+//! world-set, `\tables` lists relations, `\load <demo>` loads a demo
+//! dataset (`flights`, `company`, `census`, `lineitem`), `\quit` exits.
+
+use std::io::{self, BufRead, Write};
+
+use isql::{ExecOutcome, Session};
+
+fn main() {
+    let mut session = Session::new();
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+
+    println!("I-SQL shell — SQL for incomplete information (SIGMOD 2007).");
+    println!("End statements with ';'. Try: \\load flights  then");
+    println!("  select certain Arr from Flights choice of Dep;");
+    println!("Meta: \\worlds \\tables \\load <demo> \\csv <name> <path> \\explain <q> \\quit");
+
+    loop {
+        if buffer.is_empty() {
+            print!("isql> ");
+        } else {
+            print!("  ... ");
+        }
+        io::stdout().flush().ok();
+
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+
+        // Meta-commands act immediately.
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            match handle_meta(trimmed, &mut session) {
+                MetaResult::Continue => continue,
+                MetaResult::Quit => break,
+            }
+        }
+
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let script = std::mem::take(&mut buffer);
+        match session.execute(&script) {
+            Ok(outcomes) => {
+                for outcome in outcomes {
+                    report(&outcome, &session);
+                }
+            }
+            Err(e) => eprintln!("{e}"),
+        }
+    }
+    println!("bye.");
+}
+
+enum MetaResult {
+    Continue,
+    Quit,
+}
+
+fn handle_meta(cmd: &str, session: &mut Session) -> MetaResult {
+    let mut parts = cmd.split_whitespace();
+    match parts.next() {
+        Some("\\quit") | Some("\\q") => return MetaResult::Quit,
+        Some("\\worlds") => {
+            let ws = session.world_set();
+            println!("{} world(s):", ws.len());
+            print!("{}", ws.render());
+        }
+        Some("\\tables") => {
+            for name in session.world_set().rel_names() {
+                println!("  {name}");
+            }
+        }
+        Some("\\explain") => {
+            let rest: String = parts.collect::<Vec<_>>().join(" ");
+            match session.explain(&rest) {
+                Ok(e) => print!("{}", e.render()),
+                Err(e) => eprintln!("{e}"),
+            }
+        }
+        Some("\\csv") => {
+            let (name, path) = (parts.next(), parts.next());
+            match (name, path) {
+                (Some(name), Some(path)) => match std::fs::read_to_string(path) {
+                    Ok(text) => match relalg::relation_from_csv(&text) {
+                        Ok(rel) => load(session, name, rel),
+                        Err(e) => eprintln!("{e}"),
+                    },
+                    Err(e) => eprintln!("cannot read {path}: {e}"),
+                },
+                _ => eprintln!("usage: \\csv <name> <path>"),
+            }
+        }
+        Some("\\load") => match parts.next() {
+            Some("flights") => {
+                load(session, "Flights", datagen::flights(1, 5, 8, 3));
+                load(
+                    session,
+                    "Hotels",
+                    datagen::hotels(1, 10, 8),
+                );
+            }
+            Some("company") => {
+                let (ce, es) = datagen::company_skills(1, 3);
+                load(session, "Company_Emp", ce);
+                load(session, "Emp_Skills", es);
+            }
+            Some("census") => load(session, "Census", datagen::census(1, 8, 3)),
+            Some("lineitem") => load(session, "Lineitem", datagen::lineitem(1, 200, 3, 4)),
+            other => eprintln!("unknown dataset {other:?}"),
+        },
+        other => eprintln!("unknown meta-command {other:?}"),
+    }
+    MetaResult::Continue
+}
+
+fn load(session: &mut Session, name: &str, rel: relalg::Relation) {
+    match session.register(name, rel) {
+        Ok(()) => println!("loaded {name}"),
+        Err(e) => eprintln!("{e}"),
+    }
+}
+
+fn report(outcome: &ExecOutcome, session: &Session) {
+    match outcome {
+        ExecOutcome::Rows { name, answers } => {
+            println!(
+                "{name}: {} distinct answer(s) across {} world(s)",
+                answers.len(),
+                session.world_set().len()
+            );
+            for (i, rel) in answers.iter().enumerate().take(8) {
+                print!("{}", rel.to_table_string(&format!("{name}[{}]", i + 1)));
+            }
+            if answers.len() > 8 {
+                println!("… ({} more)", answers.len() - 8);
+            }
+        }
+        ExecOutcome::ViewCreated { name, worlds } => {
+            println!("view {name} materialized; world-set now has {worlds} world(s)");
+        }
+        ExecOutcome::Dml { applied } => {
+            if *applied {
+                println!("ok");
+            } else {
+                println!("rejected: constraint violated in some world — discarded in all");
+            }
+        }
+    }
+}

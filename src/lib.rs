@@ -1,0 +1,47 @@
+//! # world-set-db
+//!
+//! A faithful, executable reproduction of *"From Complete to Incomplete
+//! Information and Back"* (Antova, Koch, Olteanu — SIGMOD 2007): **World-set
+//! Algebra** and **I-SQL**, a query language for sets of possible worlds
+//! that is conservative over relational algebra.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`relalg`] — set-semantics relational algebra (σ π δ × ∪ ∩ − ⋈ ÷ and
+//!   the padded outer join `=⊲⊳` of Remark 5.5).
+//! * [`worldset`] — the possible-worlds data model and world-set
+//!   isomorphism.
+//! * [`wsa`] — World-set Algebra: syntax, the Figure-3 semantics, operator
+//!   typing, genericity, and the repair-by-key extension.
+//! * [`wsa_rewrite`] — the Figure-7 equivalences and the logical optimizer
+//!   (reproducing the Figure-8/9 rewrites).
+//! * [`wsa_inlined`] — inlined representations (Definition 5.1) and both
+//!   WSA-to-relational translations (Figure 6 and Section 5.3).
+//! * [`isql`] — the I-SQL surface language: parser, compiler to WSA, and a
+//!   direct world-set interpreter with aggregation and DML.
+//! * [`uldb`] — a minimal ULDB/TriQL baseline used to reproduce the
+//!   Remark-4.6 non-genericity counterexample.
+//! * [`datagen`] — seeded workload generators for tests, examples and
+//!   benchmarks.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use isql;
+pub use relalg;
+pub use uldb;
+pub use worldset;
+pub use wsa;
+pub use wsa_inlined;
+pub use wsa_rewrite;
+
+pub use datagen;
+
+/// Commonly used items, importable as `use world_set_db::prelude::*`.
+pub mod prelude {
+    pub use isql::Session;
+    pub use relalg::{attr, attrs, Attr, Catalog, Expr, Pred, Relation, Schema, Value};
+    pub use worldset::{World, WorldSet};
+    pub use wsa::{eval, Query};
+    pub use wsa_inlined::{translate_complete, translate_opt_complete, InlinedRep};
+    pub use wsa_rewrite::optimize;
+}

@@ -1,0 +1,104 @@
+//! Experiment E1: Figure 2 of the paper, reproduced exactly.
+//!
+//! (a) the Flights database; (b) the world-set created by `choice of Dep`;
+//! (c) a possible-worlds deletion; (d) `select certain Arr` evaluated on the
+//! world-set of (b), extending every world with F = {ATL}.
+
+use world_set_db::prelude::*;
+use wsa::eval_named;
+
+fn flights() -> Relation {
+    Relation::table(
+        &["Dep", "Arr"],
+        &[
+            &["FRA", "BCN"],
+            &["FRA", "ATL"],
+            &["PAR", "ATL"],
+            &["PAR", "BCN"],
+            &["PHL", "ATL"],
+        ],
+    )
+}
+
+/// Figure 2(b): χ_Dep creates worlds A (FRA), B (PAR), C (PHL).
+fn figure_2b() -> WorldSet {
+    let mk = |rows: &[&[&str]]| World::new(vec![Relation::table(&["Dep", "Arr"], rows)]);
+    WorldSet::from_worlds(
+        vec!["Flights".into()],
+        vec![
+            mk(&[&["FRA", "BCN"], &["FRA", "ATL"]]),
+            mk(&[&["PAR", "ATL"], &["PAR", "BCN"]]),
+            mk(&[&["PHL", "ATL"]]),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn figure_2b_via_choice_of() {
+    // Running `select * from Flights choice of Dep` over (a) yields the
+    // worlds of (b) as the answer relation.
+    let ws = WorldSet::single(vec![("Flights", flights())]);
+    let q = Query::rel("Flights").choice(relalg::attrs(&["Dep"]));
+    let out = eval_named(&q, &ws, "FlightsByDep").unwrap();
+    assert_eq!(out.len(), 3);
+    let answers: Vec<&Relation> = out.iter().map(|w| w.last()).collect();
+    for expected in figure_2b().iter().map(|w| w.rel(0)) {
+        assert!(answers.contains(&expected), "missing world {expected:?}");
+    }
+}
+
+#[test]
+fn figure_2c_deletion() {
+    // `delete from Flights where Arr = 'ATL'` acts in every world of (b).
+    let mut session = Session::with_world_set(figure_2b());
+    session
+        .execute("delete from Flights where Arr = 'ATL';")
+        .unwrap();
+    let out = session.world_set();
+    assert_eq!(out.len(), 3);
+    let expected = [
+        Relation::table(&["Dep", "Arr"], &[&["FRA", "BCN"]]),
+        Relation::table(&["Dep", "Arr"], &[&["PAR", "BCN"]]),
+        Relation::empty(relalg::Schema::of(&["Dep", "Arr"])),
+    ];
+    for e in &expected {
+        assert!(
+            out.iter().any(|w| w.rel(0) == e),
+            "missing Figure 2(c) world {e:?}"
+        );
+    }
+}
+
+#[test]
+fn figure_2d_certain_arrivals() {
+    // `select certain Arr from Flights` on (b): each of the three worlds is
+    // extended with F = {ATL}.
+    let q = Query::rel("Flights").project(relalg::attrs(&["Arr"])).cert();
+    let out = eval_named(&q, &figure_2b(), "F").unwrap();
+    assert_eq!(out.len(), 3);
+    let atl = Relation::table(&["Arr"], &[&["ATL"]]);
+    for w in out.iter() {
+        assert_eq!(w.last(), &atl);
+    }
+    // The same through I-SQL.
+    let mut session = Session::with_world_set(figure_2b());
+    let outcome = session
+        .execute("select certain Arr from Flights;")
+        .unwrap();
+    let isql::ExecOutcome::Rows { answers, .. } = &outcome[0] else {
+        panic!()
+    };
+    assert_eq!(answers, &vec![atl]);
+}
+
+#[test]
+fn example_3_1_certain_keeps_input_worlds() {
+    // Example 3.1: even though `certain` merges information across worlds,
+    // the result is again the set of three input worlds, each extended
+    // with F.
+    let q = Query::rel("Flights").project(relalg::attrs(&["Arr"])).cert();
+    let out = eval_named(&q, &figure_2b(), "F").unwrap();
+    let inputs_restored = out.drop_last();
+    assert_eq!(inputs_restored, figure_2b());
+}

@@ -1,0 +1,83 @@
+//! Experiment E13: genericity of World-set Algebra (Proposition 4.5),
+//! property-tested — `A ≅θ A′ ⇒ q(A) ≅θ q(A′)` for random world-sets,
+//! random domain permutations and a query family covering every operator.
+
+use datagen::{random_bijection, random_world_set, RandomSpec};
+use proptest::prelude::*;
+use relalg::{attrs, Pred};
+use worldset::active_domain;
+use wsa::{check_generic, query_constants, Query};
+
+fn spec() -> RandomSpec {
+    RandomSpec {
+        schemas: vec![vec!["A", "B"]],
+        worlds: 3,
+        max_tuples: 5,
+        domain: 5,
+    }
+}
+
+fn query_family() -> Vec<Query> {
+    let r = || Query::rel("R0");
+    vec![
+        r().project(attrs(&["A"])),
+        r().select(Pred::eq_attr("A", "B")),
+        r().choice(attrs(&["A"])),
+        r().choice(attrs(&["A"])).project(attrs(&["B"])).cert(),
+        r().choice(attrs(&["A"])).poss(),
+        r().poss_group(attrs(&["A"]), attrs(&["A", "B"])),
+        r().cert_group(attrs(&["A"]), attrs(&["B"])),
+        r().repair_by_key(attrs(&["A"])),
+        r().repair_by_key(attrs(&["A"])).poss(),
+        r().choice(attrs(&["A"]))
+            .union(r())
+            .cert(),
+        r().rename(vec![("A".into(), "X".into()), ("B".into(), "Y".into())])
+            .product(r())
+            .select(Pred::eq_attr("X", "A"))
+            .poss(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn wsa_queries_are_generic(seed in any::<u64>(), perm_seed in any::<u64>()) {
+        let ws = random_world_set(seed, &spec());
+        let theta = random_bijection(perm_seed, 5);
+        for q in query_family() {
+            prop_assert!(
+                check_generic(&q, &ws, &theta).unwrap(),
+                "genericity violated for {} under {:?}", q, theta
+            );
+        }
+    }
+
+    /// Constant-free queries have no fixed-point requirements.
+    #[test]
+    fn constants_only_from_selections(seed in any::<u64>()) {
+        let _ = seed;
+        for q in query_family() {
+            prop_assert!(query_constants(&q).is_empty());
+        }
+        let with_const = Query::rel("R0").select(Pred::eq_const("A", 3));
+        prop_assert_eq!(query_constants(&with_const).len(), 1);
+    }
+
+    /// Applying θ permutes the active domain consistently.
+    #[test]
+    fn bijection_moves_active_domain(seed in any::<u64>(), perm_seed in any::<u64>()) {
+        let ws = random_world_set(seed, &spec());
+        let theta = random_bijection(perm_seed, 5);
+        let moved = theta.apply(&ws).unwrap();
+        let dom_before: Vec<_> = active_domain(&ws)
+            .into_iter()
+            .map(|v| theta.apply_value(&v))
+            .collect();
+        let dom_after: Vec<_> = active_domain(&moved).into_iter().collect();
+        let mut sorted = dom_before.clone();
+        sorted.sort();
+        prop_assert_eq!(sorted, dom_after);
+    }
+}

@@ -1,0 +1,135 @@
+//! Query-space fuzzing: random well-typed WSA queries checked against the
+//! paper's metatheorems.
+//!
+//! * **Typing soundness** (Section 4.1): if the static type says a query is
+//!   complete-to-complete (`1↦1`), then on a one-world input every output
+//!   world carries the same answer.
+//! * **Schema soundness**: the inferred output schema matches the evaluated
+//!   answer relation's schema.
+//! * **Genericity** (Proposition 4.5) over random queries, not only the
+//!   hand-picked family.
+//! * **Conservativity** (Theorem 5.7) over random `1↦1` queries: both
+//!   translations agree with the direct semantics.
+//! * **Compositionality**: evaluation never changes the input relations of
+//!   any world — it only appends the answer.
+
+use datagen::{random_bijection, random_query, random_world_set, QuerySpec, RandomSpec};
+use proptest::prelude::*;
+use relalg::Catalog;
+use worldset::WorldSet;
+use wsa::typing::{is_complete_to_complete, output_schema};
+use wsa::{check_generic, eval_named};
+use wsa_inlined::{translate_complete, translate_opt_complete};
+
+fn data_spec(worlds: usize) -> RandomSpec {
+    RandomSpec {
+        schemas: vec![vec!["A", "B"], vec!["C", "D"]],
+        worlds,
+        max_tuples: 4,
+        domain: 3,
+    }
+}
+
+fn query_spec() -> QuerySpec {
+    QuerySpec::default()
+}
+
+fn base_of(ws: &WorldSet) -> impl Fn(&str) -> Option<relalg::Schema> + '_ {
+    move |name: &str| {
+        let idx = ws.index_of(name)?;
+        let w = ws.iter().next()?;
+        Some(w.rel(idx).schema().clone())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn typing_soundness(dseed in any::<u64>(), qseed in any::<u64>()) {
+        let ws = random_world_set(dseed, &data_spec(1));
+        let q = random_query(qseed, &query_spec());
+        let out = eval_named(&q, &ws, "Ans").unwrap();
+        if is_complete_to_complete(&q) {
+            let mut answers: Vec<&relalg::Relation> =
+                out.iter().map(|w| w.last()).collect();
+            answers.dedup();
+            prop_assert_eq!(
+                answers.len(), 1,
+                "1↦1 query with non-uniform answers: {}", q
+            );
+        }
+    }
+
+    #[test]
+    fn schema_soundness(dseed in any::<u64>(), qseed in any::<u64>()) {
+        let ws = random_world_set(dseed, &data_spec(2));
+        let q = random_query(qseed, &query_spec());
+        let schema = output_schema(&q, &base_of(&ws)).unwrap();
+        let out = eval_named(&q, &ws, "Ans").unwrap();
+        for w in out.iter() {
+            prop_assert!(
+                w.last().schema().same_attr_set(&schema),
+                "schema mismatch for {}: inferred {} vs got {}",
+                q, schema, w.last().schema()
+            );
+        }
+    }
+
+    #[test]
+    fn genericity_over_random_queries(dseed in any::<u64>(), qseed in any::<u64>()) {
+        let ws = random_world_set(dseed, &data_spec(2));
+        let theta = random_bijection(dseed ^ 0xabcdef, 3);
+        let q = random_query(qseed, &query_spec());
+        prop_assert!(
+            check_generic(&q, &ws, &theta).unwrap(),
+            "genericity violated by {}", q
+        );
+    }
+
+    #[test]
+    fn conservativity_over_random_queries(dseed in any::<u64>(), qseed in any::<u64>()) {
+        let ws = random_world_set(dseed, &data_spec(1));
+        let q = random_query(qseed, &query_spec());
+        if !is_complete_to_complete(&q) {
+            return Ok(());
+        }
+        let world = ws.the_world().unwrap();
+        let mut catalog = Catalog::new();
+        catalog.put("R0", world.rel(0).clone());
+        catalog.put("R1", world.rel(1).clone());
+        let base = |n: &str| catalog.schema_of(n);
+        let names = vec!["R0".to_string(), "R1".to_string()];
+
+        let direct = eval_named(&q, &ws, "Ans").unwrap();
+        let expected = direct.iter().next().unwrap().last().clone();
+
+        let general = translate_complete(&q, &base, &names).unwrap();
+        prop_assert_eq!(
+            &catalog.eval(&general).unwrap(), &expected,
+            "general translation differs for {}", q
+        );
+        let opt = translate_opt_complete(&q, &base).unwrap();
+        prop_assert_eq!(
+            &catalog.eval(&opt).unwrap(), &expected,
+            "optimized translation differs for {}", q
+        );
+    }
+
+    #[test]
+    fn evaluation_is_compositional(dseed in any::<u64>(), qseed in any::<u64>()) {
+        // The input relations of every world are untouched; only the answer
+        // is appended (Figure 3's ⟨R₁,…,R_k⟩ ↦ ⟨R₁,…,R_{k+1}⟩ discipline).
+        let ws = random_world_set(dseed, &data_spec(3));
+        let q = random_query(qseed, &query_spec());
+        let out = eval_named(&q, &ws, "Ans").unwrap();
+        prop_assert_eq!(out.rel_names().len(), ws.rel_names().len() + 1);
+        for w in out.iter() {
+            let stripped = w.drop_last();
+            prop_assert!(
+                ws.iter().any(|orig| *orig == stripped),
+                "evaluation invented or mutated a world for {}", q
+            );
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Experiments E2/E3: the Section-2 acquisition scenario as World-set
+//! Algebra — including the one-shot algebra form of Example 4.1 — and its
+//! agreement with the step-by-step I-SQL walk-through.
+
+use relalg::{attrs, Pred, Relation};
+use world_set_db::prelude::*;
+use wsa::{eval_named, eval_program, Statement};
+
+fn company_emp() -> Relation {
+    Relation::table(
+        &["CID", "EID"],
+        &[
+            &["ACME", "e1"],
+            &["ACME", "e2"],
+            &["HAL", "e3"],
+            &["HAL", "e4"],
+            &["HAL", "e5"],
+        ],
+    )
+}
+
+fn emp_skills() -> Relation {
+    Relation::table(
+        &["EID2", "Skill"],
+        &[
+            &["e1", "Web"],
+            &["e2", "Web"],
+            &["e3", "Java"],
+            &["e3", "Web"],
+            &["e4", "SQL"],
+            &["e5", "Java"],
+        ],
+    )
+}
+
+/// Example 4.1: the acquisition query as a single world-set algebra
+/// expression:
+/// `poss(π_CID(σ_{Skill='Web'}(cγ^*_CID(π_{1.CID,1.EID}(χ_{CID,EID}(CE)
+/// ⋈_{1.CID=2.CID ∧ 1.EID≠2.EID} CE) ⋈ ES))))`.
+#[test]
+fn example_4_1_one_shot_algebra() {
+    let ws = WorldSet::single(vec![("CE", company_emp()), ("ES", emp_skills())]);
+
+    // χ_{CID,EID}(CE) renamed to the "2.*" copy (the employee who leaves),
+    // joined with the full CE as "1.*" (the remaining employees).
+    let leaver = Query::rel("CE")
+        .choice(attrs(&["CID", "EID"]))
+        .rename(vec![
+            ("CID".into(), "2.CID".into()),
+            ("EID".into(), "2.EID".into()),
+        ]);
+    let remaining = Query::rel("CE")
+        .rename(vec![
+            ("CID".into(), "1.CID".into()),
+            ("EID".into(), "1.EID".into()),
+        ])
+        .join(
+            leaver,
+            Pred::eq_attr("1.CID", "2.CID").and(Pred::ne_attr("1.EID", "2.EID")),
+        )
+        .project(attrs(&["1.CID", "1.EID"]));
+
+    let q = remaining
+        .join(Query::rel("ES"), Pred::eq_attr("1.EID", "EID2"))
+        .project(attrs(&["1.CID", "Skill"]))
+        .cert_group(attrs(&["1.CID"]), attrs(&["1.CID", "Skill"]))
+        .select(Pred::eq_const("Skill", "Web"))
+        .project(attrs(&["1.CID"]))
+        .poss();
+
+    let out = eval_named(&q, &ws, "Result").unwrap();
+    let acme = Relation::table(&["1.CID"], &[&["ACME"]]);
+    for w in out.iter() {
+        assert_eq!(w.last(), &acme, "Result must be {{ACME}} in every world");
+    }
+}
+
+/// The same scenario as a WSA *program* (views materialized step by step),
+/// checking the intermediate world counts of the paper.
+#[test]
+fn acquisition_as_wsa_program() {
+    let ws = WorldSet::single(vec![("CE", company_emp()), ("ES", emp_skills())]);
+    let program = vec![
+        // U ← one world per company.
+        Statement::new("U", Query::rel("CE").choice(attrs(&["CID"]))),
+        // V ← one employee leaves: join U-choice of the leaver with CE.
+        Statement::new(
+            "V",
+            Query::rel("CE")
+                .rename(vec![
+                    ("CID".into(), "1.CID".into()),
+                    ("EID".into(), "1.EID".into()),
+                ])
+                .join(
+                    Query::rel("U").choice(attrs(&["EID"])).rename(vec![
+                        ("CID".into(), "2.CID".into()),
+                        ("EID".into(), "2.EID".into()),
+                    ]),
+                    Pred::eq_attr("1.CID", "2.CID").and(Pred::ne_attr("1.EID", "2.EID")),
+                )
+                .project(attrs(&["1.CID", "1.EID"])),
+        ),
+        // W ← certain skills per acquisition target.
+        Statement::new(
+            "W",
+            Query::rel("V")
+                .join(Query::rel("ES"), Pred::eq_attr("1.EID", "EID2"))
+                .project(attrs(&["1.CID", "Skill"]))
+                .cert_group(attrs(&["1.CID"]), attrs(&["1.CID", "Skill"])),
+        ),
+        // Result ← possible targets guaranteeing Web.
+        Statement::new(
+            "Result",
+            Query::rel("W")
+                .select(Pred::eq_const("Skill", "Web"))
+                .project(attrs(&["1.CID"]))
+                .poss(),
+        ),
+    ];
+    let out = eval_program(&program, &ws).unwrap();
+    assert_eq!(
+        out.rel_names(),
+        ["CE", "ES", "U", "V", "W", "Result"]
+    );
+    // Five worlds (V1.1, V1.2, V2.1, V2.2, V2.3 of the paper).
+    assert_eq!(out.len(), 5);
+    let acme = Relation::table(&["1.CID"], &[&["ACME"]]);
+    for w in out.iter() {
+        assert_eq!(w.last(), &acme);
+    }
+    // W is {(ACME,Web)} in ACME worlds and {(HAL,Java)} in HAL worlds.
+    let w_idx = out.index_of("W").unwrap();
+    let mut w_tables: Vec<&Relation> = out.iter().map(|w| w.rel(w_idx)).collect();
+    w_tables.sort();
+    w_tables.dedup();
+    assert_eq!(w_tables.len(), 2);
+    assert!(w_tables
+        .contains(&&Relation::table(&["1.CID", "Skill"], &[&["ACME", "Web"]])));
+    assert!(w_tables
+        .contains(&&Relation::table(&["1.CID", "Skill"], &[&["HAL", "Java"]])));
+}
+
+/// The WSA program and the I-SQL session agree on the final result.
+#[test]
+fn algebra_and_isql_agree() {
+    // I-SQL session (bare column names).
+    let mut session = Session::new();
+    session.register("Company_Emp", company_emp()).unwrap();
+    session
+        .register(
+            "Emp_Skills",
+            Relation::table(
+                &["EID", "Skill"],
+                &[
+                    &["e1", "Web"],
+                    &["e2", "Web"],
+                    &["e3", "Java"],
+                    &["e3", "Web"],
+                    &["e4", "SQL"],
+                    &["e5", "Java"],
+                ],
+            ),
+        )
+        .unwrap();
+    let out = session
+        .execute(
+            "create view U as select * from Company_Emp choice of CID; \
+             create view V as select R1.CID, R1.EID \
+               from Company_Emp R1, (select * from U choice of EID) R2 \
+               where R1.CID = R2.CID and R1.EID != R2.EID; \
+             create view W as select certain CID, Skill from V, Emp_Skills \
+               where V.EID = Emp_Skills.EID group worlds by (select CID from V); \
+             select possible CID from W where Skill = 'Web';",
+        )
+        .unwrap();
+    let isql::ExecOutcome::Rows { answers, .. } = out.last().unwrap() else {
+        panic!()
+    };
+    assert_eq!(answers, &vec![Relation::table(&["CID"], &[&["ACME"]])]);
+}

@@ -1,0 +1,102 @@
+//! Experiment E18 (Section 7, "Further Expressiveness Issues"): world-set
+//! algebra cannot express the world-pairing operation.
+//!
+//! The paper's counting argument, made executable: take the world-set of
+//! all `2ⁿ` subsets of an n-element unary relation. Pairing produces
+//! `2^{2n}` distinct worlds. Any *fixed* WSA query multiplies the number of
+//! worlds by a factor bounded by the active-domain size raised to a
+//! constant (choice-of is the only world-increasing operator), i.e. at most
+//! `2ⁿ · poly(n)` worlds — asymptotically short of `2^{2n}`.
+
+use datagen::{random_query, QuerySpec};
+use relalg::{Relation, Schema, Value};
+use worldset::{pair_worlds, World, WorldSet};
+use wsa::typing::world_growth_bound;
+use wsa::{eval_named, Query};
+
+/// The world-set of all subsets of `{0, …, n-1}` over `R(A)`.
+fn all_subsets(n: u32) -> WorldSet {
+    let schema = Schema::of(&["A"]);
+    let mut worlds = Vec::new();
+    for mask in 0u32..(1 << n) {
+        let rows = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| vec![Value::Int(i as i64)]);
+        worlds.push(World::new(vec![
+            Relation::from_rows(schema.clone(), rows).unwrap()
+        ]));
+    }
+    WorldSet::from_worlds(vec!["R".into()], worlds).unwrap()
+}
+
+#[test]
+fn pairing_squares_the_world_count() {
+    for n in [1u32, 2, 3] {
+        let ws = all_subsets(n);
+        assert_eq!(ws.len(), 1 << n);
+        let paired = pair_worlds(&ws);
+        assert_eq!(
+            paired.len(),
+            1 << (2 * n),
+            "pairing must produce 2^(2n) distinct worlds"
+        );
+        assert_eq!(paired.rel_names(), ["R", "R'"]);
+    }
+}
+
+#[test]
+fn pairing_from_single_world_does_not_grow() {
+    // "starting with a single world, pairing will not increase the
+    // cardinality of the world-set, while choice-of in general does."
+    let single = WorldSet::single(vec![(
+        "R",
+        Relation::table(&["A"], &[&[0i64], &[1]]),
+    )]);
+    assert_eq!(pair_worlds(&single).len(), 1);
+    let choice = Query::rel("R").choice(relalg::attrs(&["A"]));
+    assert_eq!(eval_named(&choice, &single, "Ans").unwrap().len(), 2);
+}
+
+/// The static growth bound is sound: `|⟦q⟧(A)| ≤ |A| · bound(q, |adom|)`.
+#[test]
+fn growth_bound_is_sound_for_random_queries() {
+    let spec = QuerySpec {
+        relations: vec![("R".to_string(), Schema::of(&["A"]))],
+        max_depth: 4,
+        allow_repair: false,
+        const_domain: 3,
+    };
+    let ws = all_subsets(3);
+    let adom = 3u64;
+    for seed in 0..120 {
+        let q = random_query(seed, &spec);
+        let out = eval_named(&q, &ws, "Ans").unwrap();
+        let bound = (ws.len() as u64).saturating_mul(world_growth_bound(&q, adom));
+        assert!(
+            (out.len() as u64) <= bound,
+            "query {q} produced {} worlds, bound was {bound}",
+            out.len()
+        );
+    }
+}
+
+/// The separation, concretely: for every query up to a fixed size budget,
+/// the bound `2ⁿ · c_q` with `c_q` independent of `n` eventually falls
+/// below the pairing count `2^{2n}`. Here: the trip-planning-shaped query
+/// (one χ over one attribute) has `c_q = adom + 1`, so for `n ≥ 3`
+/// pairing (`2^{2n}`) already exceeds `2ⁿ · (n+1)`.
+#[test]
+fn pairing_exceeds_fixed_query_bounds() {
+    for n in [3u32, 4, 5] {
+        let pairing_count: u64 = 1 << (2 * n);
+        let one_choice_bound: u64 =
+            (1u64 << n) * world_growth_bound(
+                &Query::rel("R").choice(relalg::attrs(&["A"])),
+                n as u64,
+            );
+        assert!(
+            pairing_count > one_choice_bound,
+            "n={n}: pairing {pairing_count} vs bound {one_choice_bound}"
+        );
+    }
+}
