@@ -20,24 +20,32 @@ fn bench_division(c: &mut Criterion) {
     for &n_dep in &[4usize, 8, 16] {
         let flights = datagen::flights(5, n_dep, 10, 6);
 
-        group.bench_with_input(BenchmarkId::new("isql_choice_cert", n_dep), &n_dep, |b, _| {
-            b.iter(|| {
-                let mut s = Session::new();
-                s.register("HFlights", flights.clone()).unwrap();
-                s.execute("select certain Arr from HFlights choice of Dep;")
-                    .unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("isql_choice_cert", n_dep),
+            &n_dep,
+            |b, _| {
+                b.iter(|| {
+                    let mut s = Session::new();
+                    s.register("HFlights", flights.clone()).unwrap();
+                    s.execute("select certain Arr from HFlights choice of Dep;")
+                        .unwrap()
+                });
+            },
+        );
 
-        group.bench_with_input(BenchmarkId::new("native_division", n_dep), &n_dep, |b, _| {
-            b.iter(|| {
-                flights
-                    .project(&attrs(&["Arr", "Dep"]))
-                    .unwrap()
-                    .divide(&flights.project(&attrs(&["Dep"])).unwrap())
-                    .unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("native_division", n_dep),
+            &n_dep,
+            |b, _| {
+                b.iter(|| {
+                    flights
+                        .project(&attrs(&["Arr", "Dep"]))
+                        .unwrap()
+                        .divide(&flights.project(&attrs(&["Dep"])).unwrap())
+                        .unwrap()
+                });
+            },
+        );
 
         group.bench_with_input(
             BenchmarkId::new("double_not_exists", n_dep),

@@ -35,13 +35,9 @@ fn bench_translation(c: &mut Criterion) {
         let ws = WorldSet::single(vec![("HFlights", flights.clone())]);
         let q = trip_query();
 
-        group.bench_with_input(
-            BenchmarkId::new("direct_worlds", n_dep),
-            &n_dep,
-            |b, _| {
-                b.iter(|| wsa::eval_named(&q, &ws, "Ans").unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("direct_worlds", n_dep), &n_dep, |b, _| {
+            b.iter(|| wsa::eval_named(&q, &ws, "Ans").unwrap());
+        });
 
         let rep = InlinedRep::single_world(vec![("HFlights", flights.clone())]);
         group.bench_with_input(
@@ -55,8 +51,7 @@ fn bench_translation(c: &mut Criterion) {
         let mut catalog = Catalog::new();
         catalog.put("HFlights", flights.clone());
         let base = |n: &str| catalog.schema_of(n);
-        let general_expr =
-            translate_complete(&q, &base, &["HFlights".to_string()]).unwrap();
+        let general_expr = translate_complete(&q, &base, &["HFlights".to_string()]).unwrap();
         group.bench_with_input(
             BenchmarkId::new("general_expr_eval", n_dep),
             &n_dep,
@@ -65,11 +60,8 @@ fn bench_translation(c: &mut Criterion) {
             },
         );
 
-        let opt_expr = relalg::simplify(
-            &translate_opt_complete(&q, &base).unwrap(),
-            &base,
-        )
-        .unwrap();
+        let opt_expr =
+            relalg::simplify(&translate_opt_complete(&q, &base).unwrap(), &base).unwrap();
         group.bench_with_input(
             BenchmarkId::new("optimized_translation", n_dep),
             &n_dep,

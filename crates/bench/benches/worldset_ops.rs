@@ -35,12 +35,8 @@ fn bench_worldset_ops(c: &mut Criterion) {
     for &d in &[8usize, 32, 128] {
         let flights = datagen::flights(19, d, 10, 4);
         let ws = WorldSet::single(vec![("F", flights)]);
-        let split = wsa::eval_named(
-            &Query::rel("F").choice(attrs(&["Dep"])),
-            &ws,
-            "ByDep",
-        )
-        .unwrap();
+        let split =
+            wsa::eval_named(&Query::rel("F").choice(attrs(&["Dep"])), &ws, "ByDep").unwrap();
 
         let poss = Query::rel("ByDep").project(attrs(&["Arr"])).poss();
         group.bench_with_input(BenchmarkId::new("poss", d), &d, |b, _| {
@@ -52,8 +48,7 @@ fn bench_worldset_ops(c: &mut Criterion) {
             b.iter(|| wsa::eval_named(&cert, &split, "Ans").unwrap());
         });
 
-        let grouped = Query::rel("ByDep")
-            .poss_group(attrs(&["Arr"]), attrs(&["Dep", "Arr"]));
+        let grouped = Query::rel("ByDep").poss_group(attrs(&["Arr"]), attrs(&["Dep", "Arr"]));
         group.bench_with_input(BenchmarkId::new("poss_group", d), &d, |b, _| {
             b.iter(|| wsa::eval_named(&grouped, &split, "Ans").unwrap());
         });

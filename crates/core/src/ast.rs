@@ -179,9 +179,7 @@ impl Query {
     pub fn is_relational(&self) -> bool {
         match self {
             Query::Rel(_) => true,
-            Query::Select(_, q) | Query::Project(_, q) | Query::Rename(_, q) => {
-                q.is_relational()
-            }
+            Query::Select(_, q) | Query::Project(_, q) | Query::Rename(_, q) => q.is_relational(),
             Query::Product(a, b)
             | Query::Union(a, b)
             | Query::Intersect(a, b)

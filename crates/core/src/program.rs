@@ -97,19 +97,13 @@ mod tests {
 
     #[test]
     fn empty_program_is_identity() {
-        let ws = WorldSet::single(vec![(
-            "R",
-            Relation::table(&["A"], &[&[1i64]]),
-        )]);
+        let ws = WorldSet::single(vec![("R", Relation::table(&["A"], &[&[1i64]]))]);
         assert_eq!(eval_program(&vec![], &ws).unwrap(), ws);
     }
 
     #[test]
     fn statement_errors_propagate() {
-        let ws = WorldSet::single(vec![(
-            "R",
-            Relation::table(&["A"], &[&[1i64]]),
-        )]);
+        let ws = WorldSet::single(vec![("R", Relation::table(&["A"], &[&[1i64]]))]);
         let program = vec![Statement::new(
             "Bad",
             Query::rel("R").select(Pred::eq_const("Z", 1)),

@@ -85,16 +85,19 @@ pub fn coloring_program() -> (Vec<Statement>, Query) {
         Query::rel("NodeColor").repair_by_key(attrs(&["N"])),
     );
 
-    let c1 = Query::rel("Coloring").rename(vec![("N".into(), "N1".into()), ("Color".into(), "C1".into())]);
-    let c2 = Query::rel("Coloring").rename(vec![("N".into(), "N2".into()), ("Color".into(), "C2".into())]);
-    let bad = c1
-        .product(c2)
-        .product(Query::rel("Edge"))
-        .select(
-            Pred::eq_attr("N1", "Src")
-                .and(Pred::eq_attr("N2", "Dst"))
-                .and(Pred::eq_attr("C1", "C2")),
-        );
+    let c1 = Query::rel("Coloring").rename(vec![
+        ("N".into(), "N1".into()),
+        ("Color".into(), "C1".into()),
+    ]);
+    let c2 = Query::rel("Coloring").rename(vec![
+        ("N".into(), "N2".into()),
+        ("Color".into(), "C2".into()),
+    ]);
+    let bad = c1.product(c2).product(Query::rel("Edge")).select(
+        Pred::eq_attr("N1", "Src")
+            .and(Pred::eq_attr("N2", "Dst"))
+            .and(Pred::eq_attr("C1", "C2")),
+    );
     let check = Query::rel("NodeColor")
         .project(vec![])
         .difference(bad.project(vec![]))

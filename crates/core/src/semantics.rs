@@ -20,8 +20,9 @@
 //!   of the answer under the key `U` (Section 4.1, extension).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use relalg::{Pred, Relation, Result, Tuple};
+use relalg::{Relation, Result, Tuple};
 use worldset::{World, WorldSet};
 
 use crate::Query;
@@ -57,7 +58,12 @@ fn eval_worlds_inner(q: &Query, ws: &WorldSet) -> Result<Vec<World>> {
             let idx = ws
                 .index_of(name)
                 .ok_or_else(|| relalg::RelalgError::UnknownTable { name: name.clone() })?;
-            Ok(ws.iter().map(|w| w.with(w.rel(idx).clone())).collect())
+            // The answer is the base relation itself: a shared handle, so
+            // appending it to every world is a reference-count bump.
+            Ok(ws
+                .iter()
+                .map(|w| w.with(w.rel_shared(idx).clone()))
+                .collect())
         }
 
         Query::Select(p, inner) => unary(ws, inner, |r| r.select(p)),
@@ -80,9 +86,12 @@ fn eval_worlds_inner(q: &Query, ws: &WorldSet) -> Result<Vec<World>> {
                     out.push(w.clone());
                     continue;
                 }
-                for v in answer.distinct_values(attrs)? {
-                    let pred = eq_tuple(attrs, &v);
-                    out.push(w.replace_last(answer.select(&pred)?));
+                // One pass over the answer partitions it by the choice
+                // attributes (instead of one σ_{U=v} re-scan per created
+                // world); the prefix relations are shared by every
+                // successor world.
+                for (_, part) in answer.partition_by(attrs)? {
+                    out.push(w.replace_last(part));
                 }
             }
             Ok(out)
@@ -110,15 +119,6 @@ fn eval_worlds_inner(q: &Query, ws: &WorldSet) -> Result<Vec<World>> {
     }
 }
 
-/// Build `σ_{A₁=v₁ ∧ … ∧ Aₙ=vₙ}`.
-fn eq_tuple(attrs: &[relalg::Attr], values: &Tuple) -> Pred {
-    let mut pred = Pred::True;
-    for (a, v) in attrs.iter().zip(values) {
-        pred = pred.and(Pred::eq_const(a.clone(), v.clone()));
-    }
-    pred
-}
-
 fn unary(
     ws: &WorldSet,
     inner: &Query,
@@ -143,8 +143,11 @@ fn binary(
 ) -> Result<Vec<World>> {
     let left = eval_worlds(a, ws)?;
     let right = eval_worlds(b, ws)?;
-    // Group right worlds by their prefix.
-    let mut by_prefix: BTreeMap<&[Relation], Vec<&Relation>> = BTreeMap::new();
+    // Group right worlds by their prefix. (`Ord` on `Arc<Relation>` always
+    // compares relation data — prefixes must pair by *value*, since equal
+    // worlds can arrive under distinct allocations from the two operand
+    // evaluations.)
+    let mut by_prefix: BTreeMap<&[Arc<Relation>], Vec<&Relation>> = BTreeMap::new();
     for w in &right {
         by_prefix.entry(w.prefix()).or_default().push(w.last());
     }
@@ -180,19 +183,21 @@ fn grouped(
             Some(u) => Ok(Some(w.last().distinct_values(u)?)),
         }
     };
-    let proj_of = |r: &Relation| -> Result<Relation> {
+    let proj_of = |w: &World| -> Result<Arc<Relation>> {
         match proj {
-            None => Ok(r.clone()),
-            Some(v) => r.project(v),
+            // Identity projection: share the answer, no copy.
+            None => Ok(w.last_shared().clone()),
+            Some(v) => Ok(Arc::new(w.last().project(v)?)),
         }
     };
 
-    // Compute the combined answer per group.
-    let mut group_answer: BTreeMap<Option<std::collections::BTreeSet<Tuple>>, Relation> =
+    // Compute the combined answer per group; answers are shared so that
+    // installing a group answer into each member world is an `Arc` bump.
+    let mut group_answer: BTreeMap<Option<std::collections::BTreeSet<Tuple>>, Arc<Relation>> =
         BTreeMap::new();
     for w in &input {
         let key = key_of(w)?;
-        let contribution = proj_of(w.last())?;
+        let contribution = proj_of(w)?;
         match group_answer.entry(key) {
             std::collections::btree_map::Entry::Vacant(e) => {
                 e.insert(contribution);
@@ -203,7 +208,7 @@ fn grouped(
                 } else {
                     e.get().intersect(&contribution)?
                 };
-                e.insert(merged);
+                e.insert(Arc::new(merged));
             }
         }
     }
@@ -263,7 +268,7 @@ pub(crate) fn repairs_by_key(r: &Relation, key: &[relalg::Attr]) -> Result<Vec<R
 #[cfg(test)]
 mod tests {
     use super::*;
-    use relalg::{attrs, Value};
+    use relalg::{attrs, Pred, Value};
 
     fn flights() -> Relation {
         Relation::table(
@@ -420,11 +425,7 @@ mod tests {
             .cert_group(attrs(&["B"]), attrs(&["B"]));
         let out = eval(&q, &ws).unwrap();
         for w in out.iter() {
-            let b_vals: Vec<i64> = w
-                .last()
-                .iter()
-                .map(|t| t[0].as_int().unwrap())
-                .collect();
+            let b_vals: Vec<i64> = w.last().iter().map(|t| t[0].as_int().unwrap()).collect();
             // Group {A=1, A=3}: π_B both {2} → intersection {2}.
             // Group {A=2}: π_B = {3,4}.
             assert!(b_vals == vec![2] || b_vals == vec![3, 4]);
@@ -468,10 +469,7 @@ mod tests {
             .cert();
         let out = eval(&q, &ws).unwrap();
         for w in out.iter() {
-            assert_eq!(
-                w.last().iter().next().unwrap()[0],
-                Value::str("ATL")
-            );
+            assert_eq!(w.last().iter().next().unwrap()[0], Value::str("ATL"));
             assert_eq!(w.last().len(), 1);
         }
     }

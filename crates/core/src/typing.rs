@@ -41,9 +41,7 @@ pub fn world_type(q: &Query, input: Multiplicity) -> WorldType {
             worlds: input,
             uniform: input == Multiplicity::One,
         },
-        Query::Select(_, q) | Query::Project(_, q) | Query::Rename(_, q) => {
-            world_type(q, input)
-        }
+        Query::Select(_, q) | Query::Project(_, q) | Query::Rename(_, q) => world_type(q, input),
         Query::Product(a, b)
         | Query::Union(a, b)
         | Query::Intersect(a, b)
@@ -102,9 +100,9 @@ pub fn is_complete_to_complete(q: &Query) -> bool {
 /// lists, grouping attributes, choice attributes, repair keys).
 pub fn output_schema(q: &Query, base: &dyn Fn(&str) -> Option<Schema>) -> Result<Schema> {
     match q {
-        Query::Rel(name) => base(name).ok_or_else(|| RelalgError::UnknownTable {
-            name: name.clone(),
-        }),
+        Query::Rel(name) => {
+            base(name).ok_or_else(|| RelalgError::UnknownTable { name: name.clone() })
+        }
         Query::Select(pred, inner) => {
             let s = output_schema(inner, base)?;
             check_pred(pred, &s)?;
@@ -293,7 +291,9 @@ mod tests {
     fn binary_needs_both_uniform() {
         let closed = Query::rel("R").choice(attrs(&["A"])).poss();
         let open = Query::rel("R").choice(attrs(&["A"]));
-        assert!(is_complete_to_complete(&closed.clone().union(closed.clone())));
+        assert!(is_complete_to_complete(
+            &closed.clone().union(closed.clone())
+        ));
         assert!(!is_complete_to_complete(&closed.union(open)));
     }
 

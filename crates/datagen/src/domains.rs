@@ -98,8 +98,7 @@ pub fn lineitem(seed: u64, n: usize, n_years: usize, n_quantities: usize) -> Rel
             Value::Int(year),
         ]);
     }
-    Relation::from_rows(Schema::of(&["Product", "Quantity", "Price", "Year"]), rows)
-        .expect("arity")
+    Relation::from_rows(Schema::of(&["Product", "Quantity", "Price", "Year"]), rows).expect("arity")
 }
 
 /// A TPC-H-Q6-style `Lineitem(Product, Quantity, Price, Discount, Year)`
@@ -112,7 +111,7 @@ pub fn lineitem_q6(seed: u64, n: usize, n_years: usize) -> Relation {
     for i in 0..n {
         rows.push(vec![
             Value::str(&format!("P{:02}", rng.gen_range(0..40))),
-            Value::Int([100i64, 250, 500, 1000][rng.gen_range(0..4)]),
+            Value::Int([100i64, 250, 500, 1000][rng.gen_range(0..4usize)]),
             Value::Int(rng.gen_range(10..=2000)),
             Value::Int(rng.gen_range(0..=10)),
             Value::Int(2000 + (i % n_years) as i64),

@@ -119,7 +119,10 @@ fn gen(rng: &mut StdRng, spec: &QuerySpec, depth: usize) -> (Query, Vec<Attr>) {
                     .zip(attrs.iter().cloned())
                     .filter(|(a, b)| a != b)
                     .collect();
-                let valid = oattrs.iter().collect::<std::collections::BTreeSet<_>>().len()
+                let valid = oattrs
+                    .iter()
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len()
                     == oattrs.len();
                 if valid {
                     let other = if renames.is_empty() {

@@ -33,7 +33,12 @@ impl Default for RandomSpec {
 
 /// A random relation over `schema` with at most `max_tuples` tuples drawn
 /// from `0..domain`.
-pub fn random_relation(rng: &mut StdRng, schema: &Schema, max_tuples: usize, domain: i64) -> Relation {
+pub fn random_relation(
+    rng: &mut StdRng,
+    schema: &Schema,
+    max_tuples: usize,
+    domain: i64,
+) -> Relation {
     let n = rng.gen_range(0..=max_tuples);
     let rows = (0..n).map(|_| {
         schema
@@ -66,10 +71,8 @@ pub fn random_bijection(seed: u64, domain: i64) -> Bijection {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x85eb_ca6b);
     let mut image: Vec<i64> = (0..domain).collect();
     image.shuffle(&mut rng);
-    Bijection::from_pairs(
-        (0..domain).map(|i| (Value::Int(i), Value::Int(image[i as usize]))),
-    )
-    .expect("permutation is bijective")
+    Bijection::from_pairs((0..domain).map(|i| (Value::Int(i), Value::Int(image[i as usize]))))
+        .expect("permutation is bijective")
 }
 
 #[cfg(test)]

@@ -149,10 +149,7 @@ mod tests {
 
     #[test]
     fn single_world_rep() {
-        let rep = InlinedRep::single_world(vec![(
-            "R",
-            Relation::table(&["A"], &[&[1i64]]),
-        )]);
+        let rep = InlinedRep::single_world(vec![("R", Relation::table(&["A"], &[&[1i64]]))]);
         let ws = rep.rep().unwrap();
         assert_eq!(ws.len(), 1);
         assert_eq!(ws.the_world().unwrap().rel(0).len(), 1);

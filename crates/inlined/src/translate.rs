@@ -11,7 +11,7 @@
 //! the translated query polynomial in the size of the input query
 //! (Theorem 5.7).
 
-use relalg::{Attr, Catalog, Expr, Pred, Relation, RelalgError, Result, Schema};
+use relalg::{Attr, Catalog, Expr, Pred, RelalgError, Relation, Result, Schema};
 use worldset::WorldSet;
 use wsa::typing::is_complete_to_complete;
 use wsa::Query;
@@ -142,11 +142,7 @@ impl<'a> Translator<'a> {
                 proj.extend(b.iter().cloned().zip(vb.iter().cloned()));
                 let answer = ans.project_as(proj);
                 // Copy every base table into the new worlds.
-                let tables = st
-                    .tables
-                    .iter()
-                    .map(|t| t.natural_join(&wprime))
-                    .collect();
+                let tables = st.tables.iter().map(|t| t.natural_join(&wprime)).collect();
                 Ok((
                     State {
                         tables,
@@ -248,11 +244,7 @@ impl<'a> Translator<'a> {
         av.extend(ids.iter().cloned());
         let x = ans.project(av);
         // X₂(a₂, v₂) — a renamed copy.
-        let mut list: Vec<(Attr, Attr)> = group
-            .iter()
-            .cloned()
-            .zip(a2.iter().cloned())
-            .collect();
+        let mut list: Vec<(Attr, Attr)> = group.iter().cloned().zip(a2.iter().cloned()).collect();
         list.extend(ids.iter().cloned().zip(v2.iter().cloned()));
         let x2 = x.project_as(list);
 
@@ -275,11 +267,7 @@ impl<'a> Translator<'a> {
         let in_v1 = x.product(&worlds2);
         let diff_dir = in_v1.difference(&matched).project(idv2.clone());
         // … symmetrized (erratum fix), so S′ is an equivalence.
-        let mut swap: Vec<(Attr, Attr)> = v2
-            .iter()
-            .cloned()
-            .zip(ids.iter().cloned())
-            .collect();
+        let mut swap: Vec<(Attr, Attr)> = v2.iter().cloned().zip(ids.iter().cloned()).collect();
         swap.extend(ids.iter().cloned().zip(v2.iter().cloned()));
         let s = diff_dir.union(&diff_dir.project_as(swap));
         let sprime = all_pairs.difference(&s);
@@ -315,11 +303,7 @@ impl<'a> Translator<'a> {
                 ids.push(v.clone());
             }
         }
-        let tables: Vec<Expr> = st
-            .tables
-            .iter()
-            .map(|t| t.natural_join(&w0))
-            .collect();
+        let tables: Vec<Expr> = st.tables.iter().map(|t| t.natural_join(&w0)).collect();
         let (answer, d) = match op {
             BinOp::Product => {
                 // R′ ⋈_{V=V} R′′ — value product, join on shared ids.
@@ -347,15 +331,7 @@ impl<'a> Translator<'a> {
                 (combined, d1)
             }
         };
-        Ok((
-            State {
-                tables,
-                w: w0,
-                ids,
-            },
-            answer,
-            d,
-        ))
+        Ok((State { tables, w: w0, ids }, answer, d))
     }
 }
 
@@ -453,16 +429,29 @@ pub fn run_general(q: &Query, rep: &InlinedRep, answer_name: &str) -> Result<Wor
 
     let mut names = tr.names.clone();
     names.push(answer_name.to_string());
-    let mut tables = Vec::with_capacity(tr.tables.len() + 1);
+    // One memo across every output expression: the world-table subplan is
+    // referenced by each of the k translated base tables plus the answer,
+    // and must be evaluated once for the whole batch, not once per table.
+    let mut cache = relalg::EvalCache::new();
+    let mut shared = Vec::with_capacity(tr.tables.len() + 1);
     for t in &tr.tables {
-        tables.push(catalog.eval(t)?);
+        shared.push(catalog.eval_cached(t, &mut cache)?);
     }
-    tables.push(catalog.eval(&tr.answer)?);
+    shared.push(catalog.eval_cached(&tr.answer, &mut cache)?);
+    let world_table = catalog.eval_cached(&tr.world_table, &mut cache)?;
+    // Unshare only at the materialization boundary — after the cache (which
+    // pins an `Arc` per memoized node) is gone, results not aliased by other
+    // nodes unwrap without a copy.
+    drop(cache);
+    let tables = shared
+        .into_iter()
+        .map(std::sync::Arc::unwrap_or_clone)
+        .collect();
     let out = InlinedRep {
         names,
         tables,
         id_attrs: tr.id_attrs.clone(),
-        world_table: catalog.eval(&tr.world_table)?,
+        world_table: std::sync::Arc::unwrap_or_clone(world_table),
     };
     out.rep()
 }

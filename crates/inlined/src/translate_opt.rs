@@ -97,16 +97,15 @@ impl<'a> OptTranslator<'a> {
 
             Query::Rename(map, inner) => {
                 let o = self.translate(inner)?;
-                let d: Vec<Attr> = o
-                    .d
-                    .iter()
-                    .map(|a| {
-                        map.iter()
-                            .find(|(s, _)| s == a)
-                            .map(|(_, t)| t.clone())
-                            .unwrap_or_else(|| a.clone())
-                    })
-                    .collect();
+                let d: Vec<Attr> =
+                    o.d.iter()
+                        .map(|a| {
+                            map.iter()
+                                .find(|(s, _)| s == a)
+                                .map(|(_, t)| t.clone())
+                                .unwrap_or_else(|| a.clone())
+                        })
+                        .collect();
                 Ok(Opt {
                     expr: o.expr.rename(map.clone()),
                     d,
@@ -310,11 +309,7 @@ impl<'a> OptTranslator<'a> {
         let a2 = self.fresh_ids(group);
 
         let x = o.expr.project(both(group, ids));
-        let mut list: Vec<(Attr, Attr)> = group
-            .iter()
-            .cloned()
-            .zip(a2.iter().cloned())
-            .collect();
+        let mut list: Vec<(Attr, Attr)> = group.iter().cloned().zip(a2.iter().cloned()).collect();
         list.extend(ids.iter().cloned().zip(v2.iter().cloned()));
         let x2 = x.project_as(list);
 
@@ -332,11 +327,7 @@ impl<'a> OptTranslator<'a> {
         let matched = x.product(&x2).select(eq).project(avv2);
         let in_v1 = x.product(&worlds2);
         let diff_dir = in_v1.difference(&matched).project(both(ids, &v2));
-        let mut swap: Vec<(Attr, Attr)> = v2
-            .iter()
-            .cloned()
-            .zip(ids.iter().cloned())
-            .collect();
+        let mut swap: Vec<(Attr, Attr)> = v2.iter().cloned().zip(ids.iter().cloned()).collect();
         swap.extend(ids.iter().cloned().zip(v2.iter().cloned()));
         let s = diff_dir.union(&diff_dir.project_as(swap));
         let sprime = all_pairs.difference(&s);
@@ -362,10 +353,7 @@ fn both(a: &[Attr], b: &[Attr]) -> Vec<Attr> {
 /// into a relational algebra expression over the ordinary input database.
 /// Apply [`relalg::simplify`] to obtain the compact plans shown in the
 /// paper (Example 5.8).
-pub fn translate_opt_complete(
-    q: &Query,
-    base: &dyn Fn(&str) -> Option<Schema>,
-) -> Result<Expr> {
+pub fn translate_opt_complete(q: &Query, base: &dyn Fn(&str) -> Option<Schema>) -> Result<Expr> {
     if !is_complete_to_complete(q) {
         return Err(RelalgError::TypeError {
             detail: format!("query is not of type 1↦1: {q}"),
@@ -400,16 +388,17 @@ mod tests {
             .poss();
         let expr = translate_opt_complete(&q, &base).unwrap();
         let printed = expr.to_string();
-        assert!(printed.contains("#1.A") && printed.contains("#2.A"), "{printed}");
+        assert!(
+            printed.contains("#1.A") && printed.contains("#2.A"),
+            "{printed}"
+        );
     }
 
     #[test]
     fn poss_drops_all_ids() {
         let q = Query::rel("R").choice(attrs(&["A"])).poss();
         let expr = translate_opt_complete(&q, &base).unwrap();
-        let schema = expr
-            .infer_schema(&|n| base(n))
-            .unwrap();
+        let schema = expr.infer_schema(&|n| base(n)).unwrap();
         assert_eq!(schema, Schema::of(&["A", "B"]));
     }
 

@@ -68,16 +68,16 @@ fn assert_complete_equiv(q: &Query, named: Vec<(&str, Relation)>) {
 
     let general = translate_complete(q, &base, &names).expect("general 1↦1 translation");
     let got = catalog.eval(&general).expect("evaluate general");
-    assert_eq!(got, expected, "general 1↦1 translation differs for {q}");
+    assert_eq!(*got, expected, "general 1↦1 translation differs for {q}");
 
     let opt = translate_opt_complete(q, &base).expect("optimized translation");
     let got = catalog.eval(&opt).expect("evaluate optimized");
-    assert_eq!(got, expected, "optimized translation differs for {q}");
+    assert_eq!(*got, expected, "optimized translation differs for {q}");
 
     // Simplification must preserve the plan's meaning.
     let simplified = relalg::simplify(&opt, &base).expect("simplify");
     let got = catalog.eval(&simplified).expect("evaluate simplified");
-    assert_eq!(got, expected, "simplified optimized plan differs for {q}");
+    assert_eq!(*got, expected, "simplified optimized plan differs for {q}");
 }
 
 #[test]
@@ -98,9 +98,7 @@ fn example_5_8_plan_shape() {
         .choice(attrs(&["Dep"]))
         .project(attrs(&["Arr"]))
         .cert();
-    let base = |n: &str| {
-        (n == "HFlights").then(|| Schema::of(&["Dep", "Arr"]))
-    };
+    let base = |n: &str| (n == "HFlights").then(|| Schema::of(&["Dep", "Arr"]));
     let opt = translate_opt_complete(&q, &base).unwrap();
     let simplified = relalg::simplify(&opt, &base).unwrap();
     assert_eq!(
@@ -154,9 +152,7 @@ fn binary_ops_conservative() {
     assert_conservative(&q, &ws);
 
     // Union of a choice branch with a plain relation (schema-aligned).
-    let q = Query::rel("R")
-        .choice(attrs(&["A"]))
-        .union(Query::rel("R"));
+    let q = Query::rel("R").choice(attrs(&["A"])).union(Query::rel("R"));
     assert_conservative(&q, &ws);
 
     // Difference: certain tuples removed per choice world.

@@ -24,10 +24,7 @@ type Result<T> = std::result::Result<T, SqlError>;
 /// `base` supplies the schemas of base relations (unqualified column
 /// names). The compiled query projects to the *bare* output column names,
 /// matching the interpreter's output convention.
-pub fn compile_select(
-    stmt: &SelectStmt,
-    base: &dyn Fn(&str) -> Option<Schema>,
-) -> Result<Query> {
+pub fn compile_select(stmt: &SelectStmt, base: &dyn Fn(&str) -> Option<Schema>) -> Result<Query> {
     let (q, schema) = compile_inner(stmt, base)?;
     let _ = schema;
     Ok(q)
@@ -56,8 +53,7 @@ fn compile_inner(
             }
         });
     }
-    let (mut q, schema) =
-        acc.ok_or_else(|| SqlError("from clause must not be empty".into()))?;
+    let (mut q, schema) = acc.ok_or_else(|| SqlError("from clause must not be empty".into()))?;
 
     // Where.
     if let Some(cond) = &stmt.where_cond {
@@ -162,8 +158,7 @@ fn compile_from_item(
 ) -> Result<(Query, Vec<Attr>)> {
     match item {
         FromItem::Table { name, alias } => {
-            let schema = base(name)
-                .ok_or_else(|| SqlError(format!("unknown relation {name}")))?;
+            let schema = base(name).ok_or_else(|| SqlError(format!("unknown relation {name}")))?;
             let alias = alias.clone().unwrap_or_else(|| name.clone());
             let qualified: Vec<Attr> = schema
                 .attrs()
@@ -193,7 +188,11 @@ fn compile_from_item(
                 .zip(qualified.iter().cloned())
                 .filter(|(a, b)| a != b)
                 .collect();
-            let q = if renames.is_empty() { q } else { q.rename(renames) };
+            let q = if renames.is_empty() {
+                q
+            } else {
+                q.rename(renames)
+            };
             Ok((q, qualified))
         }
     }
@@ -288,20 +287,15 @@ mod tests {
 
     #[test]
     fn compiles_group_worlds_by() {
-        let q = compile(
-            "select certain Arr from HFlights choice of Dep group worlds by Dep;",
-        )
-        .unwrap();
+        let q =
+            compile("select certain Arr from HFlights choice of Dep group worlds by Dep;").unwrap();
         assert!(matches!(q, Query::Rename(_, _)));
         assert!(q.to_string().contains("cγ"));
     }
 
     #[test]
     fn compiles_join() {
-        let q = compile(
-            "select possible City from HFlights, Hotels where Arr = City;",
-        )
-        .unwrap();
+        let q = compile("select possible City from HFlights, Hotels where Arr = City;").unwrap();
         assert!(q.to_string().contains("×"));
         assert!(q.to_string().contains("poss"));
     }
@@ -309,10 +303,9 @@ mod tests {
     #[test]
     fn rejects_aggregates() {
         assert!(compile("select sum(Arr) from HFlights;").is_err());
-        assert!(compile(
-            "select Dep from HFlights where Arr in (select City from Hotels);"
-        )
-        .is_err());
+        assert!(
+            compile("select Dep from HFlights where Arr in (select City from Hotels);").is_err()
+        );
     }
 
     #[test]

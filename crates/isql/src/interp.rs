@@ -80,8 +80,7 @@ pub fn eval_select_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Resul
                     keep.push(row.clone());
                 }
             }
-            let filtered =
-                Relation::from_rows(acc.schema().clone(), keep).map_err(rel_err)?;
+            let filtered = Relation::from_rows(acc.schema().clone(), keep).map_err(rel_err)?;
             Ok(replace_rel(w, acc_idx, filtered))
         })?;
     }
@@ -152,8 +151,7 @@ pub fn eval_select_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Resul
                     Some(GroupWorldsBy::Query(q)) => {
                         if q.uses_world_constructs() {
                             return Err(SqlError(
-                                "group worlds by subquery must not use world constructs"
-                                    .into(),
+                                "group worlds by subquery must not use world constructs".into(),
                             ));
                         }
                         eval_select_local(q, w, &names_snapshot, &mut Vec::new())
@@ -183,8 +181,7 @@ pub fn eval_select_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Resul
                 .into_iter()
                 .map(|(w, key)| replace_rel(&w, acc_idx, groups[&key].clone()))
                 .collect();
-            cur = WorldSet::from_worlds(cur.rel_names().to_vec(), worlds)
-                .map_err(rel_err)?;
+            cur = WorldSet::from_worlds(cur.rel_names().to_vec(), worlds).map_err(rel_err)?;
         }
     }
 
@@ -202,9 +199,8 @@ fn cur_names(ws: &WorldSet) -> &[String] {
 }
 
 fn replace_rel(w: &World, idx: usize, rel: Relation) -> World {
-    let mut rels = w.rels().to_vec();
-    rels[idx] = rel;
-    World::new(rels)
+    // Every relation except the replaced one is shared with the old world.
+    w.replace_rel(idx, rel)
 }
 
 /// Add one from-item to the working product.
@@ -422,26 +418,23 @@ pub fn eval_select_local(
             "subquery in this position must not use world constructs".into(),
         ));
     }
-    // From-product.
+    // From-product (table relations are borrowed, not cloned).
     let mut acc = Relation::unit();
     for item in &stmt.from {
-        let (rel, alias) = match item {
+        let qualified = match item {
             FromItem::Table { name, alias } => {
                 let idx = names
                     .iter()
                     .position(|n| n == name)
                     .ok_or_else(|| SqlError(format!("unknown relation {name}")))?;
-                (
-                    world.rel(idx).clone(),
-                    alias.clone().unwrap_or_else(|| name.clone()),
-                )
+                let alias = alias.as_deref().unwrap_or(name);
+                qualify(world.rel(idx), alias)?
             }
-            FromItem::Subquery { query, alias } => (
-                eval_select_local(query, world, names, scopes)?,
-                alias.clone(),
-            ),
+            FromItem::Subquery { query, alias } => {
+                qualify(&eval_select_local(query, world, names, scopes)?, alias)?
+            }
         };
-        acc = acc.product(&qualify(&rel, &alias)?).map_err(rel_err)?;
+        acc = acc.product(&qualified).map_err(rel_err)?;
     }
     // Where.
     if let Some(cond) = &stmt.where_cond {
@@ -467,8 +460,7 @@ fn project_world(
     names: &[String],
     acc_idx: usize,
 ) -> Result<Relation> {
-    let acc = world.rel(acc_idx).clone();
-    project_rows(stmt, &acc, world, names, &mut Vec::new())
+    project_rows(stmt, world.rel(acc_idx), world, names, &mut Vec::new())
 }
 
 fn has_aggregates(items: &[SelectItem]) -> bool {
@@ -519,7 +511,11 @@ fn project_rows(
                 .filter(|b| b.name().rsplit('.').next().unwrap_or(b.name()) == bare)
                 .count()
                 > 1;
-            out_names.push(if ambiguous { a.name().to_string() } else { bare });
+            out_names.push(if ambiguous {
+                a.name().to_string()
+            } else {
+                bare
+            });
         }
         let list: Vec<(Attr, Attr)> = attrs
             .iter()
@@ -685,13 +681,13 @@ fn eval_scalar(
             }))
         }
         Scalar::CountStar => {
-            let (_, rows) = agg_rows
-                .ok_or_else(|| SqlError("count(*) outside aggregation context".into()))?;
+            let (_, rows) =
+                agg_rows.ok_or_else(|| SqlError("count(*) outside aggregation context".into()))?;
             Ok(Value::Int(rows.len() as i64))
         }
         Scalar::Agg(f, inner) => {
-            let (schema, rows) = agg_rows
-                .ok_or_else(|| SqlError("aggregate outside aggregation context".into()))?;
+            let (schema, rows) =
+                agg_rows.ok_or_else(|| SqlError("aggregate outside aggregation context".into()))?;
             let mut vals = Vec::with_capacity(rows.len());
             for row in rows {
                 scopes.push((schema.clone(), row.clone()));
@@ -792,7 +788,10 @@ mod tests {
                 "R",
                 Relation::table(&["A", "B"], &[&["x", "1"], &["y", "2"], &["x", "3"]]),
             ),
-            ("S", Relation::table(&["B", "C"], &[&["1", "c1"], &["2", "c2"]])),
+            (
+                "S",
+                Relation::table(&["B", "C"], &[&["1", "c1"], &["2", "c2"]]),
+            ),
         ])
     }
 
@@ -820,11 +819,7 @@ mod tests {
     #[test]
     fn star_keeps_qualified_on_collision() {
         let a = answer("select * from R R1, R R2 where R1.A = R2.A;");
-        assert!(a
-            .schema()
-            .attrs()
-            .iter()
-            .any(|x| x.name() == "R1.A"));
+        assert!(a.schema().attrs().iter().any(|x| x.name() == "R1.A"));
     }
 
     #[test]
@@ -842,17 +837,13 @@ mod tests {
 
     #[test]
     fn correlated_exists() {
-        let a = answer(
-            "select A from R where exists (select * from S where S.B = R.B);",
-        );
+        let a = answer("select A from R where exists (select * from S where S.B = R.B);");
         assert_eq!(a.len(), 2);
     }
 
     #[test]
     fn correlated_scalar_subquery() {
-        let a = answer(
-            "select A from R where (select count(*) from S where S.B = R.B) = 1;",
-        );
+        let a = answer("select A from R where (select count(*) from S where S.B = R.B) = 1;");
         assert_eq!(a.len(), 2);
     }
 
@@ -876,22 +867,15 @@ mod tests {
     #[test]
     fn min_max_avg() {
         let mut s = crate::Session::new();
-        s.register(
-            "N",
-            Relation::table(&["V"], &[&[10i64], &[20], &[30]]),
-        )
-        .unwrap();
+        s.register("N", Relation::table(&["V"], &[&[10i64], &[20], &[30]]))
+            .unwrap();
         let out = s
             .execute("select min(V) as Lo, max(V) as Hi, avg(V) as Mid from N;")
             .unwrap();
         let crate::ExecOutcome::Rows { answers, .. } = &out[0] else {
             panic!()
         };
-        assert!(answers[0].contains(&vec![
-            Value::Int(10),
-            Value::Int(30),
-            Value::Int(20)
-        ]));
+        assert!(answers[0].contains(&vec![Value::Int(10), Value::Int(30), Value::Int(20)]));
     }
 
     #[test]
@@ -916,9 +900,7 @@ mod tests {
 
     #[test]
     fn ambiguous_column_rejected() {
-        let Stmt::Select(sel) =
-            parse_statement("select A from R R1, R R2;").unwrap()
-        else {
+        let Stmt::Select(sel) = parse_statement("select A from R R1, R R2;").unwrap() else {
             panic!()
         };
         assert!(eval_select_ws(&sel, &ws(), "Ans").is_err());
@@ -935,7 +917,8 @@ mod tests {
     #[test]
     fn arithmetic_in_select() {
         let mut s = crate::Session::new();
-        s.register("N", Relation::table(&["V"], &[&[10i64]])).unwrap();
+        s.register("N", Relation::table(&["V"], &[&[10i64]]))
+            .unwrap();
         let out = s
             .execute("select V + 5 as Up, V * 2 as Double, V - 1 as Down, V / 2 as Half from N;")
             .unwrap();
@@ -953,16 +936,15 @@ mod tests {
     #[test]
     fn division_by_zero_reported() {
         let mut s = crate::Session::new();
-        s.register("N", Relation::table(&["V"], &[&[10i64]])).unwrap();
+        s.register("N", Relation::table(&["V"], &[&[10i64]]))
+            .unwrap();
         assert!(s.execute("select V / 0 as Bad from N;").is_err());
     }
 
     #[test]
     fn fresh_names_for_nested_evaluations() {
         // Nested from-subqueries each get their own working relation.
-        let a = answer(
-            "select A from (select * from (select * from R) Inner2) Outer1;",
-        );
+        let a = answer("select A from (select * from (select * from R) Inner2) Outer1;");
         assert_eq!(a.len(), 2); // x, y after projection dedup
     }
 }

@@ -219,7 +219,15 @@ mod tests {
             .collect();
         assert_eq!(
             ops,
-            vec![&Token::Ne, &Token::Ne, &Token::Le, &Token::Ge, &Token::Lt, &Token::Gt, &Token::Eq]
+            vec![
+                &Token::Ne,
+                &Token::Ne,
+                &Token::Le,
+                &Token::Ge,
+                &Token::Lt,
+                &Token::Gt,
+                &Token::Eq
+            ]
         );
     }
 

@@ -181,7 +181,9 @@ impl Parser {
             Token::Str(s) => Ok(Literal::Str(s)),
             Token::Minus => match self.next()? {
                 Token::Int(i) => Ok(Literal::Int(-i)),
-                other => Err(SqlError(format!("expected number after '-', found {other}"))),
+                other => Err(SqlError(format!(
+                    "expected number after '-', found {other}"
+                ))),
             },
             other => Err(SqlError(format!("expected literal, found {other}"))),
         }
@@ -453,7 +455,9 @@ impl Parser {
                 self.pos += 1;
                 match self.next()? {
                     Token::Int(i) => Ok(Scalar::Lit(Literal::Int(-i))),
-                    other => Err(SqlError(format!("expected number after '-', found {other}"))),
+                    other => Err(SqlError(format!(
+                        "expected number after '-', found {other}"
+                    ))),
                 }
             }
             Some(Token::Str(s)) => {
@@ -565,16 +569,12 @@ mod tests {
         )
         .unwrap();
         let Stmt::Select(sel) = s else { panic!() };
-        assert!(matches!(
-            sel.group_worlds_by,
-            Some(GroupWorldsBy::Query(_))
-        ));
+        assert!(matches!(sel.group_worlds_by, Some(GroupWorldsBy::Query(_))));
     }
 
     #[test]
     fn parses_group_worlds_by_columns() {
-        let s =
-            parse_statement("select possible A from R group worlds by B, C;").unwrap();
+        let s = parse_statement("select possible A from R group worlds by B, C;").unwrap();
         let Stmt::Select(sel) = s else { panic!() };
         assert_eq!(
             sel.group_worlds_by,
@@ -595,7 +595,9 @@ mod tests {
              group by A.Year;",
         )
         .unwrap();
-        let Stmt::CreateView { name, query } = s else { panic!() };
+        let Stmt::CreateView { name, query } = s else {
+            panic!()
+        };
         assert_eq!(name, "YearQuantity");
         assert_eq!(query.group_by, vec![ColRef::qualified("A", "Year")]);
         assert!(matches!(

@@ -86,22 +86,26 @@ impl Session {
         }
     }
 
-    /// Register a base relation (added to every world).
+    /// Register a base relation (added to every world). The relation is
+    /// shared across worlds, not copied per world.
     pub fn register(&mut self, name: &str, rel: Relation) -> Result<()> {
         if self.ws.index_of(name).is_some() {
             return Err(SqlError(format!("relation {name} already exists")));
         }
+        let shared = std::sync::Arc::new(rel);
         self.ws = self
             .ws
-            .extend_with(name, |_| Ok::<Relation, SqlError>(rel.clone()))?;
+            .extend_with(name, |_| Ok::<_, SqlError>(shared.clone()))?;
         Ok(())
     }
 
     /// Declare a key constraint `cols → rest` on `table`, enforced by
     /// `insert` with the paper's discard-in-all-worlds semantics.
     pub fn declare_key(&mut self, table: &str, cols: &[&str]) {
-        self.keys
-            .insert(table.to_string(), cols.iter().map(|c| c.to_string()).collect());
+        self.keys.insert(
+            table.to_string(),
+            cols.iter().map(|c| c.to_string()).collect(),
+        );
     }
 
     /// The current world-set.
@@ -177,9 +181,7 @@ impl Session {
                 rel.insert(row.clone())
                     .map_err(|e| SqlError(e.to_string()))?;
             }
-            let mut rels = w.rels().to_vec();
-            rels[idx] = rel;
-            Ok(worldset::World::new(rels))
+            Ok(w.replace_rel(idx, rel))
         })?;
         if let Some(key_cols) = self.keys.get(table) {
             let key_attrs: Vec<relalg::Attr> =
@@ -214,10 +216,9 @@ impl Session {
                     keep.push(row.clone());
                 }
             }
-            let mut rels = w.rels().to_vec();
-            rels[idx] = Relation::from_rows(rel.schema().clone(), keep)
+            let filtered = Relation::from_rows(rel.schema().clone(), keep)
                 .map_err(|e| SqlError(e.to_string()))?;
-            Ok(worldset::World::new(rels))
+            Ok(w.replace_rel(idx, filtered))
         })?;
         Ok(ExecOutcome::Dml { applied: true })
     }
@@ -245,10 +246,9 @@ impl Session {
                     rows.push(row.clone());
                 }
             }
-            let mut rels = w.rels().to_vec();
-            rels[idx] = Relation::from_rows(rel.schema().clone(), rows)
+            let updated = Relation::from_rows(rel.schema().clone(), rows)
                 .map_err(|e| SqlError(e.to_string()))?;
-            Ok(worldset::World::new(rels))
+            Ok(w.replace_rel(idx, updated))
         })?;
         Ok(ExecOutcome::Dml { applied: true })
     }

@@ -91,10 +91,7 @@ fn choice_then_repair_in_one_statement() {
     // G=g1 world: repairs of {k1:{a,b}, k2:{c}} → 2 worlds; G=g2 → 1 world.
     assert_eq!(s.world_set().len(), 3);
     for r in s.answers("C").unwrap() {
-        let keys = r
-            .distinct_values(&relalg::attrs(&["K"]))
-            .unwrap()
-            .len();
+        let keys = r.distinct_values(&relalg::attrs(&["K"])).unwrap().len();
         assert_eq!(keys, r.len(), "K must be a key after repair");
     }
 }
@@ -156,10 +153,7 @@ fn chained_views() {
     s.execute("create view V3 as select Kind from V2 choice of Kind;")
         .unwrap();
     assert_eq!(s.world_set().len(), 3);
-    assert_eq!(
-        s.world_set().rel_names(),
-        ["Items", "V1", "V2", "V3"]
-    );
+    assert_eq!(s.world_set().rel_names(), ["Items", "V1", "V2", "V3"]);
 }
 
 /// `update` with an arithmetic assignment.
@@ -169,16 +163,8 @@ fn update_with_arithmetic() {
     s.execute("update Items set Price = Price * 2 where Kind = 'ram';")
         .unwrap();
     let items = &s.answers("Items").unwrap()[0];
-    assert!(items.contains(&vec![
-        Value::str("ram"),
-        Value::str("r1"),
-        Value::Int(200)
-    ]));
-    assert!(items.contains(&vec![
-        Value::str("ram"),
-        Value::str("r2"),
-        Value::Int(400)
-    ]));
+    assert!(items.contains(&vec![Value::str("ram"), Value::str("r1"), Value::Int(200)]));
+    assert!(items.contains(&vec![Value::str("ram"), Value::str("r2"), Value::Int(400)]));
 }
 
 /// `delete` with an IN-subquery condition.
@@ -220,7 +206,9 @@ fn error_paths() {
     // Unknown column in choice of.
     assert!(s.execute("select * from Items choice of Nope;").is_err());
     // Unknown column in repair key.
-    assert!(s.execute("select * from Items repair by key Nope;").is_err());
+    assert!(s
+        .execute("select * from Items repair by key Nope;")
+        .is_err());
     // Duplicate view name.
     s.execute("create view V as select * from Items;").unwrap();
     assert!(s.execute("create view V as select * from Items;").is_err());

@@ -76,9 +76,7 @@ fn check(sql: &str, ws: &WorldSet) -> Result<(), TestCaseError> {
             b.schema()
         );
         // Align column order before comparing tuples.
-        let aligned = b
-            .project(a.schema().attrs())
-            .expect("aligned projection");
+        let aligned = b.project(a.schema().attrs()).expect("aligned projection");
         prop_assert_eq!(a, &aligned, "answers differ for {}", sql);
     }
     Ok(())

@@ -143,7 +143,9 @@ fn trip_planning_three_formulations() {
     let out = s
         .execute("select certain Arr from HFlights choice of Dep;")
         .unwrap();
-    let ExecOutcome::Rows { answers, .. } = &out[0] else { panic!() };
+    let ExecOutcome::Rows { answers, .. } = &out[0] else {
+        panic!()
+    };
     assert_eq!(answers, &vec![atl.clone()]);
 
     // (b) Relational division, native operator.
@@ -168,7 +170,9 @@ fn trip_planning_three_formulations() {
                    where F3.Dep = F2.Dep and F3.Arr = F1.Arr));",
         )
         .unwrap();
-    let ExecOutcome::Rows { answers, .. } = &out[0] else { panic!() };
+    let ExecOutcome::Rows { answers, .. } = &out[0] else {
+        panic!()
+    };
     assert_eq!(answers, &vec![atl]);
 }
 
@@ -250,13 +254,12 @@ fn tpch_what_if_revenue() {
                    - Y.Revenue > 1000000;",
         )
         .unwrap();
-    let ExecOutcome::Rows { answers, .. } = &out[0] else { panic!() };
+    let ExecOutcome::Rows { answers, .. } = &out[0] else {
+        panic!()
+    };
     // Only 2001 loses > 1M when quantity 100 disappears.
-    let expected = Relation::from_rows(
-        relalg::Schema::of(&["Year"]),
-        vec![vec![Value::Int(2001)]],
-    )
-    .unwrap();
+    let expected =
+        Relation::from_rows(relalg::Schema::of(&["Year"]), vec![vec![Value::Int(2001)]]).unwrap();
     assert_eq!(answers, &vec![expected]);
 }
 
@@ -282,7 +285,9 @@ fn census_repair_by_key() {
     let out = s
         .execute("select * from Census repair by key SSN;")
         .unwrap();
-    let ExecOutcome::Rows { answers, .. } = &out[0] else { panic!() };
+    let ExecOutcome::Rows { answers, .. } = &out[0] else {
+        panic!()
+    };
     assert_eq!(s.world_set().len(), 4); // 2 × 2 × 1 repairs
     for r in answers {
         assert_eq!(r.len(), 3);
@@ -351,7 +356,9 @@ fn group_worlds_by_columns_shorthand() {
              choice of CID, EID group worlds by CID;",
         )
         .unwrap();
-    let ExecOutcome::Rows { answers, .. } = &out[0] else { panic!() };
+    let ExecOutcome::Rows { answers, .. } = &out[0] else {
+        panic!()
+    };
     // Within each CID group the single-employee worlds intersect to ∅.
     assert!(answers.iter().all(|r| r.is_empty()));
 }
@@ -360,7 +367,9 @@ fn group_worlds_by_columns_shorthand() {
 #[test]
 fn session_names_queries() {
     let mut s = flights_db();
-    let out = s.execute("select * from Flights; select * from Flights;").unwrap();
+    let out = s
+        .execute("select * from Flights; select * from Flights;")
+        .unwrap();
     let names: Vec<&str> = out
         .iter()
         .map(|o| match o {
@@ -383,11 +392,35 @@ fn tpch_q6_discount_elimination() {
             relalg::Schema::of(&["Product", "Quantity", "Price", "Discount", "Year"]),
             vec![
                 // year 2001: two discounted items in range, one outside.
-                vec![Value::str("P1"), Value::Int(100), Value::Int(1000), Value::Int(5), Value::Int(2001)],
-                vec![Value::str("P2"), Value::Int(250), Value::Int(2000), Value::Int(4), Value::Int(2001)],
-                vec![Value::str("P3"), Value::Int(100), Value::Int(500), Value::Int(9), Value::Int(2001)],
+                vec![
+                    Value::str("P1"),
+                    Value::Int(100),
+                    Value::Int(1000),
+                    Value::Int(5),
+                    Value::Int(2001),
+                ],
+                vec![
+                    Value::str("P2"),
+                    Value::Int(250),
+                    Value::Int(2000),
+                    Value::Int(4),
+                    Value::Int(2001),
+                ],
+                vec![
+                    Value::str("P3"),
+                    Value::Int(100),
+                    Value::Int(500),
+                    Value::Int(9),
+                    Value::Int(2001),
+                ],
                 // year 2002: one in range.
-                vec![Value::str("P4"), Value::Int(250), Value::Int(3000), Value::Int(2), Value::Int(2002)],
+                vec![
+                    Value::str("P4"),
+                    Value::Int(250),
+                    Value::Int(3000),
+                    Value::Int(2),
+                    Value::Int(2002),
+                ],
             ],
         )
         .unwrap(),
@@ -404,14 +437,18 @@ fn tpch_q6_discount_elimination() {
     )
     .unwrap();
 
-    let out = s.execute("select possible Year, Discount, Gain from Q6;").unwrap();
-    let ExecOutcome::Rows { answers, .. } = &out[0] else { panic!() };
+    let out = s
+        .execute("select possible Year, Discount, Gain from Q6;")
+        .unwrap();
+    let ExecOutcome::Rows { answers, .. } = &out[0] else {
+        panic!()
+    };
     let expected = Relation::from_rows(
         relalg::Schema::of(&["Year", "Discount", "Gain"]),
         vec![
-            vec![Value::Int(2001), Value::Int(5), Value::Int(50)],  // 1000·5/100
-            vec![Value::Int(2001), Value::Int(4), Value::Int(80)],  // 2000·4/100
-            vec![Value::Int(2002), Value::Int(2), Value::Int(60)],  // 3000·2/100
+            vec![Value::Int(2001), Value::Int(5), Value::Int(50)], // 1000·5/100
+            vec![Value::Int(2001), Value::Int(4), Value::Int(80)], // 2000·4/100
+            vec![Value::Int(2002), Value::Int(2), Value::Int(60)], // 3000·2/100
         ],
     )
     .unwrap();
@@ -433,8 +470,12 @@ fn tpch_q6_on_generated_workload() {
          group by A.Year, A.Discount;",
     )
     .unwrap();
-    let out = s.execute("select possible Year, Discount, Gain from Q6;").unwrap();
-    let ExecOutcome::Rows { answers, .. } = &out[0] else { panic!() };
+    let out = s
+        .execute("select possible Year, Discount, Gain from Q6;")
+        .unwrap();
+    let ExecOutcome::Rows { answers, .. } = &out[0] else {
+        panic!()
+    };
     let result = &answers[0];
 
     // Direct check against a hand computation over the base data.
@@ -453,6 +494,10 @@ fn tpch_q6_on_generated_workload() {
     assert_eq!(result.len(), expected.len());
     for t in result.iter() {
         let key = (t[0].as_int().unwrap(), t[1].as_int().unwrap());
-        assert_eq!(t[2].as_int().unwrap(), expected[&key] / 100, "world {key:?}");
+        assert_eq!(
+            t[2].as_int().unwrap(),
+            expected[&key] / 100,
+            "world {key:?}"
+        );
     }
 }

@@ -3,7 +3,7 @@
 //! that parse as integers become [`Value::Int`]; everything else is a
 //! string. Fields may be double-quoted; `""` escapes a quote.
 
-use crate::{Relation, RelalgError, Result, Schema, Value};
+use crate::{RelalgError, Relation, Result, Schema, Value};
 
 /// Parse CSV text: the first line is the header (attribute names).
 pub fn relation_from_csv(text: &str) -> Result<Relation> {
@@ -12,12 +12,10 @@ pub fn relation_from_csv(text: &str) -> Result<Relation> {
         detail: "empty CSV input".into(),
     })?;
     let names = split_csv_line(header)?;
-    let schema = Schema::try_new(
-        names.iter().map(|n| crate::Attr::new(n.trim())).collect(),
-    )
-    .ok_or_else(|| RelalgError::TypeError {
-        detail: "duplicate column in CSV header".into(),
-    })?;
+    let schema = Schema::try_new(names.iter().map(|n| crate::Attr::new(n.trim())).collect())
+        .ok_or_else(|| RelalgError::TypeError {
+            detail: "duplicate column in CSV header".into(),
+        })?;
     let mut rows = Vec::new();
     for line in lines {
         let fields = split_csv_line(line)?;
@@ -54,10 +52,7 @@ pub fn relation_to_csv(rel: &Relation) -> String {
     out.push_str(&names.join(","));
     out.push('\n');
     for t in rel.iter() {
-        let fields: Vec<String> = t
-            .iter()
-            .map(|v| quote_if_needed(&v.to_string()))
-            .collect();
+        let fields: Vec<String> = t.iter().map(|v| quote_if_needed(&v.to_string())).collect();
         out.push_str(&fields.join(","));
         out.push('\n');
     }
@@ -117,9 +112,7 @@ mod tests {
         let back = relation_from_csv(&relation_to_csv(&rel)).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(back.schema().arity(), 3);
-        assert!(back
-            .iter()
-            .any(|t| t[2] == Value::Int(7)));
+        assert!(back.iter().any(|t| t[2] == Value::Int(7)));
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl fmt::Display for RelalgError {
                 write!(f, "division requires divisor attributes strictly inside dividend: {left} ÷ {right}")
             }
             RelalgError::ArityMismatch { expected, got } => {
-                write!(f, "tuple arity {got} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {got} does not match schema arity {expected}"
+                )
             }
             RelalgError::UnknownTable { name } => write!(f, "unknown table {name}"),
             RelalgError::TypeError { detail } => write!(f, "type error: {detail}"),

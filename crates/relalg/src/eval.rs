@@ -1,12 +1,35 @@
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
-use crate::{Expr, ExprKind, Relation, RelalgError, Result, Schema};
+use crate::{Expr, ExprKind, RelalgError, Relation, Result, Schema};
 
 /// A catalog of named base relations — the database the expression
 /// evaluator runs against.
+///
+/// Relations are held behind [`Arc`]: registering, looking up, and — most
+/// importantly — evaluating never deep-copies a relation. `eval` returns
+/// `Arc<Relation>` so that memo hits (shared DAG nodes such as the Figure-6
+/// world table `W`) and base-table references are reference-count bumps.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Catalog {
-    tables: BTreeMap<String, Relation>,
+    tables: BTreeMap<String, Arc<Relation>>,
+}
+
+/// A reusable evaluation memo for [`Catalog::eval_cached`]: results of
+/// shared DAG nodes, keyed by node identity. Each entry also pins its
+/// expression node, so a node address can never be freed and reused for a
+/// different expression while the cache is alive (which would make the
+/// identity key silently stale).
+#[derive(Default)]
+pub struct EvalCache {
+    memo: HashMap<usize, (Expr, Arc<Relation>)>,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> EvalCache {
+        EvalCache::default()
+    }
 }
 
 impl Catalog {
@@ -15,18 +38,24 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Register (or replace) a table.
-    pub fn put(&mut self, name: &str, rel: Relation) {
-        self.tables.insert(name.to_string(), rel);
+    /// Register (or replace) a table. Accepts an owned [`Relation`] or an
+    /// already-shared `Arc<Relation>`.
+    pub fn put(&mut self, name: &str, rel: impl Into<Arc<Relation>>) {
+        self.tables.insert(name.to_string(), rel.into());
     }
 
     /// Look up a table.
     pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.tables.get(name).map(|r| r.as_ref())
+    }
+
+    /// Look up a table as a shared handle (cheap to clone).
+    pub fn get_shared(&self, name: &str) -> Option<&Arc<Relation>> {
         self.tables.get(name)
     }
 
     /// Remove a table, returning it if present.
-    pub fn take(&mut self, name: &str) -> Option<Relation> {
+    pub fn take(&mut self, name: &str) -> Option<Arc<Relation>> {
         self.tables.remove(name)
     }
 
@@ -43,71 +72,86 @@ impl Catalog {
     /// Evaluate an expression against this catalog.
     ///
     /// Shared sub-expressions (DAG nodes) are evaluated once: results are
-    /// memoized by node identity. This matters for the Figure-6 translation
-    /// output, where the world table `W` is referenced by every base table
-    /// copy.
-    pub fn eval(&self, expr: &Expr) -> Result<Relation> {
-        let mut memo: HashMap<usize, Relation> = HashMap::new();
-        self.eval_memo(expr, &mut memo)
+    /// memoized by node identity, and both memo hits and the returned value
+    /// are `Arc` clones — no relation data is copied. This matters for the
+    /// Figure-6 translation output, where the world table `W` is referenced
+    /// by every base table copy.
+    pub fn eval(&self, expr: &Expr) -> Result<Arc<Relation>> {
+        let mut cache = EvalCache::new();
+        self.eval_cached(expr, &mut cache)
     }
 
-    fn eval_memo(&self, expr: &Expr, memo: &mut HashMap<usize, Relation>) -> Result<Relation> {
-        if let Some(hit) = memo.get(&expr.id()) {
-            return Ok(hit.clone());
+    /// Evaluate with a caller-held memo, so that *several* expressions
+    /// sharing DAG nodes (e.g. the Figure-6 output, where one world-table
+    /// subplan feeds every translated base table) evaluate each shared node
+    /// once across the whole batch. The cache pins the expression nodes it
+    /// has seen, so reuse across expressions is safe; do not reuse a cache
+    /// across catalogs (results would come from the wrong tables).
+    pub fn eval_cached(&self, expr: &Expr, cache: &mut EvalCache) -> Result<Arc<Relation>> {
+        self.eval_memo(expr, &mut cache.memo)
+    }
+
+    fn eval_memo(
+        &self,
+        expr: &Expr,
+        memo: &mut HashMap<usize, (Expr, Arc<Relation>)>,
+    ) -> Result<Arc<Relation>> {
+        if let Some((_, hit)) = memo.get(&expr.id()) {
+            return Ok(Arc::clone(hit));
         }
-        let out = match expr.kind() {
+        let out: Arc<Relation> = match expr.kind() {
             ExprKind::Table(name) => self
                 .tables
                 .get(name)
                 .cloned()
                 .ok_or_else(|| RelalgError::UnknownTable { name: name.clone() })?,
-            ExprKind::Lit(rel) => rel.clone(),
-            ExprKind::Select(p, e) => self.eval_memo(e, memo)?.select(p)?,
-            ExprKind::Project(attrs, e) => self.eval_memo(e, memo)?.project(attrs)?,
-            ExprKind::ProjectAs(list, e) => self.eval_memo(e, memo)?.project_as(list)?,
-            ExprKind::Rename(map, e) => self.eval_memo(e, memo)?.rename(map)?,
+            ExprKind::Lit(rel) => Arc::clone(rel),
+            ExprKind::Select(p, e) => Arc::new(self.eval_memo(e, memo)?.select(p)?),
+            ExprKind::Project(attrs, e) => Arc::new(self.eval_memo(e, memo)?.project(attrs)?),
+            ExprKind::ProjectAs(list, e) => Arc::new(self.eval_memo(e, memo)?.project_as(list)?),
+            ExprKind::Rename(map, e) => Arc::new(self.eval_memo(e, memo)?.rename(map)?),
             ExprKind::Product(a, b) => {
                 let l = self.eval_memo(a, memo)?;
                 let r = self.eval_memo(b, memo)?;
-                l.product(&r)?
+                Arc::new(l.product(&r)?)
             }
             ExprKind::Union(a, b) => {
                 let l = self.eval_memo(a, memo)?;
                 let r = self.eval_memo(b, memo)?;
-                l.union(&r)?
+                Arc::new(l.union(&r)?)
             }
             ExprKind::Intersect(a, b) => {
                 let l = self.eval_memo(a, memo)?;
                 let r = self.eval_memo(b, memo)?;
-                l.intersect(&r)?
+                Arc::new(l.intersect(&r)?)
             }
             ExprKind::Difference(a, b) => {
                 let l = self.eval_memo(a, memo)?;
                 let r = self.eval_memo(b, memo)?;
-                l.difference(&r)?
+                Arc::new(l.difference(&r)?)
             }
             ExprKind::NaturalJoin(a, b) => {
                 let l = self.eval_memo(a, memo)?;
                 let r = self.eval_memo(b, memo)?;
-                l.natural_join(&r)
+                Arc::new(l.natural_join(&r))
             }
             ExprKind::ThetaJoin(p, a, b) => {
                 let l = self.eval_memo(a, memo)?;
                 let r = self.eval_memo(b, memo)?;
-                l.theta_join(&r, p)?
+                Arc::new(l.theta_join(&r, p)?)
             }
             ExprKind::Divide(a, b) => {
                 let l = self.eval_memo(a, memo)?;
                 let r = self.eval_memo(b, memo)?;
-                l.divide(&r)?
+                Arc::new(l.divide(&r)?)
             }
             ExprKind::OuterPadJoin(a, b) => {
                 let l = self.eval_memo(a, memo)?;
                 let r = self.eval_memo(b, memo)?;
-                l.outer_pad_join(&r)
+                Arc::new(l.outer_pad_join(&r))
             }
         };
-        memo.insert(expr.id(), out.clone());
+        memo.insert(expr.id(), (expr.clone(), Arc::clone(&out)));
         Ok(out)
     }
 }
@@ -176,6 +220,25 @@ mod tests {
         let e = shared.product(&shared.rename(vec![("Dep".into(), "Dep2".into())]));
         let r = c.eval(&e).unwrap();
         assert_eq!(r.len(), 9);
+    }
+
+    #[test]
+    fn base_table_eval_is_shared_not_copied() {
+        let c = catalog();
+        let out = c.eval(&Expr::table("Flights")).unwrap();
+        assert!(Arc::ptr_eq(&out, c.get_shared("Flights").unwrap()));
+    }
+
+    #[test]
+    fn memo_hits_are_arc_clones() {
+        // Evaluating the same shared node twice within one eval returns the
+        // same allocation: selecting from both copies of a shared subplan.
+        let c = catalog();
+        let shared = Expr::table("Flights").select(Pred::eq_const("Arr", "ATL"));
+        let left = shared.project(attrs(&["Dep"]));
+        let right = shared.project(attrs(&["Arr"]));
+        let e = left.product(&right);
+        assert_eq!(c.eval(&e).unwrap().len(), 3);
     }
 
     #[test]

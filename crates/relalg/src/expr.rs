@@ -2,7 +2,7 @@ use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 
-use crate::{Attr, Pred, Relation, RelalgError, Result, Schema};
+use crate::{Attr, Pred, RelalgError, Relation, Result, Schema};
 
 /// The node of a relational algebra expression.
 ///
@@ -14,8 +14,9 @@ use crate::{Attr, Pred, Relation, RelalgError, Result, Schema};
 pub enum ExprKind {
     /// A named base table, resolved against a [`crate::Catalog`].
     Table(String),
-    /// A literal relation (e.g. the one-world table `{⟨⟩}`).
-    Lit(Relation),
+    /// A literal relation (e.g. the one-world table `{⟨⟩}`), shared so that
+    /// evaluation returns it without copying.
+    Lit(Arc<Relation>),
     /// Selection `σ_φ(e)`.
     Select(Pred, Expr),
     /// Projection `π_A(e)`.
@@ -61,9 +62,9 @@ impl Expr {
         Expr(Arc::new(ExprKind::Table(name.to_string())))
     }
 
-    /// Embed a literal relation.
-    pub fn lit(rel: Relation) -> Expr {
-        Expr(Arc::new(ExprKind::Lit(rel)))
+    /// Embed a literal relation (owned or already shared).
+    pub fn lit(rel: impl Into<Arc<Relation>>) -> Expr {
+        Expr(Arc::new(ExprKind::Lit(rel.into())))
     }
 
     /// The node this expression points at.
@@ -137,7 +138,10 @@ impl Expr {
 
     /// `self =⊲⊳ other`.
     pub fn outer_pad_join(&self, other: &Expr) -> Expr {
-        Expr(Arc::new(ExprKind::OuterPadJoin(self.clone(), other.clone())))
+        Expr(Arc::new(ExprKind::OuterPadJoin(
+            self.clone(),
+            other.clone(),
+        )))
     }
 
     /// Number of distinct operator nodes in the DAG (shared nodes counted
@@ -195,9 +199,9 @@ impl Expr {
     /// Static schema inference given the schemas of base tables.
     pub fn infer_schema(&self, base: &dyn Fn(&str) -> Option<Schema>) -> Result<Schema> {
         match self.kind() {
-            ExprKind::Table(name) => base(name).ok_or_else(|| RelalgError::UnknownTable {
-                name: name.clone(),
-            }),
+            ExprKind::Table(name) => {
+                base(name).ok_or_else(|| RelalgError::UnknownTable { name: name.clone() })
+            }
             ExprKind::Lit(rel) => Ok(rel.schema().clone()),
             ExprKind::Select(_, e) => e.infer_schema(base),
             ExprKind::Project(attrs, e) => {
@@ -315,7 +319,7 @@ impl fmt::Display for Expr {
         match self.kind() {
             ExprKind::Table(name) => write!(f, "{name}"),
             ExprKind::Lit(rel) => {
-                if *rel == Relation::unit() {
+                if **rel == Relation::unit() {
                     write!(f, "{{⟨⟩}}")
                 } else {
                     write!(f, "{rel:?}")
@@ -357,10 +361,7 @@ mod tests {
         let e = Expr::table("R")
             .project(attrs(&["A"]))
             .product(&Expr::table("S"));
-        assert_eq!(
-            e.infer_schema(&base).unwrap(),
-            Schema::of(&["A", "C", "D"])
-        );
+        assert_eq!(e.infer_schema(&base).unwrap(), Schema::of(&["A", "C", "D"]));
     }
 
     #[test]
@@ -382,10 +383,7 @@ mod tests {
 
     #[test]
     fn divide_schema() {
-        let e = Expr::table("R").divide(&Expr::table("S").project_as(vec![(
-            attr("C"),
-            attr("B"),
-        )]));
+        let e = Expr::table("R").divide(&Expr::table("S").project_as(vec![(attr("C"), attr("B"))]));
         assert_eq!(e.infer_schema(&base).unwrap(), Schema::of(&["A"]));
     }
 

@@ -30,7 +30,7 @@ mod value;
 
 pub use csv::{relation_from_csv, relation_to_csv};
 pub use error::{RelalgError, Result};
-pub use eval::Catalog;
+pub use eval::{Catalog, EvalCache};
 pub use expr::{Expr, ExprKind};
 pub use pred::{CmpOp, Operand, Pred};
 pub use relation::{Relation, Tuple};

@@ -64,13 +64,12 @@ pub enum Operand {
 impl Operand {
     fn resolve(&self, schema: &Schema) -> Result<ResolvedOperand> {
         match self {
-            Operand::Attr(a) => schema
-                .index_of(a)
-                .map(ResolvedOperand::Col)
-                .ok_or_else(|| RelalgError::UnknownAttr {
+            Operand::Attr(a) => schema.index_of(a).map(ResolvedOperand::Col).ok_or_else(|| {
+                RelalgError::UnknownAttr {
                     attr: a.clone(),
                     schema: schema.clone(),
-                }),
+                }
+            }),
             Operand::Const(v) => Ok(ResolvedOperand::Const(v.clone())),
         }
     }
@@ -204,14 +203,12 @@ impl Pred {
             Pred::True => Pred::True,
             Pred::False => Pred::False,
             Pred::Cmp(l, op, r) => Pred::Cmp(ren(l), *op, ren(r)),
-            Pred::And(a, b) => Pred::And(
-                Box::new(a.rename_attrs(map)),
-                Box::new(b.rename_attrs(map)),
-            ),
-            Pred::Or(a, b) => Pred::Or(
-                Box::new(a.rename_attrs(map)),
-                Box::new(b.rename_attrs(map)),
-            ),
+            Pred::And(a, b) => {
+                Pred::And(Box::new(a.rename_attrs(map)), Box::new(b.rename_attrs(map)))
+            }
+            Pred::Or(a, b) => {
+                Pred::Or(Box::new(a.rename_attrs(map)), Box::new(b.rename_attrs(map)))
+            }
             Pred::Not(a) => Pred::Not(Box::new(a.rename_attrs(map))),
         }
     }
@@ -317,7 +314,14 @@ mod tests {
 
     #[test]
     fn flip_roundtrip() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flip().flip(), op);
             assert_eq!(
                 op.apply(&Value::int(1), &Value::int(2)),
@@ -354,9 +358,15 @@ mod tests {
 
     #[test]
     fn simplifying_connectives() {
-        assert_eq!(Pred::True.and(Pred::eq_const("A", 1)), Pred::eq_const("A", 1));
+        assert_eq!(
+            Pred::True.and(Pred::eq_const("A", 1)),
+            Pred::eq_const("A", 1)
+        );
         assert_eq!(Pred::False.and(Pred::eq_const("A", 1)), Pred::False);
-        assert_eq!(Pred::False.or(Pred::eq_const("A", 1)), Pred::eq_const("A", 1));
+        assert_eq!(
+            Pred::False.or(Pred::eq_const("A", 1)),
+            Pred::eq_const("A", 1)
+        );
         assert_eq!(Pred::True.not(), Pred::False);
         assert_eq!(Pred::eq_const("A", 1).not().not(), Pred::eq_const("A", 1));
     }

@@ -1,7 +1,7 @@
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 
-use crate::{Attr, Pred, RelalgError, Result, Schema, Value};
+use crate::{Attr, CmpOp, Operand, Pred, RelalgError, Result, Schema, Value};
 
 /// A tuple: one value per schema attribute, in column order.
 pub type Tuple = Vec<Value>;
@@ -194,15 +194,14 @@ impl Relation {
                     .unwrap_or_else(|| a.clone())
             })
             .collect();
-        let schema = Schema::try_new(new_attrs.clone()).ok_or_else(|| {
-            RelalgError::DuplicateAttr {
+        let schema =
+            Schema::try_new(new_attrs.clone()).ok_or_else(|| RelalgError::DuplicateAttr {
                 attr: new_attrs
                     .iter()
                     .find(|d| new_attrs.iter().filter(|x| x == d).count() > 1)
                     .cloned()
                     .unwrap_or_else(|| Attr::new("?")),
-            }
-        })?;
+            })?;
         Ok(Relation {
             schema,
             tuples: self.tuples.clone(),
@@ -220,6 +219,9 @@ impl Relation {
         let mut attrs = self.schema.attrs().to_vec();
         attrs.extend_from_slice(other.schema.attrs());
         let schema = Schema::new(attrs);
+        if self.is_empty() || other.is_empty() {
+            return Ok(Relation::empty(schema));
+        }
         let mut tuples = BTreeSet::new();
         for l in &self.tuples {
             for r in &other.tuples {
@@ -288,7 +290,8 @@ impl Relation {
         })
     }
 
-    /// Natural join `⋈` on the common attributes (hash join).
+    /// Natural join `⋈` on the common attributes: a hash join that builds
+    /// its index on the smaller input and probes with the larger one.
     pub fn natural_join(&self, other: &Relation) -> Relation {
         let common = self.schema.common(&other.schema);
         let l_idx: Vec<usize> = common
@@ -313,19 +316,27 @@ impl Relation {
             attrs.push(other.schema.attrs()[i].clone());
         }
         let schema = Schema::new(attrs);
-
-        // Build hash index on the smaller probe key side (right).
-        let mut index: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::new();
-        for t in &other.tuples {
-            let key: Vec<&Value> = r_idx.iter().map(|&i| &t[i]).collect();
-            index.entry(key).or_default().push(t);
+        if self.is_empty() || other.is_empty() {
+            return Relation::empty(schema);
         }
+
+        // Index the smaller side, probe with the larger; the merge below
+        // reorients each match back into left-then-right column order.
+        let index_left = self.len() <= other.len();
+        let (build, build_keys, probe, probe_keys) = if index_left {
+            (&self.tuples, &l_idx, &other.tuples, &r_idx)
+        } else {
+            (&other.tuples, &r_idx, &self.tuples, &l_idx)
+        };
+        let index = hash_index(build, build_keys);
         let mut tuples = BTreeSet::new();
-        for l in &self.tuples {
-            let key: Vec<&Value> = l_idx.iter().map(|&i| &l[i]).collect();
+        for p in probe {
+            let key: Vec<&Value> = probe_keys.iter().map(|&i| &p[i]).collect();
             if let Some(matches) = index.get(&key) {
-                for r in matches {
-                    let mut t = l.clone();
+                for b in matches {
+                    let (l, r): (&Tuple, &Tuple) = if index_left { (b, p) } else { (p, b) };
+                    let mut t = Vec::with_capacity(l.len() + r_extra.len());
+                    t.extend_from_slice(l);
                     for &i in &r_extra {
                         t.push(r[i].clone());
                     }
@@ -336,14 +347,92 @@ impl Relation {
         Relation { schema, tuples }
     }
 
-    /// Theta join `⋈_φ` over disjoint schemas: `σ_φ(self × other)`.
+    /// Theta join `⋈_φ` over disjoint schemas, semantically `σ_φ(self × other)`.
+    ///
+    /// When `φ` contains equi-conjuncts `a = b` linking the two sides, the
+    /// join runs as a hash-partitioned equi-join: the smaller side is
+    /// indexed on its key columns, the larger side probes, and the residual
+    /// predicate (compiled once against the combined schema) filters the
+    /// matches. The cross product is **never** materialized; without any
+    /// equi-conjunct the pairs are still streamed tuple-by-tuple through the
+    /// compiled predicate rather than built into an intermediate relation.
     pub fn theta_join(&self, other: &Relation, pred: &Pred) -> Result<Relation> {
-        self.product(other)?.select(pred)
+        if !self.schema.disjoint(&other.schema) {
+            return Err(RelalgError::NotDisjoint {
+                left: self.schema.clone(),
+                right: other.schema.clone(),
+            });
+        }
+        let mut attrs = self.schema.attrs().to_vec();
+        attrs.extend_from_slice(other.schema.attrs());
+        let schema = Schema::new(attrs);
+        if self.is_empty() || other.is_empty() {
+            return Ok(Relation::empty(schema));
+        }
+
+        let (keys, residual) = split_equi_conjuncts(pred, &self.schema, &other.schema);
+        // Compile once per operator; per-tuple evaluation is index-based.
+        let residual = residual.compile(&schema)?;
+        let l_arity = self.schema.arity();
+
+        let mut tuples = BTreeSet::new();
+        let mut scratch: Tuple = Vec::with_capacity(schema.arity());
+        let emit = |l: &Tuple, r: &Tuple, scratch: &mut Tuple, out: &mut BTreeSet<Tuple>| {
+            scratch.clear();
+            scratch.extend_from_slice(l);
+            scratch.extend_from_slice(r);
+            if residual.eval(scratch) {
+                out.insert(scratch.clone());
+            }
+        };
+
+        if keys.is_empty() {
+            // No equi-conjunct: stream the nested loop through the compiled
+            // predicate without materializing the product relation.
+            for l in &self.tuples {
+                for r in &other.tuples {
+                    emit(l, r, &mut scratch, &mut tuples);
+                }
+            }
+        } else {
+            let l_keys: Vec<usize> = keys.iter().map(|(l, _)| *l).collect();
+            let r_keys: Vec<usize> = keys.iter().map(|(_, r)| *r - l_arity).collect();
+            if self.len() <= other.len() {
+                let index = hash_index(&self.tuples, &l_keys);
+                for r in &other.tuples {
+                    let key: Vec<&Value> = r_keys.iter().map(|&i| &r[i]).collect();
+                    if let Some(matches) = index.get(&key) {
+                        for l in matches {
+                            emit(l, r, &mut scratch, &mut tuples);
+                        }
+                    }
+                }
+            } else {
+                let index = hash_index(&other.tuples, &r_keys);
+                for l in &self.tuples {
+                    let key: Vec<&Value> = l_keys.iter().map(|&i| &l[i]).collect();
+                    if let Some(matches) = index.get(&key) {
+                        for r in matches {
+                            emit(l, r, &mut scratch, &mut tuples);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Relation { schema, tuples })
     }
 
-    /// Semijoin `⋉`: tuples of `self` with a natural-join partner in `other`.
+    /// Semijoin `⋉`: tuples of `self` with a natural-join partner in
+    /// `other`. The key set is hashed from `other`'s common-attribute
+    /// columns; `self` streams through it.
     pub fn semijoin(&self, other: &Relation) -> Relation {
+        if self.is_empty() {
+            return self.clone();
+        }
         let common = self.schema.common(&other.schema);
+        if other.is_empty() && !common.is_empty() {
+            return Relation::empty(self.schema.clone());
+        }
         let l_idx: Vec<usize> = common
             .iter()
             .map(|a| self.schema.index_of(a).unwrap())
@@ -352,7 +441,7 @@ impl Relation {
             .iter()
             .map(|a| other.schema.index_of(a).unwrap())
             .collect();
-        let keys: BTreeSet<Vec<&Value>> = other
+        let keys: HashSet<Vec<&Value>> = other
             .tuples
             .iter()
             .map(|t| r_idx.iter().map(|&i| &t[i]).collect())
@@ -386,6 +475,9 @@ impl Relation {
             });
         }
         let a: Vec<Attr> = self.schema.minus(&b);
+        if self.is_empty() {
+            return Ok(Relation::empty(Schema::new(a)));
+        }
         let a_idx: Vec<usize> = a.iter().map(|x| self.schema.index_of(x).unwrap()).collect();
         let b_idx: Vec<usize> = b.iter().map(|x| self.schema.index_of(x).unwrap()).collect();
 
@@ -444,6 +536,31 @@ impl Relation {
         Ok(self.project(attrs)?.tuples)
     }
 
+    /// Partition the relation by the values of `attrs`: one sub-relation
+    /// per distinct key, in the key's sorted order. A single pass over the
+    /// tuples replaces the `select(σ_{key=v})`-per-value pattern used by
+    /// `choice-of` (which re-scans the relation once per world it creates).
+    pub fn partition_by(&self, attrs: &[Attr]) -> Result<Vec<(Tuple, Relation)>> {
+        let idx = self.positions(attrs)?;
+        let mut groups: BTreeMap<Tuple, BTreeSet<Tuple>> = BTreeMap::new();
+        for t in &self.tuples {
+            let key: Tuple = idx.iter().map(|&i| t[i].clone()).collect();
+            groups.entry(key).or_default().insert(t.clone());
+        }
+        Ok(groups
+            .into_iter()
+            .map(|(key, tuples)| {
+                (
+                    key,
+                    Relation {
+                        schema: self.schema.clone(),
+                        tuples,
+                    },
+                )
+            })
+            .collect())
+    }
+
     /// Render as an aligned ASCII table (used by examples and docs).
     pub fn to_table_string(&self, name: &str) -> String {
         let headers: Vec<String> = self.schema.attrs().iter().map(|a| a.to_string()).collect();
@@ -481,6 +598,56 @@ impl Relation {
     }
 }
 
+/// Build a hash index over `tuples`, keyed by the values at `key_cols`.
+fn hash_index<'a>(
+    tuples: &'a BTreeSet<Tuple>,
+    key_cols: &[usize],
+) -> HashMap<Vec<&'a Value>, Vec<&'a Tuple>> {
+    let mut index: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::with_capacity(tuples.len());
+    for t in tuples {
+        let key: Vec<&Value> = key_cols.iter().map(|&i| &t[i]).collect();
+        index.entry(key).or_default().push(t);
+    }
+    index
+}
+
+/// Split `pred` into hash-joinable equi-conjuncts and a residual predicate.
+///
+/// An equi-conjunct is a top-level conjunct `a = b` with one attribute from
+/// `left` and one from `right` (in either order); it is returned as the
+/// column pair `(left index, combined-schema index of the right column)`.
+/// Every other conjunct — non-equality comparisons, disjunctions, negations,
+/// single-side equalities — stays in the residual, which callers apply to
+/// the concatenated tuple.
+fn split_equi_conjuncts(pred: &Pred, left: &Schema, right: &Schema) -> (Vec<(usize, usize)>, Pred) {
+    fn walk(p: &Pred, left: &Schema, right: &Schema, keys: &mut Vec<(usize, usize)>) -> Pred {
+        match p {
+            Pred::And(a, b) => {
+                let ra = walk(a, left, right, keys);
+                let rb = walk(b, left, right, keys);
+                ra.and(rb)
+            }
+            Pred::Cmp(Operand::Attr(a), CmpOp::Eq, Operand::Attr(b)) => {
+                let (la, rb) = (left.index_of(a), right.index_of(b));
+                if let (Some(i), Some(j)) = (la, rb) {
+                    keys.push((i, left.arity() + j));
+                    return Pred::True;
+                }
+                let (lb, ra) = (left.index_of(b), right.index_of(a));
+                if let (Some(i), Some(j)) = (lb, ra) {
+                    keys.push((i, left.arity() + j));
+                    return Pred::True;
+                }
+                p.clone()
+            }
+            other => other.clone(),
+        }
+    }
+    let mut keys = Vec::new();
+    let residual = walk(pred, left, right, &mut keys);
+    (keys, residual)
+}
+
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}{{", self.schema)?;
@@ -507,12 +674,10 @@ mod tests {
     use crate::{attr, attrs};
 
     fn r() -> Relation {
-        Relation::table("A B".split(' ').collect::<Vec<_>>().as_slice(), &[
-            &[1i64, 2],
-            &[2, 3],
-            &[2, 4],
-            &[3, 2],
-        ])
+        Relation::table(
+            "A B".split(' ').collect::<Vec<_>>().as_slice(),
+            &[&[1i64, 2], &[2, 3], &[2, 4], &[3, 2]],
+        )
     }
 
     fn s() -> Relation {
@@ -523,7 +688,11 @@ mod tests {
     fn construction_and_dedup() {
         let rel = Relation::from_rows(
             Schema::of(&["A"]),
-            vec![vec![Value::int(1)], vec![Value::int(1)], vec![Value::int(2)]],
+            vec![
+                vec![Value::int(1)],
+                vec![Value::int(1)],
+                vec![Value::int(2)],
+            ],
         )
         .unwrap();
         assert_eq!(rel.len(), 2);

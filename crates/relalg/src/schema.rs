@@ -189,7 +189,10 @@ mod tests {
         let t = Schema::of(&["C", "D"]);
         assert!(!s.disjoint(&t));
         assert_eq!(s.common(&t), vec![Attr::new("C")]);
-        assert_eq!(s.minus(&[Attr::new("B")]), vec![Attr::new("A"), Attr::new("C")]);
+        assert_eq!(
+            s.minus(&[Attr::new("B")]),
+            vec![Attr::new("A"), Attr::new("C")]
+        );
         assert!(s.same_attr_set(&Schema::of(&["C", "A", "B"])));
         assert!(!s.same_attr_set(&Schema::of(&["A", "B"])));
     }

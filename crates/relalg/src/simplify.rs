@@ -57,7 +57,7 @@ fn rebuild_children(expr: &Expr, base: &dyn Fn(&str) -> Option<Schema>) -> Resul
 }
 
 fn is_unit(e: &Expr) -> bool {
-    matches!(e.kind(), ExprKind::Lit(rel) if *rel == Relation::unit())
+    matches!(e.kind(), ExprKind::Lit(rel) if **rel == Relation::unit())
 }
 
 /// View a node as a generalized projection list, if it is one.
@@ -141,11 +141,7 @@ fn rewrite_node(expr: &Expr, base: &dyn Fn(&str) -> Option<Schema>) -> Result<Ex
     // is divided away, the rename is unobservable.
     if let ExprKind::Divide(l, r) = expr.kind() {
         if let (Some((l1, e1)), Some((l2, e2))) = (as_projection(l), as_projection(r)) {
-            let renames: Vec<(Attr, Attr)> = l2
-                .iter()
-                .filter(|(s, d)| s != d)
-                .cloned()
-                .collect();
+            let renames: Vec<(Attr, Attr)> = l2.iter().filter(|(s, d)| s != d).cloned().collect();
             if !renames.is_empty() && renames.iter().all(|p| l1.contains(p)) {
                 // Substituting d→s must not create duplicate outputs.
                 let sub = |list: &[(Attr, Attr)]| -> Option<Vec<(Attr, Attr)>> {
@@ -221,8 +217,10 @@ mod tests {
         let s = simplify(&e, &base).unwrap();
         assert_eq!(
             s,
-            Expr::table("HFlights")
-                .project_as(vec![(attr("Arr"), attr("Arr")), (attr("Dep"), attr("V.Dep"))])
+            Expr::table("HFlights").project_as(vec![
+                (attr("Arr"), attr("Arr")),
+                (attr("Dep"), attr("V.Dep"))
+            ])
         );
     }
 
@@ -252,10 +250,7 @@ mod tests {
             .project(attrs(&["Arr", "Dep"]))
             .divide(&hf.project(attrs(&["Dep"])));
         assert_eq!(s, target);
-        assert_eq!(
-            s.to_string(),
-            "(π{Arr,Dep}(HFlights) ÷ π{Dep}(HFlights))"
-        );
+        assert_eq!(s.to_string(), "(π{Arr,Dep}(HFlights) ÷ π{Dep}(HFlights))");
     }
 
     #[test]

@@ -95,7 +95,12 @@ mod tests {
 
     #[test]
     fn pad_sorts_first() {
-        let mut vs = [Value::int(3), Value::str("a"), Value::Pad, Value::Bool(true)];
+        let mut vs = [
+            Value::int(3),
+            Value::str("a"),
+            Value::Pad,
+            Value::Bool(true),
+        ];
         vs.sort();
         assert_eq!(vs[0], Value::Pad);
     }

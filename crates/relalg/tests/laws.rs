@@ -1,10 +1,12 @@
 //! Algebraic laws of the relational substrate, property-tested: the
 //! classical identities that the WSA translation relies on (division by
 //! difference, the `=⊲⊳` definition of Remark 5.5, join/semijoin
-//! decompositions, set-operation laws).
+//! decompositions, set-operation laws), plus **join-path equivalence**: the
+//! hash-partitioned equi-join and semijoin paths must agree with a
+//! nested-loop oracle on randomized inputs from `datagen`.
 
 use proptest::prelude::*;
-use relalg::{attr, attrs, Pred, Relation, Schema, Value};
+use relalg::{attr, attrs, Attr, CmpOp, Operand, Pred, Relation, Schema, Value};
 
 fn rel_ab(rows: Vec<(i64, i64)>) -> Relation {
     Relation::from_rows(
@@ -180,11 +182,231 @@ proptest! {
             .unwrap()
             .union(&s)
             .unwrap();
-        prop_assert_eq!(catalog.eval(&e).unwrap(), direct);
+        prop_assert_eq!(&*catalog.eval(&e).unwrap(), &direct);
 
         let e = Expr::table("R").divide(&Expr::table("S"));
-        prop_assert_eq!(catalog.eval(&e).unwrap(), r.divide(&s).unwrap());
+        prop_assert_eq!(&*catalog.eval(&e).unwrap(), &r.divide(&s).unwrap());
         let e = Expr::table("R").outer_pad_join(&Expr::table("S"));
-        prop_assert_eq!(catalog.eval(&e).unwrap(), r.outer_pad_join(&s));
+        prop_assert_eq!(&*catalog.eval(&e).unwrap(), &r.outer_pad_join(&s));
     }
+}
+
+// ---- join-path equivalence: hash paths vs. a nested-loop oracle ----
+//
+// The engine routes theta joins with equi-conjuncts, natural joins and
+// semijoins through hash indexes built on the smaller side. These tests pin
+// those paths against the textbook nested-loop definitions on randomized
+// inputs produced by `datagen` (seeded, hence reproducible).
+
+/// Nested-loop σ_φ(R × S): the definition `theta_join` must agree with.
+fn oracle_theta_join(r: &Relation, s: &Relation, pred: &Pred) -> Relation {
+    let mut attrs = r.schema().attrs().to_vec();
+    attrs.extend_from_slice(s.schema().attrs());
+    let schema = Schema::new(attrs);
+    let compiled = pred.compile(&schema).unwrap();
+    let mut rows = Vec::new();
+    for l in r.iter() {
+        for t in s.iter() {
+            let mut row = l.clone();
+            row.extend_from_slice(t);
+            if compiled.eval(&row) {
+                rows.push(row);
+            }
+        }
+    }
+    Relation::from_rows(schema, rows).unwrap()
+}
+
+/// Nested-loop natural join on the common attributes.
+fn oracle_natural_join(r: &Relation, s: &Relation) -> Relation {
+    let common: Vec<Attr> = r.schema().common(s.schema());
+    let r_extra: Vec<Attr> = s.schema().minus(&common);
+    let mut attrs = r.schema().attrs().to_vec();
+    attrs.extend(r_extra.iter().cloned());
+    let schema = Schema::new(attrs);
+    let mut rows = Vec::new();
+    for l in r.iter() {
+        for t in s.iter() {
+            let agree = common.iter().all(|a| {
+                let li = r.schema().index_of(a).unwrap();
+                let ri = s.schema().index_of(a).unwrap();
+                l[li] == t[ri]
+            });
+            if agree {
+                let mut row = l.clone();
+                for a in &r_extra {
+                    row.push(t[s.schema().index_of(a).unwrap()].clone());
+                }
+                rows.push(row);
+            }
+        }
+    }
+    Relation::from_rows(schema, rows).unwrap()
+}
+
+/// Nested-loop semijoin membership test.
+fn oracle_semijoin(r: &Relation, s: &Relation) -> Relation {
+    let common: Vec<Attr> = r.schema().common(s.schema());
+    let rows = r.iter().filter(|l| {
+        s.iter().any(|t| {
+            common.iter().all(|a| {
+                let li = r.schema().index_of(a).unwrap();
+                let ri = s.schema().index_of(a).unwrap();
+                l[li] == t[ri]
+            })
+        })
+    });
+    Relation::from_rows(r.schema().clone(), rows.cloned()).unwrap()
+}
+
+/// Randomized relations over the given schemas, via datagen's seeded
+/// world-set generator (one world, two relations).
+fn random_rels(
+    seed: u64,
+    left: Vec<&'static str>,
+    right: Vec<&'static str>,
+) -> (Relation, Relation) {
+    let spec = datagen::RandomSpec {
+        schemas: vec![left, right],
+        worlds: 1,
+        max_tuples: 12,
+        domain: 5,
+    };
+    let ws = datagen::random_world_set(seed, &spec);
+    let w = ws.the_world().expect("single world");
+    (w.rel(0).clone(), w.rel(1).clone())
+}
+
+#[test]
+fn hash_equi_join_agrees_with_nested_loop_oracle() {
+    for seed in 0..300u64 {
+        let (r, s) = random_rels(seed, vec!["A", "B"], vec!["C", "D"]);
+        // Pure equi-join on A = C.
+        let pred = Pred::eq_attr("A", "C");
+        assert_eq!(
+            r.theta_join(&s, &pred).unwrap(),
+            oracle_theta_join(&r, &s, &pred),
+            "equi-join diverged from oracle at seed {seed}"
+        );
+        // Equi-conjunct plus residual range conjunct: the hash path must
+        // apply the residual on matches.
+        let pred = Pred::eq_attr("A", "C").and(Pred::cmp(
+            Operand::Attr(attr("B")),
+            CmpOp::Lt,
+            Operand::Attr(attr("D")),
+        ));
+        assert_eq!(
+            r.theta_join(&s, &pred).unwrap(),
+            oracle_theta_join(&r, &s, &pred),
+            "equi-join with residual diverged from oracle at seed {seed}"
+        );
+        // Two equi-conjuncts (composite hash key), written right=left the
+        // second time to exercise operand flipping.
+        let pred = Pred::eq_attr("A", "C").and(Pred::eq_attr("D", "B"));
+        assert_eq!(
+            r.theta_join(&s, &pred).unwrap(),
+            oracle_theta_join(&r, &s, &pred),
+            "composite-key equi-join diverged from oracle at seed {seed}"
+        );
+        // No equi-conjunct at all: the streamed nested loop path.
+        let pred = Pred::cmp(
+            Operand::Attr(attr("B")),
+            CmpOp::Ge,
+            Operand::Attr(attr("D")),
+        )
+        .or(Pred::eq_const("A", 0));
+        assert_eq!(
+            r.theta_join(&s, &pred).unwrap(),
+            oracle_theta_join(&r, &s, &pred),
+            "non-equi theta join diverged from oracle at seed {seed}"
+        );
+        // Equality under negation must NOT be treated as a hash key.
+        let pred = Pred::eq_attr("A", "C").not();
+        assert_eq!(
+            r.theta_join(&s, &pred).unwrap(),
+            oracle_theta_join(&r, &s, &pred),
+            "negated equality diverged from oracle at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn hash_natural_join_and_semijoin_agree_with_oracle() {
+    for seed in 0..300u64 {
+        // Shared attribute B: the natural-join/semijoin key.
+        let (r, s) = random_rels(seed, vec!["A", "B"], vec!["B", "C"]);
+        assert_eq!(
+            r.natural_join(&s),
+            oracle_natural_join(&r, &s),
+            "natural join diverged from oracle at seed {seed}"
+        );
+        // Both asymmetries: index-left/probe-right and the reverse.
+        assert_eq!(
+            s.natural_join(&r),
+            oracle_natural_join(&s, &r),
+            "reversed natural join diverged from oracle at seed {seed}"
+        );
+        assert_eq!(
+            r.semijoin(&s),
+            oracle_semijoin(&r, &s),
+            "semijoin diverged from oracle at seed {seed}"
+        );
+        assert_eq!(
+            s.semijoin(&r),
+            oracle_semijoin(&s, &r),
+            "reversed semijoin diverged from oracle at seed {seed}"
+        );
+    }
+}
+
+/// The acceptance test for the hash path: a theta join whose cross product
+/// would have ~9·10⁸ rows. Materializing `A × B` here would exhaust memory;
+/// the hash-partitioned path touches only the ~30k matching pairs.
+#[test]
+fn equi_theta_join_never_materializes_the_cross_product() {
+    let n: i64 = 30_000;
+    let r = Relation::from_rows(
+        Schema::of(&["A", "B"]),
+        (0..n).map(|i| vec![Value::Int(i), Value::Int(i % 7)]),
+    )
+    .unwrap();
+    let s = Relation::from_rows(
+        Schema::of(&["C", "D"]),
+        (0..n).map(|i| vec![Value::Int(i), Value::Int(i % 5)]),
+    )
+    .unwrap();
+    // |R × S| = 9·10⁸ tuples (~tens of GB). The equi-conjunct A = C keeps
+    // the join linear: exactly n matching pairs, filtered by the residual.
+    let pred = Pred::eq_attr("A", "C").and(Pred::cmp(
+        Operand::Attr(attr("B")),
+        CmpOp::Le,
+        Operand::Attr(attr("D")),
+    ));
+    let out = r.theta_join(&s, &pred).unwrap();
+    assert!(!out.is_empty());
+    assert!(out.len() < n as usize);
+    // Spot-check against the per-tuple definition.
+    for t in out.iter().take(100) {
+        assert_eq!(t[0], t[2]);
+        assert!(t[1] <= t[3]);
+    }
+}
+
+/// Empty-input short-circuits return the correct schemas without work.
+#[test]
+fn empty_input_short_circuits() {
+    let r = rel_ab(vec![(1, 2)]);
+    let empty_ab = Relation::empty(Schema::of(&["A", "B"]));
+    let empty_cd = Relation::empty(Schema::of(&["C", "D"]));
+    let pred = Pred::eq_attr("A", "C");
+    assert!(r.theta_join(&empty_cd, &pred).unwrap().is_empty());
+    assert_eq!(
+        r.theta_join(&empty_cd, &pred).unwrap().schema(),
+        &Schema::of(&["A", "B", "C", "D"])
+    );
+    assert!(empty_ab.natural_join(&r).is_empty());
+    assert!(r.product(&empty_cd).unwrap().is_empty());
+    assert!(empty_ab.semijoin(&r).is_empty());
+    assert!(r.semijoin(&empty_ab).is_empty());
+    assert!(empty_ab.divide(&rel_b(vec![1])).unwrap().is_empty());
 }

@@ -36,9 +36,7 @@ pub fn cost(q: &Query) -> u64 {
         }
         Query::Choice(_, inner) => W_CHOICE + cost(inner),
         Query::Poss(inner) | Query::Cert(inner) => W_CLOSE + cost(inner),
-        Query::PossGroup { input, .. } | Query::CertGroup { input, .. } => {
-            W_GROUP + cost(input)
-        }
+        Query::PossGroup { input, .. } | Query::CertGroup { input, .. } => W_GROUP + cost(input),
         Query::RepairKey(_, inner) => W_REPAIR + cost(inner),
     }
 }

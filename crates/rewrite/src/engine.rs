@@ -143,7 +143,9 @@ fn apply_everywhere(q: &Query, rule: &Rule, ctx: &RewriteCtx) -> Vec<Query> {
                 input,
             ));
         }
-        Query::Product(a, b) | Query::Union(a, b) | Query::Intersect(a, b)
+        Query::Product(a, b)
+        | Query::Union(a, b)
+        | Query::Intersect(a, b)
         | Query::Difference(a, b) => {
             let mk = |l: Box<Query>, r: Box<Query>| match q {
                 Query::Product(_, _) => Query::Product(l, r),

@@ -195,9 +195,7 @@ pub fn rule_set() -> Vec<Rule> {
             paper_eq: "(20)",
             apply: |q, ctx| match q {
                 Query::PossGroup { group, proj, input } => match input.as_ref() {
-                    Query::Choice(c, body)
-                        if subset_vec(group, c) && ctx.is_uniform(body) =>
-                    {
+                    Query::Choice(c, body) if subset_vec(group, c) && ctx.is_uniform(body) => {
                         Some(Query::Project(
                             proj.clone(),
                             Box::new(Query::Choice(group.clone(), body.clone())),
@@ -464,10 +462,9 @@ pub fn rule_set() -> Vec<Rule> {
             paper_eq: "struct",
             apply: |q, _| match q {
                 Query::Select(p1, inner) => match inner.as_ref() {
-                    Query::Select(p2, body) => Some(Query::Select(
-                        p1.clone().and(p2.clone()),
-                        body.clone(),
-                    )),
+                    Query::Select(p2, body) => {
+                        Some(Query::Select(p1.clone().and(p2.clone()), body.clone()))
+                    }
                     _ => None,
                 },
                 _ => None,

@@ -80,8 +80,7 @@ impl Bijection {
 
     /// Image of a world.
     pub fn apply_world(&self, w: &World) -> Result<World> {
-        let rels: Result<Vec<Relation>> =
-            w.rels().iter().map(|r| self.apply_relation(r)).collect();
+        let rels: Result<Vec<Relation>> = w.rels().iter().map(|r| self.apply_relation(r)).collect();
         Ok(World::new(rels?))
     }
 
@@ -159,8 +158,7 @@ mod tests {
 
     #[test]
     fn unmapped_values_are_fixed_points() {
-        let theta =
-            Bijection::from_pairs(vec![(Value::int(1), Value::int(9))]).unwrap();
+        let theta = Bijection::from_pairs(vec![(Value::int(1), Value::int(9))]).unwrap();
         assert_eq!(theta.apply_value(&Value::int(5)), Value::int(5));
         assert_eq!(theta.apply_value(&Value::int(1)), Value::int(9));
     }

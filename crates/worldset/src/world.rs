@@ -2,19 +2,33 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
-use relalg::{Relation, RelalgError, Result, Schema};
+use relalg::{RelalgError, Relation, Result, Schema};
 
 /// One possible world: a complete database instance, i.e. an ordered tuple
 /// of relations `⟨R₁, …, R_k⟩`. Relation *names* live on the enclosing
 /// [`WorldSet`], since all worlds share the schema.
+///
+/// Relations are held behind [`Arc`], so the world-rewriting primitives
+/// ([`World::with`], [`World::replace_last`], [`World::drop_last`]) copy a
+/// vector of pointers — O(k) reference-count bumps — instead of cloning
+/// relation data. This is what makes the Figure-3 semantics affordable when
+/// `choice-of` fans a single world out into hundreds: the base relations
+/// `R₁…R_k` are shared by every successor world.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct World {
-    rels: Vec<Relation>,
+    rels: Vec<Arc<Relation>>,
 }
 
 impl World {
-    /// Build a world from its relations.
+    /// Build a world from owned relations.
     pub fn new(rels: Vec<Relation>) -> World {
+        World {
+            rels: rels.into_iter().map(Arc::new).collect(),
+        }
+    }
+
+    /// Build a world from already-shared relations (no data copied).
+    pub fn from_shared(rels: Vec<Arc<Relation>>) -> World {
         World { rels }
     }
 
@@ -28,13 +42,13 @@ impl World {
         &self.rels[i]
     }
 
-    /// Mutable access to the `i`-th relation.
-    pub fn rel_mut(&mut self, i: usize) -> &mut Relation {
-        &mut self.rels[i]
+    /// The `i`-th relation as a shared handle (cheap to clone).
+    pub fn rel_shared(&self, i: usize) -> &Arc<Relation> {
+        &self.rels[i]
     }
 
-    /// The relations in order.
-    pub fn rels(&self) -> &[Relation] {
+    /// The relations in order, as shared handles.
+    pub fn rels(&self) -> &[Arc<Relation>] {
         &self.rels
     }
 
@@ -43,26 +57,40 @@ impl World {
         self.rels.last().expect("world with no relations")
     }
 
+    /// The last relation as a shared handle.
+    pub fn last_shared(&self) -> &Arc<Relation> {
+        self.rels.last().expect("world with no relations")
+    }
+
     /// All relations except the last (the context `⟨R₁,…,R_k⟩`).
-    pub fn prefix(&self) -> &[Relation] {
+    pub fn prefix(&self) -> &[Arc<Relation>] {
         &self.rels[..self.rels.len() - 1]
     }
 
-    /// A copy of this world with one more relation appended.
-    pub fn with(&self, rel: Relation) -> World {
+    /// A copy of this world with one more relation appended. All existing
+    /// relations are shared, not cloned.
+    pub fn with(&self, rel: impl Into<Arc<Relation>>) -> World {
         let mut rels = self.rels.clone();
-        rels.push(rel);
+        rels.push(rel.into());
         World { rels }
     }
 
-    /// A copy of this world with the last relation replaced.
-    pub fn replace_last(&self, rel: Relation) -> World {
+    /// A copy of this world with the last relation replaced (prefix shared).
+    pub fn replace_last(&self, rel: impl Into<Arc<Relation>>) -> World {
         let mut rels = self.rels.clone();
-        *rels.last_mut().expect("world with no relations") = rel;
+        *rels.last_mut().expect("world with no relations") = rel.into();
         World { rels }
     }
 
-    /// A copy of this world with the last relation removed.
+    /// A copy of this world with the `i`-th relation replaced; every other
+    /// relation is shared.
+    pub fn replace_rel(&self, i: usize, rel: impl Into<Arc<Relation>>) -> World {
+        let mut rels = self.rels.clone();
+        rels[i] = rel.into();
+        World { rels }
+    }
+
+    /// A copy of this world with the last relation removed (rest shared).
     pub fn drop_last(&self) -> World {
         let mut rels = self.rels.clone();
         rels.pop();
@@ -179,11 +207,13 @@ impl WorldSet {
 
     /// Extend every world with the relation produced by `f`, naming the new
     /// relation `name`. This is the world-set counterpart of appending the
-    /// answer `R_{k+1}` in Figure 3. Generic over the caller's error type.
-    pub fn extend_with<E>(
+    /// answer `R_{k+1}` in Figure 3. Generic over the caller's error type;
+    /// `f` may return an owned [`Relation`] or a shared `Arc<Relation>` (the
+    /// latter lets one relation be appended to every world without copies).
+    pub fn extend_with<E, R: Into<Arc<Relation>>>(
         &self,
         name: &str,
-        mut f: impl FnMut(&World) -> std::result::Result<Relation, E>,
+        mut f: impl FnMut(&World) -> std::result::Result<R, E>,
     ) -> std::result::Result<WorldSet, E> {
         let mut rel_names = (*self.rel_names).clone();
         rel_names.push(name.to_string());
@@ -248,14 +278,11 @@ impl WorldSet {
     /// (used by evaluators to discard temporary relations; worlds that
     /// differed only in dropped relations merge).
     pub fn keep_rels(&self, keep: &[usize]) -> WorldSet {
-        let rel_names = keep
-            .iter()
-            .map(|&i| self.rel_names[i].clone())
-            .collect();
+        let rel_names = keep.iter().map(|&i| self.rel_names[i].clone()).collect();
         let worlds = self
             .worlds
             .iter()
-            .map(|w| World::new(keep.iter().map(|&i| w.rel(i).clone()).collect()))
+            .map(|w| World::from_shared(keep.iter().map(|&i| w.rel_shared(i).clone()).collect()))
             .collect();
         WorldSet {
             rel_names: Arc::new(rel_names),
@@ -335,7 +362,7 @@ pub fn pair_worlds(ws: &WorldSet) -> WorldSet {
         for j in ws.iter() {
             let mut rels = i.rels().to_vec();
             rels.extend(j.rels().iter().cloned());
-            worlds.insert(World::new(rels));
+            worlds.insert(World::from_shared(rels));
         }
     }
     WorldSet {
@@ -375,8 +402,7 @@ mod tests {
     #[test]
     fn worlds_dedup() {
         let w = World::new(vec![flights()]);
-        let ws =
-            WorldSet::from_worlds(vec!["F".into()], vec![w.clone(), w.clone()]).unwrap();
+        let ws = WorldSet::from_worlds(vec!["F".into()], vec![w.clone(), w.clone()]).unwrap();
         assert_eq!(ws.len(), 1);
     }
 
@@ -423,14 +449,8 @@ mod tests {
 
     #[test]
     fn closures_union_intersection() {
-        let mk = |city: &str| {
-            World::new(vec![Relation::table(&["Arr"], &[&[city]])])
-        };
-        let ws = WorldSet::from_worlds(
-            vec!["R".into()],
-            vec![mk("ATL"), mk("BCN")],
-        )
-        .unwrap();
+        let mk = |city: &str| World::new(vec![Relation::table(&["Arr"], &[&[city]])]);
+        let ws = WorldSet::from_worlds(vec!["R".into()], vec![mk("ATL"), mk("BCN")]).unwrap();
         assert_eq!(ws.union_of_last().unwrap().unwrap().len(), 2);
         assert_eq!(ws.intersect_of_last().unwrap().unwrap().len(), 0);
         assert!(WorldSet::empty(vec!["R".into()])

@@ -27,9 +27,7 @@ fn main() {
     }
 
     // Certain answers: names that survive in *every* repair.
-    let out = s
-        .execute("select certain SSN, Name from Clean;")
-        .unwrap();
+    let out = s.execute("select certain SSN, Name from Clean;").unwrap();
     let isql::ExecOutcome::Rows { answers, .. } = &out[0] else {
         unreachable!()
     };

@@ -15,7 +15,10 @@ fn main() {
         ("wheel W5 (C5 + hub)", wheel(5)),
         (
             "Petersen-ish fragment",
-            Graph::new(6, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)]),
+            Graph::new(
+                6,
+                vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)],
+            ),
         ),
     ];
 

@@ -39,7 +39,13 @@ fn main() {
         "YearQuantity view created: {} hypothetical worlds",
         s.world_set().len()
     );
-    for (i, r) in s.answers("YearQuantity").unwrap().iter().enumerate().take(6) {
+    for (i, r) in s
+        .answers("YearQuantity")
+        .unwrap()
+        .iter()
+        .enumerate()
+        .take(6)
+    {
         print!("{}", r.to_table_string(&format!("world {}", i + 1)));
     }
 

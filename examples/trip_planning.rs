@@ -51,13 +51,19 @@ fn main() {
 
     // The general Figure-6 translation (Example 5.6).
     let general = translate_complete(&q, &base, &names).unwrap();
-    println!("\nExample 5.6 — general translation ({} ops):", general.dag_size());
+    println!(
+        "\nExample 5.6 — general translation ({} ops):",
+        general.dag_size()
+    );
     println!("  {general}");
 
     // The Section-5.3 optimized translation, simplified (Example 5.8).
     let opt = translate_opt_complete(&q, &base).unwrap();
     let simplified = relalg::simplify(&opt, &base).unwrap();
-    println!("\nExample 5.8 — optimized translation ({} ops):", simplified.dag_size());
+    println!(
+        "\nExample 5.8 — optimized translation ({} ops):",
+        simplified.dag_size()
+    );
     println!("  {simplified}");
 
     let mut catalog = Catalog::new();

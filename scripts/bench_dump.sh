@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Run the Criterion benches and dump the results to BENCH_core.json so that
+# perf can be tracked across PRs.
+#
+# Usage:
+#   scripts/bench_dump.sh                 # all benches -> BENCH_core.json
+#   scripts/bench_dump.sh worldset_ops    # one bench target
+#
+# The criterion shim (crates/shims/criterion) appends one JSON object per
+# benchmark to $BENCH_JSON; this script wraps those lines into a single
+# JSON document with run metadata.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${BENCH_OUT:-BENCH_core.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+targets=("$@")
+if [ ${#targets[@]} -eq 0 ]; then
+    targets=(translation rewrite_gain division repair translation_size worldset_ops)
+fi
+
+for t in "${targets[@]}"; do
+    echo "== bench: $t =="
+    BENCH_JSON="$raw" cargo bench -p bench --bench "$t"
+done
+
+{
+    echo '{'
+    echo "  \"recorded_at\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"git_rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+    echo "  \"host\": \"$(uname -sm)\","
+    echo '  "benchmarks": ['
+    # Join the JSON-lines with commas.
+    sed '$!s/$/,/' "$raw" | sed 's/^/    /'
+    echo '  ]'
+    echo '}'
+} > "$out"
+
+echo "wrote $(grep -c mean_ns "$out") benchmark entries to $out"

@@ -111,11 +111,7 @@ fn handle_meta(cmd: &str, session: &mut Session) -> MetaResult {
         Some("\\load") => match parts.next() {
             Some("flights") => {
                 load(session, "Flights", datagen::flights(1, 5, 8, 3));
-                load(
-                    session,
-                    "Hotels",
-                    datagen::hotels(1, 10, 8),
-                );
+                load(session, "Hotels", datagen::hotels(1, 10, 8));
             }
             Some("company") => {
                 let (ce, es) = datagen::company_skills(1, 3);

@@ -60,11 +60,8 @@ fn query_family() -> Vec<Query> {
             .product(s().choice(attrs(&["C"])))
             .project(attrs(&["B", "D"]))
             .poss(),
-        r().choice(attrs(&["A"]))
-            .union(r())
-            .cert(),
-        r().difference(r().choice(attrs(&["A"])))
-            .poss(),
+        r().choice(attrs(&["A"])).union(r()).cert(),
+        r().difference(r().choice(attrs(&["A"]))).poss(),
         r().choice(attrs(&["A"]))
             .intersect(r().choice(attrs(&["B"])))
             .cert(),
@@ -94,19 +91,19 @@ proptest! {
 
             let general = translate_complete(&q, &base, &names).unwrap();
             prop_assert_eq!(
-                &catalog.eval(&general).unwrap(), &expected,
+                &*catalog.eval(&general).unwrap(), &expected,
                 "general translation differs for {}", q
             );
 
             let opt = translate_opt_complete(&q, &base).unwrap();
             prop_assert_eq!(
-                &catalog.eval(&opt).unwrap(), &expected,
+                &*catalog.eval(&opt).unwrap(), &expected,
                 "optimized translation differs for {}", q
             );
 
             let simplified = relalg::simplify(&opt, &base).unwrap();
             prop_assert_eq!(
-                &catalog.eval(&simplified).unwrap(), &expected,
+                &*catalog.eval(&simplified).unwrap(), &expected,
                 "simplified plan differs for {}", q
             );
         }

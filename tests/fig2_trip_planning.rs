@@ -74,7 +74,9 @@ fn figure_2c_deletion() {
 fn figure_2d_certain_arrivals() {
     // `select certain Arr from Flights` on (b): each of the three worlds is
     // extended with F = {ATL}.
-    let q = Query::rel("Flights").project(relalg::attrs(&["Arr"])).cert();
+    let q = Query::rel("Flights")
+        .project(relalg::attrs(&["Arr"]))
+        .cert();
     let out = eval_named(&q, &figure_2b(), "F").unwrap();
     assert_eq!(out.len(), 3);
     let atl = Relation::table(&["Arr"], &[&["ATL"]]);
@@ -83,9 +85,7 @@ fn figure_2d_certain_arrivals() {
     }
     // The same through I-SQL.
     let mut session = Session::with_world_set(figure_2b());
-    let outcome = session
-        .execute("select certain Arr from Flights;")
-        .unwrap();
+    let outcome = session.execute("select certain Arr from Flights;").unwrap();
     let isql::ExecOutcome::Rows { answers, .. } = &outcome[0] else {
         panic!()
     };
@@ -97,7 +97,9 @@ fn example_3_1_certain_keeps_input_worlds() {
     // Example 3.1: even though `certain` merges information across worlds,
     // the result is again the set of three input worlds, each extended
     // with F.
-    let q = Query::rel("Flights").project(relalg::attrs(&["Arr"])).cert();
+    let q = Query::rel("Flights")
+        .project(relalg::attrs(&["Arr"]))
+        .cert();
     let out = eval_named(&q, &figure_2b(), "F").unwrap();
     let inputs_restored = out.drop_last();
     assert_eq!(inputs_restored, figure_2b());

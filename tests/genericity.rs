@@ -29,9 +29,7 @@ fn query_family() -> Vec<Query> {
         r().cert_group(attrs(&["A"]), attrs(&["B"])),
         r().repair_by_key(attrs(&["A"])),
         r().repair_by_key(attrs(&["A"])).poss(),
-        r().choice(attrs(&["A"]))
-            .union(r())
-            .cert(),
+        r().choice(attrs(&["A"])).union(r()).cert(),
         r().rename(vec![("A".into(), "X".into()), ("B".into(), "Y".into())])
             .product(r())
             .select(Pred::eq_attr("X", "A"))

@@ -106,12 +106,12 @@ proptest! {
 
         let general = translate_complete(&q, &base, &names).unwrap();
         prop_assert_eq!(
-            &catalog.eval(&general).unwrap(), &expected,
+            &*catalog.eval(&general).unwrap(), &expected,
             "general translation differs for {}", q
         );
         let opt = translate_opt_complete(&q, &base).unwrap();
         prop_assert_eq!(
-            &catalog.eval(&opt).unwrap(), &expected,
+            &*catalog.eval(&opt).unwrap(), &expected,
             "optimized translation differs for {}", q
         );
     }

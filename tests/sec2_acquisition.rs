@@ -43,12 +43,10 @@ fn example_4_1_one_shot_algebra() {
 
     // χ_{CID,EID}(CE) renamed to the "2.*" copy (the employee who leaves),
     // joined with the full CE as "1.*" (the remaining employees).
-    let leaver = Query::rel("CE")
-        .choice(attrs(&["CID", "EID"]))
-        .rename(vec![
-            ("CID".into(), "2.CID".into()),
-            ("EID".into(), "2.EID".into()),
-        ]);
+    let leaver = Query::rel("CE").choice(attrs(&["CID", "EID"])).rename(vec![
+        ("CID".into(), "2.CID".into()),
+        ("EID".into(), "2.EID".into()),
+    ]);
     let remaining = Query::rel("CE")
         .rename(vec![
             ("CID".into(), "1.CID".into()),
@@ -118,10 +116,7 @@ fn acquisition_as_wsa_program() {
         ),
     ];
     let out = eval_program(&program, &ws).unwrap();
-    assert_eq!(
-        out.rel_names(),
-        ["CE", "ES", "U", "V", "W", "Result"]
-    );
+    assert_eq!(out.rel_names(), ["CE", "ES", "U", "V", "W", "Result"]);
     // Five worlds (V1.1, V1.2, V2.1, V2.2, V2.3 of the paper).
     assert_eq!(out.len(), 5);
     let acme = Relation::table(&["1.CID"], &[&["ACME"]]);
@@ -134,10 +129,8 @@ fn acquisition_as_wsa_program() {
     w_tables.sort();
     w_tables.dedup();
     assert_eq!(w_tables.len(), 2);
-    assert!(w_tables
-        .contains(&&Relation::table(&["1.CID", "Skill"], &[&["ACME", "Web"]])));
-    assert!(w_tables
-        .contains(&&Relation::table(&["1.CID", "Skill"], &[&["HAL", "Java"]])));
+    assert!(w_tables.contains(&&Relation::table(&["1.CID", "Skill"], &[&["ACME", "Web"]])));
+    assert!(w_tables.contains(&&Relation::table(&["1.CID", "Skill"], &[&["HAL", "Java"]])));
 }
 
 /// The WSA program and the I-SQL session agree on the final result.

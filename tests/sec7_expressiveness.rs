@@ -48,10 +48,7 @@ fn pairing_squares_the_world_count() {
 fn pairing_from_single_world_does_not_grow() {
     // "starting with a single world, pairing will not increase the
     // cardinality of the world-set, while choice-of in general does."
-    let single = WorldSet::single(vec![(
-        "R",
-        Relation::table(&["A"], &[&[0i64], &[1]]),
-    )]);
+    let single = WorldSet::single(vec![("R", Relation::table(&["A"], &[&[0i64], &[1]]))]);
     assert_eq!(pair_worlds(&single).len(), 1);
     let choice = Query::rel("R").choice(relalg::attrs(&["A"]));
     assert_eq!(eval_named(&choice, &single, "Ans").unwrap().len(), 2);
@@ -89,11 +86,8 @@ fn growth_bound_is_sound_for_random_queries() {
 fn pairing_exceeds_fixed_query_bounds() {
     for n in [3u32, 4, 5] {
         let pairing_count: u64 = 1 << (2 * n);
-        let one_choice_bound: u64 =
-            (1u64 << n) * world_growth_bound(
-                &Query::rel("R").choice(relalg::attrs(&["A"])),
-                n as u64,
-            );
+        let one_choice_bound: u64 = (1u64 << n)
+            * world_growth_bound(&Query::rel("R").choice(relalg::attrs(&["A"])), n as u64);
         assert!(
             pairing_count > one_choice_bound,
             "n={n}: pairing {pairing_count} vs bound {one_choice_bound}"
