@@ -27,10 +27,10 @@ fn collect_pred(p: &Pred, out: &mut BTreeSet<Value>) {
         Pred::True | Pred::False => {}
         Pred::Cmp(l, _, r) => {
             if let Operand::Const(v) = l {
-                out.insert(v.clone());
+                out.insert(*v);
             }
             if let Operand::Const(v) = r {
-                out.insert(v.clone());
+                out.insert(*v);
             }
         }
         Pred::And(a, b) | Pred::Or(a, b) => {

@@ -176,8 +176,9 @@ fn grouped(
 ) -> Result<Vec<World>> {
     let input = eval_worlds(inner, ws)?;
 
-    // Key: π_U(answer) as a sorted set of tuples (None ⇒ single group).
-    let key_of = |w: &World| -> Result<Option<std::collections::BTreeSet<Tuple>>> {
+    // Key: π_U(answer) as a sorted, deduped tuple vector (None ⇒ single
+    // group).
+    let key_of = |w: &World| -> Result<Option<Vec<Tuple>>> {
         match group {
             None => Ok(None),
             Some(u) => Ok(Some(w.last().distinct_values(u)?)),
@@ -193,8 +194,7 @@ fn grouped(
 
     // Compute the combined answer per group; answers are shared so that
     // installing a group answer into each member world is an `Arc` bump.
-    let mut group_answer: BTreeMap<Option<std::collections::BTreeSet<Tuple>>, Arc<Relation>> =
-        BTreeMap::new();
+    let mut group_answer: BTreeMap<Option<Vec<Tuple>>, Arc<Relation>> = BTreeMap::new();
     for w in &input {
         let key = key_of(w)?;
         let contribution = proj_of(w)?;
@@ -243,7 +243,7 @@ pub(crate) fn repairs_by_key(r: &Relation, key: &[relalg::Attr]) -> Result<Vec<R
         })
         .collect::<Result<_>>()?;
     for t in r.iter() {
-        let k: Tuple = key_idx.iter().map(|&i| t[i].clone()).collect();
+        let k: Tuple = key_idx.iter().map(|&i| t[i]).collect();
         groups.entry(k).or_default().push(t.clone());
     }
     // Cartesian product of one choice per group.

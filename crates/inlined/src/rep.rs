@@ -47,14 +47,14 @@ impl InlinedRep {
         let mut tables: Vec<Option<Relation>> = vec![None; k];
         for (i, world) in ws.iter().enumerate() {
             let id = Value::str(&format!("w{}", i + 1));
-            w_rows.push(vec![id.clone()]);
+            w_rows.push(vec![id]);
             for (pos, rel) in world.rels().iter().enumerate() {
                 let mut attrs = rel.schema().attrs().to_vec();
                 attrs.push(wid.clone());
                 let schema = Schema::new(attrs);
                 let rows = rel.iter().map(|t| {
                     let mut row = t.clone();
-                    row.push(id.clone());
+                    row.push(id);
                     row
                 });
                 let with_id = Relation::from_rows(schema, rows)?;
@@ -90,7 +90,7 @@ impl InlinedRep {
             for table in &self.tables {
                 let mut pred = Pred::True;
                 for (a, v) in self.id_attrs.iter().zip(wid) {
-                    pred = pred.and(Pred::eq_const(a.clone(), v.clone()));
+                    pred = pred.and(Pred::eq_const(a.clone(), *v));
                 }
                 let value_attrs = table.schema().minus(&self.id_attrs);
                 rels.push(table.select(&pred)?.project(&value_attrs)?);

@@ -50,20 +50,64 @@ fn fresh(ws: &WorldSet, base: &str) -> String {
 pub fn eval_select_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Result<WorldSet> {
     let base_count = ws.rel_names().len();
 
+    // Plan which simple `where`-comparisons can be pushed into the
+    // from-product (selections on one table, equi-join predicates between
+    // two), so the product is never materialized unfiltered.
+    let plan = plan_pushdown(stmt, true, |name, alias| {
+        let idx = ws.index_of(name)?;
+        let w = ws.iter().next()?;
+        qualified_schema(w.rel(idx).schema(), alias)
+    });
+
     // (1) Fold the from-clause into the working product.
     let acc_name = fresh(ws, "#acc");
     let mut cur = ws
         .extend_with(&acc_name, |_| Ok(Relation::unit()))
         .map_err(rel_err)?;
-    for item in &stmt.from {
-        cur = add_from_item(item, &cur, &acc_name)?;
+    match &plan {
+        Some(p) => {
+            for (item, (sel, join)) in stmt.from.iter().zip(&p.per_item) {
+                let FromItem::Table { name, alias } = item else {
+                    unreachable!("pushdown plans cover table-only from lists");
+                };
+                let idx = cur
+                    .index_of(name)
+                    .ok_or_else(|| SqlError(format!("unknown relation {name}")))?;
+                let acc_idx = cur.index_of(&acc_name).expect("working relation present");
+                let alias = alias.clone().unwrap_or_else(|| name.clone());
+                cur = cur.map_worlds(|w| {
+                    let mut q = qualify(w.rel(idx), &alias)?;
+                    if *sel != relalg::Pred::True {
+                        q = q.select(sel).map_err(rel_err)?;
+                    }
+                    let acc = w.rel(acc_idx);
+                    let combined = if *join != relalg::Pred::True {
+                        acc.theta_join(&q, join)
+                    } else {
+                        acc.product(&q)
+                    }
+                    .map_err(rel_err)?;
+                    Ok(replace_rel(w, acc_idx, combined))
+                })?;
+            }
+        }
+        None => {
+            for item in &stmt.from {
+                cur = add_from_item(item, &cur, &acc_name)?;
+            }
+        }
     }
 
-    // (2) Where: hoist world-splitting subqueries, then filter per world.
+    // (2) Where (minus pushed conjuncts): hoist world-splitting subqueries,
+    // then filter per world.
+    let base_cond = match &plan {
+        Some(p) => p.residual.clone(),
+        None => stmt.where_cond.clone(),
+    };
     let mut hoisted: Vec<String> = Vec::new();
-    let cond = match &stmt.where_cond {
+    let cond = match base_cond {
         Some(c) => {
-            let (c2, cur2) = hoist_world_subqueries(c.clone(), cur, &mut hoisted)?;
+            let (c2, cur2) = hoist_world_subqueries(c, cur, &mut hoisted)?;
             cur = cur2;
             Some(c2)
         }
@@ -98,7 +142,7 @@ pub fn eval_select_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Resul
             for v in acc.distinct_values(&attrs).map_err(rel_err)? {
                 let mut pred = relalg::Pred::True;
                 for (a, val) in attrs.iter().zip(&v) {
-                    pred = pred.and(relalg::Pred::eq_const(a.clone(), val.clone()));
+                    pred = pred.and(relalg::Pred::eq_const(a.clone(), *val));
                 }
                 out.push(replace_rel(w, acc_idx, acc.select(&pred).map_err(rel_err)?));
             }
@@ -247,16 +291,23 @@ fn add_from_item(item: &FromItem, cur: &WorldSet, acc_name: &str) -> Result<Worl
     }
 }
 
+/// The column name with any `alias.` qualifier stripped.
+fn bare_name(name: &str) -> &str {
+    name.rsplit('.').next().unwrap_or(name)
+}
+
 /// Rename all columns of `rel` to `alias.column` (stripping any previous
-/// qualifier).
+/// qualifier). [`qualified_schema`] must mirror this renaming exactly.
 fn qualify(rel: &Relation, alias: &str) -> Result<Relation> {
     let list: Vec<(Attr, Attr)> = rel
         .schema()
         .attrs()
         .iter()
         .map(|a| {
-            let bare = a.name().rsplit('.').next().unwrap_or(a.name());
-            (a.clone(), Attr::new(&format!("{alias}.{bare}")))
+            (
+                a.clone(),
+                Attr::new(&format!("{alias}.{}", bare_name(a.name()))),
+            )
         })
         .collect();
     rel.project_as(&list).map_err(rel_err)
@@ -292,6 +343,199 @@ fn resolve_cols(cols: &[ColRef], schema: &Schema) -> Result<Vec<Attr>> {
     cols.iter().map(|c| resolve_col(c, schema)).collect()
 }
 
+// ---- selection pushdown into the from-product ----
+
+/// A plan for evaluating the from-product with simple `where` comparisons
+/// pushed into it: per from-item a selection predicate (applies to that
+/// item alone) and a join predicate (links the item to the accumulated
+/// product — `theta_join` extracts its equi-conjuncts into a hash join),
+/// plus the residual condition left for row-wise evaluation.
+struct PushdownPlan {
+    per_item: Vec<(relalg::Pred, relalg::Pred)>,
+    residual: Option<Cond>,
+}
+
+/// Attempt a pushdown plan for `stmt`'s where-condition.
+///
+/// Conservative on purpose: only `from` lists made entirely of base tables
+/// qualify (subquery schemas are unknown before evaluation), and only
+/// conjuncts comparing columns/literals are pushed. Columns are resolved
+/// against the *full* product schema, so binding and ambiguity behave
+/// exactly as the row-wise evaluator would. `schema_of` supplies the
+/// qualified schema of a named table (`None` aborts planning).
+///
+/// `bail_on_unresolved` controls what a simple comparison with an
+/// unresolvable column does: at the world-set level (no outer scopes) it is
+/// a guaranteed row-wise error, so planning aborts to preserve it; in the
+/// per-world evaluator the column may be correlated to an outer scope, so
+/// the conjunct just stays in the residual.
+fn plan_pushdown(
+    stmt: &SelectStmt,
+    bail_on_unresolved: bool,
+    schema_of: impl Fn(&str, &str) -> Option<Schema>,
+) -> Option<PushdownPlan> {
+    stmt.where_cond.as_ref()?;
+    let mut item_schemas: Vec<Schema> = Vec::with_capacity(stmt.from.len());
+    for item in &stmt.from {
+        let FromItem::Table { name, alias } = item else {
+            return None;
+        };
+        let alias = alias.as_deref().unwrap_or(name);
+        item_schemas.push(schema_of(name, alias)?);
+    }
+    // The full product schema; duplicate qualified names (same alias twice)
+    // abort planning — the product itself will report the conflict.
+    let full = Schema::try_new(
+        item_schemas
+            .iter()
+            .flat_map(|s| s.attrs().iter().cloned())
+            .collect(),
+    )?;
+
+    let mut conjuncts = Vec::new();
+    split_conjuncts(
+        stmt.where_cond.clone().expect("checked above"),
+        &mut conjuncts,
+    );
+    let mut per_item = vec![(relalg::Pred::True, relalg::Pred::True); stmt.from.len()];
+    let mut residual: Vec<Cond> = Vec::new();
+    for c in conjuncts {
+        match conjunct_to_pred(&c, &full) {
+            None => {
+                if bail_on_unresolved && cond_mentions_unresolvable_col(&c, &full) {
+                    // The residual conjunct names a column the product does
+                    // not have. Without outer scopes that is an error the
+                    // row-wise evaluator would raise on any surviving row —
+                    // abort planning so pushed filters cannot empty the
+                    // product first and silently swallow it.
+                    return None;
+                }
+                residual.push(c);
+            }
+            Some((pred, attrs)) => {
+                // The item owning each referenced column; the conjunct fires
+                // at the latest such item.
+                let owners: Vec<usize> = attrs
+                    .iter()
+                    .map(|a| {
+                        item_schemas
+                            .iter()
+                            .position(|s| s.contains(a))
+                            .expect("resolved in the concatenated schema")
+                    })
+                    .collect();
+                let at = *owners.iter().max().expect("at least one column");
+                let single_item = owners.iter().all(|&o| o == at);
+                let slot = if single_item {
+                    &mut per_item[at].0
+                } else {
+                    &mut per_item[at].1
+                };
+                *slot = std::mem::replace(slot, relalg::Pred::True).and(pred);
+            }
+        }
+    }
+    Some(PushdownPlan {
+        per_item,
+        residual: conjoin(residual),
+    })
+}
+
+/// Flatten a condition into its top-level conjuncts.
+fn split_conjuncts(cond: Cond, out: &mut Vec<Cond>) {
+    match cond {
+        Cond::And(a, b) => {
+            split_conjuncts(*a, out);
+            split_conjuncts(*b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Re-assemble conjuncts into one condition (`None` when all were pushed).
+fn conjoin(conds: Vec<Cond>) -> Option<Cond> {
+    conds
+        .into_iter()
+        .reduce(|a, b| Cond::And(Box::new(a), Box::new(b)))
+}
+
+/// Express a conjunct as a relalg predicate over the full product schema,
+/// returning the referenced attributes. Only column/literal comparisons
+/// qualify; anything else stays in the residual (subject to the
+/// unresolvable-column bail in [`plan_pushdown`]).
+fn conjunct_to_pred(c: &Cond, full: &Schema) -> Option<(relalg::Pred, Vec<Attr>)> {
+    let Cond::Cmp(l, op, r) = c else {
+        return None;
+    };
+    let mut attrs = Vec::new();
+    let lo = scalar_to_operand(l, full, &mut attrs)?;
+    let ro = scalar_to_operand(r, full, &mut attrs)?;
+    if attrs.is_empty() {
+        // Literal-to-literal comparison: nothing to push it onto.
+        return None;
+    }
+    Some((relalg::Pred::Cmp(lo, op.to_relalg(), ro), attrs))
+}
+
+/// Whether a residual condition mentions a column that cannot resolve
+/// (unknown or ambiguous) against the product schema. Comparison operands,
+/// arithmetic and `in`-probe expressions are walked, since the row-wise
+/// evaluator resolves those against the product row. Subquery *bodies* are
+/// skipped: their columns resolve against the subquery's own from-tables
+/// plus outer scopes (correlation), which cannot be decided statically
+/// here — so an unknown column inside a subquery body surfaces only when
+/// the residual actually evaluates, exactly as the pre-pushdown engine
+/// only surfaced it when `and` short-circuiting happened to reach it.
+fn cond_mentions_unresolvable_col(c: &Cond, full: &Schema) -> bool {
+    let scalar = |s: &Scalar| scalar_mentions_unresolvable_col(s, full);
+    match c {
+        Cond::Cmp(l, _, r) => scalar(l) || scalar(r),
+        Cond::In { expr, .. } => scalar(expr),
+        Cond::Exists { .. } => false,
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            cond_mentions_unresolvable_col(a, full) || cond_mentions_unresolvable_col(b, full)
+        }
+        Cond::Not(a) => cond_mentions_unresolvable_col(a, full),
+    }
+}
+
+fn scalar_mentions_unresolvable_col(s: &Scalar, full: &Schema) -> bool {
+    match s {
+        Scalar::Col(c) => resolve_col(c, full).is_err(),
+        Scalar::Arith(_, a, b) => {
+            scalar_mentions_unresolvable_col(a, full) || scalar_mentions_unresolvable_col(b, full)
+        }
+        Scalar::Agg(_, inner) => scalar_mentions_unresolvable_col(inner, full),
+        Scalar::Lit(_) | Scalar::CountStar | Scalar::Subquery(_) => false,
+    }
+}
+
+fn scalar_to_operand(s: &Scalar, full: &Schema, attrs: &mut Vec<Attr>) -> Option<relalg::Operand> {
+    match s {
+        Scalar::Col(c) => {
+            let a = resolve_col(c, full).ok()?;
+            attrs.push(a.clone());
+            Some(relalg::Operand::Attr(a))
+        }
+        Scalar::Lit(Literal::Int(i)) => Some(relalg::Operand::Const(Value::Int(*i))),
+        Scalar::Lit(Literal::Str(t)) => Some(relalg::Operand::Const(Value::str(t))),
+        _ => None,
+    }
+}
+
+/// The schema of `qualify(rel, alias)` without materializing the relation:
+/// every column renamed via the same [`bare_name`] rule. `None` on a
+/// (pathological) name collision.
+fn qualified_schema(schema: &Schema, alias: &str) -> Option<Schema> {
+    Schema::try_new(
+        schema
+            .attrs()
+            .iter()
+            .map(|a| Attr::new(&format!("{alias}.{}", bare_name(a.name()))))
+            .collect(),
+    )
+}
+
 /// All repairs of `rel` under `key` (same construction as
 /// `wsa::repair`, local to the interpreter).
 fn repairs_by_key(rel: &Relation, key: &[Attr]) -> Result<Vec<Relation>> {
@@ -304,7 +548,7 @@ fn repairs_by_key(rel: &Relation, key: &[Attr]) -> Result<Vec<Relation>> {
         .collect();
     let mut groups: BTreeMap<Tuple, Vec<Tuple>> = BTreeMap::new();
     for t in rel.iter() {
-        let k: Tuple = key_idx.iter().map(|&i| t[i].clone()).collect();
+        let k: Tuple = key_idx.iter().map(|&i| t[i]).collect();
         groups.entry(k).or_default().push(t.clone());
     }
     let mut picks: Vec<Vec<Tuple>> = vec![vec![]];
@@ -418,9 +662,17 @@ pub fn eval_select_local(
             "subquery in this position must not use world constructs".into(),
         ));
     }
+    // Push simple where-comparisons into the from-product where possible
+    // (table-only from lists; unresolvable conjuncts — e.g. correlated
+    // references to outer scopes — stay in the residual).
+    let plan = plan_pushdown(stmt, false, |name, alias| {
+        let idx = names.iter().position(|n| n == name)?;
+        qualified_schema(world.rel(idx).schema(), alias)
+    });
+
     // From-product (table relations are borrowed, not cloned).
     let mut acc = Relation::unit();
-    for item in &stmt.from {
+    for (k, item) in stmt.from.iter().enumerate() {
         let qualified = match item {
             FromItem::Table { name, alias } => {
                 let idx = names
@@ -434,10 +686,29 @@ pub fn eval_select_local(
                 qualify(&eval_select_local(query, world, names, scopes)?, alias)?
             }
         };
-        acc = acc.product(&qualified).map_err(rel_err)?;
+        match plan.as_ref().map(|p| &p.per_item[k]) {
+            Some((sel, join)) => {
+                let filtered = if *sel != relalg::Pred::True {
+                    qualified.select(sel).map_err(rel_err)?
+                } else {
+                    qualified
+                };
+                acc = if *join != relalg::Pred::True {
+                    acc.theta_join(&filtered, join)
+                } else {
+                    acc.product(&filtered)
+                }
+                .map_err(rel_err)?;
+            }
+            None => acc = acc.product(&qualified).map_err(rel_err)?,
+        }
     }
-    // Where.
-    if let Some(cond) = &stmt.where_cond {
+    // Where (minus pushed conjuncts).
+    let residual = match &plan {
+        Some(p) => p.residual.as_ref(),
+        None => stmt.where_cond.as_ref(),
+    };
+    if let Some(cond) = residual {
         let mut keep = Vec::new();
         for row in acc.iter() {
             scopes.push((acc.schema().clone(), row.clone()));
@@ -505,12 +776,8 @@ fn project_rows(
         let attrs = acc.schema().attrs();
         let mut out_names: Vec<String> = Vec::with_capacity(attrs.len());
         for a in attrs {
-            let bare = a.name().rsplit('.').next().unwrap_or(a.name()).to_string();
-            let ambiguous = attrs
-                .iter()
-                .filter(|b| b.name().rsplit('.').next().unwrap_or(b.name()) == bare)
-                .count()
-                > 1;
+            let bare = bare_name(a.name()).to_string();
+            let ambiguous = attrs.iter().filter(|b| bare_name(b.name()) == bare).count() > 1;
             out_names.push(if ambiguous {
                 a.name().to_string()
             } else {
@@ -560,20 +827,20 @@ fn project_rows(
         .collect();
     let mut groups: BTreeMap<Tuple, Vec<Tuple>> = BTreeMap::new();
     for row in acc.iter() {
-        let key: Tuple = idx.iter().map(|&i| row[i].clone()).collect();
+        let key: Tuple = idx.iter().map(|&i| row[i]).collect();
         groups.entry(key).or_default().push(row.clone());
     }
     // SQL convention: an ungrouped aggregate over an empty input produces
     // one row (sum = 0, count = 0) — needed by scalar subqueries.
     if groups.is_empty() && group_attrs.is_empty() {
-        groups.insert(vec![], vec![]);
+        groups.insert(Tuple::new(), vec![]);
     }
     let mut rows = Vec::new();
     for rows_in_group in groups.values() {
         let first = rows_in_group
             .first()
             .cloned()
-            .unwrap_or_else(|| vec![Value::Pad; acc.schema().arity()]);
+            .unwrap_or_else(|| Tuple::filled(Value::Pad, acc.schema().arity()));
         scopes.push((acc.schema().clone(), first.clone()));
         let mut out = Vec::with_capacity(stmt.items.len());
         for item in &stmt.items {
@@ -657,7 +924,7 @@ fn eval_scalar(
             for (schema, row) in scopes.iter().rev() {
                 if let Ok(attr) = resolve_col(c, schema) {
                     let i = schema.index_of(&attr).expect("resolved");
-                    return Ok(row[i].clone());
+                    return Ok(row[i]);
                 }
             }
             Err(SqlError(format!("unresolved column {c}")))
@@ -738,7 +1005,7 @@ fn eval_scalar(
                     rel.len()
                 )));
             }
-            let value = rel.iter().next().expect("one row")[0].clone();
+            let value = rel.iter().next().expect("one row")[0];
             Ok(value)
         }
     }
@@ -851,17 +1118,17 @@ mod tests {
     fn aggregation_group_by() {
         let a = answer("select A, count(*) as N from R group by A;");
         assert_eq!(a.len(), 2);
-        assert!(a.contains(&vec![Value::str("x"), Value::Int(2)]));
-        assert!(a.contains(&vec![Value::str("y"), Value::Int(1)]));
+        assert!(a.contains(&[Value::str("x"), Value::Int(2)]));
+        assert!(a.contains(&[Value::str("y"), Value::Int(1)]));
     }
 
     #[test]
     fn aggregates_over_empty_input() {
         let a = answer("select count(*) as N from R where A = 'zzz';");
         assert_eq!(a.len(), 1);
-        assert!(a.contains(&vec![Value::Int(0)]));
+        assert!(a.contains(&[Value::Int(0)]));
         let a = answer("select sum(B) as S from S where C = 'zzz';");
-        assert!(a.contains(&vec![Value::Int(0)]));
+        assert!(a.contains(&[Value::Int(0)]));
     }
 
     #[test]
@@ -875,7 +1142,7 @@ mod tests {
         let crate::ExecOutcome::Rows { answers, .. } = &out[0] else {
             panic!()
         };
-        assert!(answers[0].contains(&vec![Value::Int(10), Value::Int(30), Value::Int(20)]));
+        assert!(answers[0].contains(&[Value::Int(10), Value::Int(30), Value::Int(20)]));
     }
 
     #[test]
@@ -907,6 +1174,52 @@ mod tests {
     }
 
     #[test]
+    fn pushdown_preserves_unknown_column_errors() {
+        // `A = 'zzz'` is pushable and empties the product; the unknown
+        // column in the first conjunct must still be reported exactly as
+        // the row-wise evaluator (which sees it before `and`
+        // short-circuits) would — planning bails instead of silently
+        // returning an empty answer.
+        let Stmt::Select(sel) =
+            parse_statement("select A from R where Bogus = 1 and A = 'zzz';").unwrap()
+        else {
+            panic!()
+        };
+        assert!(eval_select_ws(&sel, &ws(), "Ans").is_err());
+        // Same for an ambiguous bare column alongside a pushable filter.
+        let Stmt::Select(sel) =
+            parse_statement("select R1.A from R R1, R R2 where A = 'x' and R1.A = 'zzz';").unwrap()
+        else {
+            panic!()
+        };
+        assert!(eval_select_ws(&sel, &ws(), "Ans").is_err());
+        // Unknown columns nested in arithmetic or inside or/not trees must
+        // also keep planning honest.
+        for sql in [
+            "select A from R where Bogus + 1 = 1 and A = 'zzz';",
+            "select A from R where (Bogus = 1 or A = 'x') and A = 'zzz';",
+            "select A from R where Bogus in (select B from S) and A = 'zzz';",
+        ] {
+            let Stmt::Select(sel) = parse_statement(sql).unwrap() else {
+                panic!()
+            };
+            assert!(eval_select_ws(&sel, &ws(), "Ans").is_err(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn pushdown_matches_unpushed_semantics() {
+        // Join + single-table filter: the pushed plan must agree with the
+        // textbook filter-after-product result.
+        let a = answer("select A, C from R, S where R.B = S.B and A = 'x';");
+        assert_eq!(a.len(), 1);
+        assert!(a.contains(&[Value::str("x"), Value::str("c1")]));
+        // Constant on the left and a non-equality comparison also push.
+        let a = answer("select A from R where 'x' = A and B < '3';");
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
     fn unknown_relation_rejected() {
         let Stmt::Select(sel) = parse_statement("select * from Nope;").unwrap() else {
             panic!()
@@ -925,7 +1238,7 @@ mod tests {
         let crate::ExecOutcome::Rows { answers, .. } = &out[0] else {
             panic!()
         };
-        assert!(answers[0].contains(&vec![
+        assert!(answers[0].contains(&[
             Value::Int(15),
             Value::Int(20),
             Value::Int(9),

@@ -64,7 +64,7 @@ fn configuration_prices_via_aggregation() {
         .iter()
         .map(|&t| vec![Value::Int(t)])
         .collect();
-    let got: Vec<Vec<Value>> = totals[0].iter().cloned().collect();
+    let got: Vec<Vec<Value>> = totals[0].iter().map(|t| t.to_vec()).collect();
     assert_eq!(got, expect);
 }
 
@@ -163,8 +163,8 @@ fn update_with_arithmetic() {
     s.execute("update Items set Price = Price * 2 where Kind = 'ram';")
         .unwrap();
     let items = &s.answers("Items").unwrap()[0];
-    assert!(items.contains(&vec![Value::str("ram"), Value::str("r1"), Value::Int(200)]));
-    assert!(items.contains(&vec![Value::str("ram"), Value::str("r2"), Value::Int(400)]));
+    assert!(items.contains(&[Value::str("ram"), Value::str("r1"), Value::Int(200)]));
+    assert!(items.contains(&[Value::str("ram"), Value::str("r2"), Value::Int(400)]));
 }
 
 /// `delete` with an IN-subquery condition.

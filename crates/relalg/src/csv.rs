@@ -16,7 +16,7 @@ pub fn relation_from_csv(text: &str) -> Result<Relation> {
         .ok_or_else(|| RelalgError::TypeError {
             detail: "duplicate column in CSV header".into(),
         })?;
-    let mut rows = Vec::new();
+    let mut rows: Vec<crate::Tuple> = Vec::new();
     for line in lines {
         let fields = split_csv_line(line)?;
         if fields.len() != schema.arity() {
@@ -126,8 +126,8 @@ mod tests {
     #[test]
     fn type_inference() {
         let rel = relation_from_csv("X,Y\n42,abc\n-7,9z\n").unwrap();
-        assert!(rel.contains(&vec![Value::Int(42), Value::str("abc")]));
-        assert!(rel.contains(&vec![Value::Int(-7), Value::str("9z")]));
+        assert!(rel.contains(&[Value::Int(42), Value::str("abc")]));
+        assert!(rel.contains(&[Value::Int(-7), Value::str("9z")]));
     }
 
     #[test]

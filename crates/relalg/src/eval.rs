@@ -199,7 +199,7 @@ mod tests {
             .divide(&f.project(attrs(&["Dep"])));
         let r = c.eval(&e).unwrap();
         assert_eq!(r.len(), 1);
-        assert!(r.contains(&vec!["ATL".into()]));
+        assert!(r.contains(&["ATL".into()]));
     }
 
     #[test]

@@ -26,6 +26,7 @@ mod pred;
 mod relation;
 mod schema;
 mod simplify;
+mod tuple;
 mod value;
 
 pub use csv::{relation_from_csv, relation_to_csv};
@@ -33,10 +34,11 @@ pub use error::{RelalgError, Result};
 pub use eval::{Catalog, EvalCache};
 pub use expr::{Expr, ExprKind};
 pub use pred::{CmpOp, Operand, Pred};
-pub use relation::{Relation, Tuple};
+pub use relation::{Relation, RelationBuilder};
 pub use schema::{Attr, Schema};
 pub use simplify::simplify;
-pub use value::Value;
+pub use tuple::{Tuple, INLINE_TUPLE_CAP};
+pub use value::{Sym, Value};
 
 /// Convenience constructor for an [`Attr`].
 pub fn attr(name: &str) -> Attr {

@@ -1,7 +1,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use crate::{Attr, RelalgError, Result, Schema, Tuple, Value};
+use crate::{Attr, RelalgError, Result, Schema, Value};
 
 /// Comparison operators usable in selection conditions.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -70,7 +70,7 @@ impl Operand {
                     schema: schema.clone(),
                 }
             }),
-            Operand::Const(v) => Ok(ResolvedOperand::Const(v.clone())),
+            Operand::Const(v) => Ok(ResolvedOperand::Const(*v)),
         }
     }
 }
@@ -93,7 +93,7 @@ enum ResolvedOperand {
 }
 
 impl ResolvedOperand {
-    fn get<'a>(&'a self, t: &'a Tuple) -> &'a Value {
+    fn get<'a>(&'a self, t: &'a [Value]) -> &'a Value {
         match self {
             ResolvedOperand::Col(i) => &t[*i],
             ResolvedOperand::Const(v) => v,
@@ -197,7 +197,7 @@ impl Pred {
     pub fn rename_attrs(&self, map: &dyn Fn(&Attr) -> Attr) -> Pred {
         let ren = |o: &Operand| match o {
             Operand::Attr(a) => Operand::Attr(map(a)),
-            Operand::Const(v) => Operand::Const(v.clone()),
+            Operand::Const(v) => Operand::Const(*v),
         };
         match self {
             Pred::True => Pred::True,
@@ -268,11 +268,11 @@ pub struct CompiledPred {
 
 impl CompiledPred {
     /// Evaluate on one tuple of the schema the predicate was compiled for.
-    pub fn eval(&self, t: &Tuple) -> bool {
+    pub fn eval(&self, t: &[Value]) -> bool {
         Self::eval_node(&self.prog, t)
     }
 
-    fn eval_node(n: &Node, t: &Tuple) -> bool {
+    fn eval_node(n: &Node, t: &[Value]) -> bool {
         match n {
             Node::Const(b) => *b,
             Node::Cmp(l, op, r) => op.apply(l.get(t), r.get(t)),
@@ -292,7 +292,7 @@ mod tests {
         Schema::of(&["A", "B"])
     }
 
-    fn tup(a: i64, b: i64) -> Tuple {
+    fn tup(a: i64, b: i64) -> Vec<Value> {
         vec![Value::int(a), Value::int(b)]
     }
 

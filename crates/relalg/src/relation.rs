@@ -1,20 +1,96 @@
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use crate::{Attr, CmpOp, Operand, Pred, RelalgError, Result, Schema, Value};
+use crate::{Attr, CmpOp, Operand, Pred, RelalgError, Result, Schema, Tuple, Value};
 
-/// A tuple: one value per schema attribute, in column order.
-pub type Tuple = Vec<Value>;
-
-/// A set-semantics relation: a schema plus a sorted set of tuples.
+/// A set-semantics relation: a schema plus a **sorted, deduplicated vector**
+/// of tuples.
 ///
-/// Tuples are stored in a `BTreeSet` so that iteration order — and therefore
-/// everything derived from it (printed tables, golden tests, benchmark
-/// inputs) — is deterministic.
+/// The sorted-vec invariant replaces the previous `BTreeSet` storage:
+/// iteration order — and therefore everything derived from it (printed
+/// tables, golden tests, benchmark inputs) — stays deterministic, while
+/// construction is append-then-sort (no per-tuple log-factor insert), the
+/// set operations are linear merges, and lookups are binary searches.
+/// Operators whose output is produced in sorted order already (selection,
+/// product, the streamed theta path, semijoin) skip the sort entirely.
+///
+/// All construction goes through [`RelationBuilder`] or one of the
+/// sorted-preserving fast paths; `tuples` is never mutated in a way that
+/// could break the invariant.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Relation {
     schema: Schema,
-    tuples: BTreeSet<Tuple>,
+    tuples: Vec<Tuple>,
+}
+
+/// An append-only builder for [`Relation`]: push tuples in any order (and
+/// with duplicates), then [`RelationBuilder::finish`] runs one sort + dedup
+/// pass and seals the sorted-vec invariant.
+#[derive(Clone, Debug)]
+pub struct RelationBuilder {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl RelationBuilder {
+    /// A builder over the given schema.
+    pub fn new(schema: Schema) -> RelationBuilder {
+        RelationBuilder {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// A builder with room for `cap` tuples.
+    pub fn with_capacity(schema: Schema, cap: usize) -> RelationBuilder {
+        RelationBuilder {
+            schema,
+            tuples: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The target schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Append a tuple assumed to match the schema arity (operators construct
+    /// tuples positionally, so this is checked only in debug builds).
+    pub fn push(&mut self, t: Tuple) {
+        debug_assert_eq!(t.len(), self.schema.arity(), "tuple arity mismatch");
+        self.tuples.push(t);
+    }
+
+    /// Append a tuple, validating arity.
+    pub fn try_push(&mut self, t: impl Into<Tuple>) -> Result<()> {
+        let t = t.into();
+        if t.len() != self.schema.arity() {
+            return Err(RelalgError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: t.len(),
+            });
+        }
+        self.tuples.push(t);
+        Ok(())
+    }
+
+    /// Number of tuples appended so far (duplicates included).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// One sort + dedup pass over the appended tuples.
+    pub fn finish(self) -> Relation {
+        let RelationBuilder { schema, mut tuples } = self;
+        tuples.sort_unstable();
+        tuples.dedup();
+        Relation { schema, tuples }
+    }
 }
 
 impl Relation {
@@ -22,23 +98,31 @@ impl Relation {
     pub fn empty(schema: Schema) -> Relation {
         Relation {
             schema,
-            tuples: BTreeSet::new(),
+            tuples: Vec::new(),
         }
     }
 
+    /// Internal constructor for tuple vectors that are already strictly
+    /// sorted (operators that produce output in order use this to skip the
+    /// builder's sort pass).
+    fn from_sorted_vec(schema: Schema, tuples: Vec<Tuple>) -> Relation {
+        debug_assert!(
+            tuples.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted_vec requires strictly sorted tuples"
+        );
+        Relation { schema, tuples }
+    }
+
     /// Build a relation from rows, validating arity.
-    pub fn from_rows(schema: Schema, rows: impl IntoIterator<Item = Tuple>) -> Result<Relation> {
-        let mut tuples = BTreeSet::new();
+    pub fn from_rows(
+        schema: Schema,
+        rows: impl IntoIterator<Item = impl Into<Tuple>>,
+    ) -> Result<Relation> {
+        let mut b = RelationBuilder::new(schema);
         for row in rows {
-            if row.len() != schema.arity() {
-                return Err(RelalgError::ArityMismatch {
-                    expected: schema.arity(),
-                    got: row.len(),
-                });
-            }
-            tuples.insert(row);
+            b.try_push(row)?;
         }
-        Ok(Relation { schema, tuples })
+        Ok(b.finish())
     }
 
     /// Convenience constructor from attribute names and value-convertible
@@ -56,11 +140,9 @@ impl Relation {
     /// This is the initial world table `W` of a one-world database
     /// (Example 5.6, step 1).
     pub fn unit() -> Relation {
-        let mut tuples = BTreeSet::new();
-        tuples.insert(vec![]);
         Relation {
             schema: Schema::nullary(),
-            tuples,
+            tuples: vec![Tuple::new()],
         }
     }
 
@@ -85,30 +167,49 @@ impl Relation {
     }
 
     /// Iterate tuples in sorted order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
         self.tuples.iter()
     }
 
-    /// Membership test.
-    pub fn contains(&self, t: &Tuple) -> bool {
-        self.tuples.contains(t)
+    /// The tuples as a sorted slice.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
     }
 
-    /// Insert a tuple (validating arity).
-    pub fn insert(&mut self, t: Tuple) -> Result<()> {
+    /// Membership test (binary search over the sorted tuples).
+    pub fn contains(&self, t: &[Value]) -> bool {
+        self.tuples
+            .binary_search_by(|probe| probe.as_slice().cmp(t))
+            .is_ok()
+    }
+
+    /// Insert a tuple (validating arity), keeping the sorted invariant.
+    pub fn insert(&mut self, t: impl Into<Tuple>) -> Result<()> {
+        let t = t.into();
         if t.len() != self.schema.arity() {
             return Err(RelalgError::ArityMismatch {
                 expected: self.schema.arity(),
                 got: t.len(),
             });
         }
-        self.tuples.insert(t);
+        if let Err(pos) = self.tuples.binary_search(&t) {
+            self.tuples.insert(pos, t);
+        }
         Ok(())
     }
 
     /// Remove a tuple.
-    pub fn remove(&mut self, t: &Tuple) -> bool {
-        self.tuples.remove(t)
+    pub fn remove(&mut self, t: &[Value]) -> bool {
+        match self
+            .tuples
+            .binary_search_by(|probe| probe.as_slice().cmp(t))
+        {
+            Ok(pos) => {
+                self.tuples.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     fn positions(&self, attrs: &[Attr]) -> Result<Vec<usize>> {
@@ -146,30 +247,29 @@ impl Relation {
                     .find(|d| list.iter().filter(|(_, x)| x == d).count() > 1)
                     .unwrap_or_else(|| Attr::new("?")),
             })?;
-        let tuples = self
-            .tuples
-            .iter()
-            .map(|t| idx.iter().map(|&i| t[i].clone()).collect())
-            .collect();
-        Ok(Relation {
-            schema: out_schema,
-            tuples,
-        })
+        // A prefix projection (keeping the leading columns in order) cannot
+        // disturb the sort order and cannot be re-deduplicated into a
+        // *different* order, but it can merge tuples — only the identity
+        // column selection is guaranteed dedup-free, so go through the
+        // builder in general.
+        let mut b = RelationBuilder::with_capacity(out_schema, self.tuples.len());
+        for t in &self.tuples {
+            b.push(idx.iter().map(|&i| t[i]).collect());
+        }
+        Ok(b.finish())
     }
 
-    /// Selection `σ_φ`.
+    /// Selection `σ_φ`. Filtering preserves sortedness, so the output is
+    /// assembled without a sort pass.
     pub fn select(&self, pred: &Pred) -> Result<Relation> {
         let compiled = pred.compile(&self.schema)?;
-        let tuples = self
+        let tuples: Vec<Tuple> = self
             .tuples
             .iter()
             .filter(|t| compiled.eval(t))
             .cloned()
             .collect();
-        Ok(Relation {
-            schema: self.schema.clone(),
-            tuples,
-        })
+        Ok(Relation::from_sorted_vec(self.schema.clone(), tuples))
     }
 
     /// Renaming `δ_{src→dst}`: columns keep their position; names change.
@@ -208,7 +308,9 @@ impl Relation {
         })
     }
 
-    /// Cartesian product `×` over disjoint schemas.
+    /// Cartesian product `×` over disjoint schemas. The left-major nested
+    /// loop over two sorted inputs emits concatenations in strictly
+    /// increasing order, so the output needs neither sort nor dedup.
     pub fn product(&self, other: &Relation) -> Result<Relation> {
         if !self.schema.disjoint(&other.schema) {
             return Err(RelalgError::NotDisjoint {
@@ -222,21 +324,19 @@ impl Relation {
         if self.is_empty() || other.is_empty() {
             return Ok(Relation::empty(schema));
         }
-        let mut tuples = BTreeSet::new();
+        let mut tuples = Vec::with_capacity(self.tuples.len() * other.tuples.len());
         for l in &self.tuples {
             for r in &other.tuples {
-                let mut t = Vec::with_capacity(l.len() + r.len());
-                t.extend_from_slice(l);
-                t.extend_from_slice(r);
-                tuples.insert(t);
+                tuples.push(l.concat(r));
             }
         }
-        Ok(Relation { schema, tuples })
+        Ok(Relation::from_sorted_vec(schema, tuples))
     }
 
     /// Reorder `other`'s columns into `self`'s column order (both must have
-    /// the same attribute set); used by the set operations.
-    fn aligned(&self, other: &Relation) -> Result<BTreeSet<Tuple>> {
+    /// the same attribute set), returning a sorted tuple vector; used by the
+    /// set operations.
+    fn aligned(&self, other: &Relation) -> Result<Vec<Tuple>> {
         if !self.schema.same_attr_set(&other.schema) {
             return Err(RelalgError::SchemaMismatch {
                 left: self.schema.clone(),
@@ -252,42 +352,37 @@ impl Relation {
             .iter()
             .map(|a| other.schema.index_of(a).expect("checked same_attr_set"))
             .collect();
-        Ok(other
+        // Column reordering destroys the sort order; re-sort once.
+        let mut tuples: Vec<Tuple> = other
             .tuples
             .iter()
-            .map(|t| idx.iter().map(|&i| t[i].clone()).collect())
-            .collect())
+            .map(|t| idx.iter().map(|&i| t[i]).collect())
+            .collect();
+        tuples.sort_unstable();
+        tuples.dedup();
+        Ok(tuples)
     }
 
-    /// Union `∪` (same attribute set; right side is reordered as needed).
+    /// Union `∪` (same attribute set; right side is reordered as needed):
+    /// a linear merge of the two sorted tuple vectors.
     pub fn union(&self, other: &Relation) -> Result<Relation> {
         let right = self.aligned(other)?;
-        let mut tuples = self.tuples.clone();
-        tuples.extend(right);
-        Ok(Relation {
-            schema: self.schema.clone(),
-            tuples,
-        })
+        let tuples = merge_union(&self.tuples, &right);
+        Ok(Relation::from_sorted_vec(self.schema.clone(), tuples))
     }
 
-    /// Intersection `∩`.
+    /// Intersection `∩`: a linear merge.
     pub fn intersect(&self, other: &Relation) -> Result<Relation> {
         let right = self.aligned(other)?;
-        let tuples = self.tuples.intersection(&right).cloned().collect();
-        Ok(Relation {
-            schema: self.schema.clone(),
-            tuples,
-        })
+        let tuples = merge_intersect(&self.tuples, &right);
+        Ok(Relation::from_sorted_vec(self.schema.clone(), tuples))
     }
 
-    /// Difference `−`.
+    /// Difference `−`: a linear merge.
     pub fn difference(&self, other: &Relation) -> Result<Relation> {
         let right = self.aligned(other)?;
-        let tuples = self.tuples.difference(&right).cloned().collect();
-        Ok(Relation {
-            schema: self.schema.clone(),
-            tuples,
-        })
+        let tuples = merge_difference(&self.tuples, &right);
+        Ok(Relation::from_sorted_vec(self.schema.clone(), tuples))
     }
 
     /// Natural join `⋈` on the common attributes: a hash join that builds
@@ -329,22 +424,22 @@ impl Relation {
             (&other.tuples, &r_idx, &self.tuples, &l_idx)
         };
         let index = hash_index(build, build_keys);
-        let mut tuples = BTreeSet::new();
+        let mut b = RelationBuilder::new(schema);
         for p in probe {
             let key: Vec<&Value> = probe_keys.iter().map(|&i| &p[i]).collect();
             if let Some(matches) = index.get(&key) {
-                for b in matches {
-                    let (l, r): (&Tuple, &Tuple) = if index_left { (b, p) } else { (p, b) };
-                    let mut t = Vec::with_capacity(l.len() + r_extra.len());
+                for m in matches {
+                    let (l, r): (&Tuple, &Tuple) = if index_left { (m, p) } else { (p, m) };
+                    let mut t = Tuple::with_capacity(l.len() + r_extra.len());
                     t.extend_from_slice(l);
                     for &i in &r_extra {
-                        t.push(r[i].clone());
+                        t.push(r[i]);
                     }
-                    tuples.insert(t);
+                    b.push(t);
                 }
             }
         }
-        Relation { schema, tuples }
+        b.finish()
     }
 
     /// Theta join `⋈_φ` over disjoint schemas, semantically `σ_φ(self × other)`.
@@ -354,8 +449,9 @@ impl Relation {
     /// indexed on its key columns, the larger side probes, and the residual
     /// predicate (compiled once against the combined schema) filters the
     /// matches. The cross product is **never** materialized; without any
-    /// equi-conjunct the pairs are still streamed tuple-by-tuple through the
-    /// compiled predicate rather than built into an intermediate relation.
+    /// equi-conjunct the pairs stream tuple-by-tuple through the compiled
+    /// predicate in sorted order, so that path — like `product` — skips the
+    /// output sort entirely.
     pub fn theta_join(&self, other: &Relation, pred: &Pred) -> Result<Relation> {
         if !self.schema.disjoint(&other.schema) {
             return Err(RelalgError::NotDisjoint {
@@ -375,35 +471,37 @@ impl Relation {
         let residual = residual.compile(&schema)?;
         let l_arity = self.schema.arity();
 
-        let mut tuples = BTreeSet::new();
-        let mut scratch: Tuple = Vec::with_capacity(schema.arity());
-        let emit = |l: &Tuple, r: &Tuple, scratch: &mut Tuple, out: &mut BTreeSet<Tuple>| {
+        let mut scratch: Tuple = Tuple::with_capacity(schema.arity());
+        let emit = |l: &Tuple, r: &Tuple, scratch: &mut Tuple, out: &mut Vec<Tuple>| {
             scratch.clear();
             scratch.extend_from_slice(l);
             scratch.extend_from_slice(r);
             if residual.eval(scratch) {
-                out.insert(scratch.clone());
+                out.push(scratch.clone());
             }
         };
 
         if keys.is_empty() {
-            // No equi-conjunct: stream the nested loop through the compiled
-            // predicate without materializing the product relation.
+            // No equi-conjunct: the left-major nested loop emits a filtered
+            // subsequence of the sorted product — already strictly sorted.
+            let mut tuples = Vec::new();
             for l in &self.tuples {
                 for r in &other.tuples {
                     emit(l, r, &mut scratch, &mut tuples);
                 }
             }
+            Ok(Relation::from_sorted_vec(schema, tuples))
         } else {
             let l_keys: Vec<usize> = keys.iter().map(|(l, _)| *l).collect();
             let r_keys: Vec<usize> = keys.iter().map(|(_, r)| *r - l_arity).collect();
+            let mut b = RelationBuilder::new(schema);
             if self.len() <= other.len() {
                 let index = hash_index(&self.tuples, &l_keys);
                 for r in &other.tuples {
                     let key: Vec<&Value> = r_keys.iter().map(|&i| &r[i]).collect();
                     if let Some(matches) = index.get(&key) {
                         for l in matches {
-                            emit(l, r, &mut scratch, &mut tuples);
+                            emit(l, r, &mut scratch, &mut b.tuples);
                         }
                     }
                 }
@@ -413,18 +511,18 @@ impl Relation {
                     let key: Vec<&Value> = l_keys.iter().map(|&i| &l[i]).collect();
                     if let Some(matches) = index.get(&key) {
                         for r in matches {
-                            emit(l, r, &mut scratch, &mut tuples);
+                            emit(l, r, &mut scratch, &mut b.tuples);
                         }
                     }
                 }
             }
+            Ok(b.finish())
         }
-        Ok(Relation { schema, tuples })
     }
 
     /// Semijoin `⋉`: tuples of `self` with a natural-join partner in
     /// `other`. The key set is hashed from `other`'s common-attribute
-    /// columns; `self` streams through it.
+    /// columns; `self` streams through it (a filter, so order is kept).
     pub fn semijoin(&self, other: &Relation) -> Relation {
         if self.is_empty() {
             return self.clone();
@@ -446,7 +544,7 @@ impl Relation {
             .iter()
             .map(|t| r_idx.iter().map(|&i| &t[i]).collect())
             .collect();
-        let tuples = self
+        let tuples: Vec<Tuple> = self
             .tuples
             .iter()
             .filter(|t| {
@@ -455,10 +553,7 @@ impl Relation {
             })
             .cloned()
             .collect();
-        Relation {
-            schema: self.schema.clone(),
-            tuples,
-        }
+        Relation::from_sorted_vec(self.schema.clone(), tuples)
     }
 
     /// Division `÷`: for `R[A ∪ B] ÷ S[B]`, the `A`-tuples `a` such that
@@ -466,6 +561,9 @@ impl Relation {
     /// (`R ÷ W` in Figure 6). When `S` is empty the result is `π_A(R)`
     /// (vacuous universal quantification), consistent with the classical
     /// RA definition `π_A(R) − π_A(π_A(R) × S − R)`.
+    ///
+    /// One `(A-part, B-part)` extraction pass plus one sort groups the
+    /// divisor check into contiguous runs — no intermediate per-key sets.
     pub fn divide(&self, divisor: &Relation) -> Result<Relation> {
         let b: Vec<Attr> = divisor.schema.attrs().to_vec();
         if !self.schema.contains_all(&b) {
@@ -475,37 +573,56 @@ impl Relation {
             });
         }
         let a: Vec<Attr> = self.schema.minus(&b);
+        let out_schema = Schema::new(a.clone());
         if self.is_empty() {
-            return Ok(Relation::empty(Schema::new(a)));
+            return Ok(Relation::empty(out_schema));
         }
         let a_idx: Vec<usize> = a.iter().map(|x| self.schema.index_of(x).unwrap()).collect();
         let b_idx: Vec<usize> = b.iter().map(|x| self.schema.index_of(x).unwrap()).collect();
 
-        // Group R by its A-part, collecting the set of B-parts seen.
-        let mut groups: HashMap<Tuple, BTreeSet<Tuple>> = HashMap::new();
-        for t in &self.tuples {
-            let ka: Tuple = a_idx.iter().map(|&i| t[i].clone()).collect();
-            let kb: Tuple = b_idx.iter().map(|&i| t[i].clone()).collect();
-            groups.entry(ka).or_default().insert(kb);
-        }
-        let needed: BTreeSet<Tuple> = divisor.tuples.iter().cloned().collect();
-        let mut tuples = BTreeSet::new();
-        if needed.is_empty() {
-            // Vacuously true: every A-part qualifies.
-            for ka in groups.into_keys() {
-                tuples.insert(ka);
+        // Decompose each tuple into (A-part, B-part) and sort once; equal
+        // A-parts become contiguous runs with sorted B-parts.
+        let mut pairs: Vec<(Tuple, Tuple)> = self
+            .tuples
+            .iter()
+            .map(|t| {
+                (
+                    a_idx.iter().map(|&i| t[i]).collect(),
+                    b_idx.iter().map(|&i| t[i]).collect(),
+                )
+            })
+            .collect();
+        pairs.sort_unstable();
+
+        let needed = &divisor.tuples;
+        let mut tuples: Vec<Tuple> = Vec::new();
+        let mut run = 0;
+        while run < pairs.len() {
+            let ka = &pairs[run].0;
+            let mut end = run;
+            while end < pairs.len() && &pairs[end].0 == ka {
+                end += 1;
             }
-        } else {
-            for (ka, seen) in groups {
-                if needed.is_subset(&seen) {
-                    tuples.insert(ka);
+            // The run's B-parts and the divisor are both sorted: a single
+            // forward walk checks the subset property.
+            let mut ni = 0;
+            for (_, kb) in &pairs[run..end] {
+                if ni == needed.len() {
+                    break;
+                }
+                match kb.cmp(&needed[ni]) {
+                    std::cmp::Ordering::Less => {}
+                    std::cmp::Ordering::Equal => ni += 1,
+                    std::cmp::Ordering::Greater => break,
                 }
             }
+            if ni == needed.len() {
+                tuples.push(ka.clone());
+            }
+            run = end;
         }
-        Ok(Relation {
-            schema: Schema::new(a),
-            tuples,
-        })
+        // A-parts of a sorted pair list appear in sorted order.
+        Ok(Relation::from_sorted_vec(out_schema, tuples))
     }
 
     /// The modified left outer join `=⊲⊳` of Remark 5.5:
@@ -518,47 +635,60 @@ impl Relation {
             .difference(&self.semijoin(other))
             .expect("same schema by construction");
         let pad_count = joined.schema.arity() - self.schema.arity();
-        let mut tuples = joined.tuples;
-        for t in &dangling.tuples {
-            let mut padded = t.clone();
-            padded.extend(std::iter::repeat_n(Value::Pad, pad_count));
-            tuples.insert(padded);
-        }
-        Relation {
-            schema: joined.schema,
-            tuples,
-        }
+        // Padding a sorted set of distinct tuples with a constant suffix
+        // keeps it sorted; merge it with the join output.
+        let padded: Vec<Tuple> = dangling
+            .tuples
+            .iter()
+            .map(|t| {
+                let mut p = Tuple::with_capacity(t.len() + pad_count);
+                p.extend_from_slice(t);
+                for _ in 0..pad_count {
+                    p.push(Value::Pad);
+                }
+                p
+            })
+            .collect();
+        let tuples = merge_union(&joined.tuples, &padded);
+        Relation::from_sorted_vec(joined.schema, tuples)
     }
 
-    /// The distinct values of the listed attributes, as a set of sub-tuples
-    /// (i.e. `π_attrs` as raw tuples — convenient for world grouping).
-    pub fn distinct_values(&self, attrs: &[Attr]) -> Result<BTreeSet<Tuple>> {
+    /// The distinct values of the listed attributes, as a sorted, deduped
+    /// vector of sub-tuples (i.e. `π_attrs` as raw tuples — convenient for
+    /// world grouping).
+    pub fn distinct_values(&self, attrs: &[Attr]) -> Result<Vec<Tuple>> {
         Ok(self.project(attrs)?.tuples)
     }
 
     /// Partition the relation by the values of `attrs`: one sub-relation
-    /// per distinct key, in the key's sorted order. A single pass over the
-    /// tuples replaces the `select(σ_{key=v})`-per-value pattern used by
-    /// `choice-of` (which re-scans the relation once per world it creates).
+    /// per distinct key, in the key's sorted order. Keys are extracted in
+    /// one pass and the (key, tuple) pairs sorted **stably** by key, so
+    /// each partition inherits the relation's sorted tuple order and is
+    /// assembled without re-sorting or intermediate per-key sets.
     pub fn partition_by(&self, attrs: &[Attr]) -> Result<Vec<(Tuple, Relation)>> {
         let idx = self.positions(attrs)?;
-        let mut groups: BTreeMap<Tuple, BTreeSet<Tuple>> = BTreeMap::new();
-        for t in &self.tuples {
-            let key: Tuple = idx.iter().map(|&i| t[i].clone()).collect();
-            groups.entry(key).or_default().insert(t.clone());
+        let mut pairs: Vec<(Tuple, &Tuple)> = self
+            .tuples
+            .iter()
+            .map(|t| (idx.iter().map(|&i| t[i]).collect(), t))
+            .collect();
+        // Stable: tuples with equal keys keep their (sorted) relative order.
+        pairs.sort_by(|x, y| x.0.cmp(&y.0));
+
+        let mut out: Vec<(Tuple, Relation)> = Vec::new();
+        let mut run = 0;
+        while run < pairs.len() {
+            let key = pairs[run].0.clone();
+            let mut end = run;
+            let mut tuples: Vec<Tuple> = Vec::new();
+            while end < pairs.len() && pairs[end].0 == key {
+                tuples.push(pairs[end].1.clone());
+                end += 1;
+            }
+            out.push((key, Relation::from_sorted_vec(self.schema.clone(), tuples)));
+            run = end;
         }
-        Ok(groups
-            .into_iter()
-            .map(|(key, tuples)| {
-                (
-                    key,
-                    Relation {
-                        schema: self.schema.clone(),
-                        tuples,
-                    },
-                )
-            })
-            .collect())
+        Ok(out)
     }
 
     /// Render as an aligned ASCII table (used by examples and docs).
@@ -598,9 +728,74 @@ impl Relation {
     }
 }
 
+/// Linear merge of two strictly sorted tuple vectors: union.
+fn merge_union(a: &[Tuple], b: &[Tuple]) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Linear merge of two strictly sorted tuple vectors: intersection.
+fn merge_intersect(a: &[Tuple], b: &[Tuple]) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Linear merge of two strictly sorted tuple vectors: difference `a − b`.
+fn merge_difference(a: &[Tuple], b: &[Tuple]) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out
+}
+
 /// Build a hash index over `tuples`, keyed by the values at `key_cols`.
 fn hash_index<'a>(
-    tuples: &'a BTreeSet<Tuple>,
+    tuples: &'a [Tuple],
     key_cols: &[usize],
 ) -> HashMap<Vec<&'a Value>, Vec<&'a Tuple>> {
     let mut index: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::with_capacity(tuples.len());
@@ -700,7 +895,7 @@ mod tests {
 
     #[test]
     fn arity_checked() {
-        let bad = Relation::from_rows(Schema::of(&["A"]), vec![vec![]]);
+        let bad = Relation::from_rows(Schema::of(&["A"]), vec![Tuple::new()]);
         assert!(matches!(bad, Err(RelalgError::ArityMismatch { .. })));
     }
 
@@ -709,6 +904,30 @@ mod tests {
         assert_eq!(Relation::unit().len(), 1);
         assert_eq!(Relation::unit().schema().arity(), 0);
         assert!(Relation::nullary_empty().is_empty());
+    }
+
+    #[test]
+    fn builder_sorts_and_dedups() {
+        let mut b = RelationBuilder::new(Schema::of(&["A"]));
+        for v in [3i64, 1, 2, 1, 3] {
+            b.push([Value::int(v)].into_iter().collect());
+        }
+        let rel = b.finish();
+        assert_eq!(rel.len(), 3);
+        let vals: Vec<i64> = rel.iter().map(|t| t[0].as_int().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn insert_remove_keep_sorted() {
+        let mut rel = Relation::table(&["A"], &[&[1i64], &[3]]);
+        rel.insert(vec![Value::int(2)]).unwrap();
+        rel.insert(vec![Value::int(2)]).unwrap(); // duplicate, no-op
+        let vals: Vec<i64> = rel.iter().map(|t| t[0].as_int().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+        assert!(rel.remove(&[Value::int(2)]));
+        assert!(!rel.remove(&[Value::int(9)]));
+        assert_eq!(rel.len(), 2);
     }
 
     #[test]
@@ -727,7 +946,7 @@ mod tests {
             ])
             .unwrap();
         assert_eq!(p.schema().arity(), 3);
-        assert!(p.contains(&vec![Value::int(1), Value::int(2), Value::int(1)]));
+        assert!(p.contains(&[Value::int(1), Value::int(2), Value::int(1)]));
     }
 
     #[test]
@@ -823,7 +1042,7 @@ mod tests {
         let q = f.divide(&deps).unwrap();
         assert_eq!(q.schema().attrs(), &[attr("Arr")]);
         assert_eq!(q.len(), 1);
-        assert!(q.contains(&vec![Value::str("ATL")]));
+        assert!(q.contains(&[Value::str("ATL")]));
     }
 
     #[test]
@@ -844,9 +1063,9 @@ mod tests {
         let x = Relation::table(&["V", "P"], &[&[1i64, 10]]);
         let j = w.outer_pad_join(&x);
         assert_eq!(j.len(), 3);
-        assert!(j.contains(&vec![Value::int(1), Value::int(10)]));
-        assert!(j.contains(&vec![Value::int(2), Value::Pad]));
-        assert!(j.contains(&vec![Value::int(3), Value::Pad]));
+        assert!(j.contains(&[Value::int(1), Value::int(10)]));
+        assert!(j.contains(&[Value::int(2), Value::Pad]));
+        assert!(j.contains(&[Value::int(3), Value::Pad]));
     }
 
     #[test]
@@ -859,7 +1078,7 @@ mod tests {
         let e = Relation::empty(Schema::of(&["Dep"]));
         let j = w.outer_pad_join(&e);
         assert_eq!(j.len(), 1);
-        assert!(j.contains(&vec![Value::Pad]));
+        assert!(j.contains(&[Value::Pad]));
     }
 
     #[test]
@@ -867,6 +1086,44 @@ mod tests {
         let t = Relation::table(&["E", "F"], &[&[2i64, 1], &[9, 9]]);
         let j = r().theta_join(&t, &Pred::eq_attr("B", "E")).unwrap();
         assert_eq!(j.len(), 2); // (1,2)×(2,1), (3,2)×(2,1)
+    }
+
+    #[test]
+    fn partition_by_groups_in_key_order() {
+        let parts = r().partition_by(&attrs(&["A"])).unwrap();
+        assert_eq!(parts.len(), 3);
+        let keys: Vec<i64> = parts.iter().map(|(k, _)| k[0].as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+        assert_eq!(parts[1].1.len(), 2); // A=2 has two tuples
+        for (_, part) in &parts {
+            assert!(part
+                .iter()
+                .collect::<Vec<_>>()
+                .windows(2)
+                .all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn distinct_values_sorted_dedup() {
+        let vals = r().distinct_values(&attrs(&["A"])).unwrap();
+        let ints: Vec<i64> = vals.iter().map(|t| t[0].as_int().unwrap()).collect();
+        assert_eq!(ints, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_strict() {
+        let ops: Vec<Relation> = vec![
+            r().product(&s()).unwrap(),
+            r().natural_join(&Relation::table(&["B", "E"], &[&[2i64, 1], &[3, 2]])),
+            r().union(&Relation::table(&["A", "B"], &[&[0i64, 0]]))
+                .unwrap(),
+            r().theta_join(&s(), &Pred::eq_attr("B", "C")).unwrap(),
+        ];
+        for rel in ops {
+            let ts: Vec<&Tuple> = rel.iter().collect();
+            assert!(ts.windows(2).all(|w| w[0] < w[1]), "not strictly sorted");
+        }
     }
 
     #[test]

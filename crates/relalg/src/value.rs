@@ -1,5 +1,128 @@
+use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string handle.
+///
+/// Every distinct string is stored once in a process-wide interner and
+/// identified by a dense `id`. Equality and hashing are single word
+/// compares on the id; ordering is *lexicographic* on the underlying
+/// string — required so that relations containing string values iterate in
+/// the same order as before interning (golden tests, printed tables) — and
+/// is decided without touching the interner in almost all cases via an
+/// inlined 8-byte big-endian prefix of the string. Only symbols that agree
+/// on their first 8 bytes but differ as strings fall back to a full
+/// comparison of the interned data.
+///
+/// Interned strings are leaked (the interner lives for the process); the
+/// set of distinct strings in a workload is bounded by its active domain,
+/// which this engine materializes anyway.
+#[derive(Clone, Copy, Debug)]
+pub struct Sym {
+    /// Big-endian first 8 bytes of the string, zero-padded. Prefix order
+    /// refines lexicographic order: `prefix(a) < prefix(b) ⇒ a < b`.
+    prefix: u64,
+    /// Dense interner id; equal strings always intern to the same id.
+    id: u32,
+}
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+fn prefix_of(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut p = [0u8; 8];
+    let n = bytes.len().min(8);
+    p[..n].copy_from_slice(&bytes[..n]);
+    u64::from_be_bytes(p)
+}
+
+impl Sym {
+    /// Intern `s`, returning its handle. Repeated interning of the same
+    /// string is a hash lookup under a read lock.
+    pub fn new(s: &str) -> Sym {
+        let prefix = prefix_of(s);
+        {
+            let int = interner().read().expect("interner poisoned");
+            if let Some(&id) = int.map.get(s) {
+                return Sym { prefix, id };
+            }
+        }
+        let mut int = interner().write().expect("interner poisoned");
+        if let Some(&id) = int.map.get(s) {
+            return Sym { prefix, id };
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(int.strings.len()).expect("interner overflow");
+        int.strings.push(leaked);
+        int.map.insert(leaked, id);
+        Sym { prefix, id }
+    }
+
+    /// The interned string. The returned reference is `'static` — interned
+    /// data is never freed.
+    pub fn as_str(self) -> &'static str {
+        interner().read().expect("interner poisoned").strings[self.id as usize]
+    }
+}
+
+impl PartialEq for Sym {
+    fn eq(&self, other: &Sym) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Sym {}
+
+impl std::hash::Hash for Sym {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl Ord for Sym {
+    fn cmp(&self, other: &Sym) -> Ordering {
+        if self.id == other.id {
+            return Ordering::Equal;
+        }
+        match self.prefix.cmp(&other.prefix) {
+            // Same first 8 bytes but different strings: full comparison.
+            Ordering::Equal => self.as_str().cmp(other.as_str()),
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Sym) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::new(s)
+    }
+}
 
 /// A domain value stored in a relation.
 ///
@@ -9,7 +132,13 @@ use std::sync::Arc;
 /// pad tuples without a join partner ("here we use a constant for practical
 /// reasons" — i.e. it is an ordinary value, not a NULL with three-valued
 /// logic).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// `Value` is `Copy`: strings are interned [`Sym`] handles, so copying,
+/// comparing and hashing a value never touches the heap. The derived
+/// ordering is Pad < Bool < Int < Str (variant order), with strings
+/// ordered lexicographically via [`Sym`]'s `Ord` (the pre-interning order,
+/// preserved for deterministic iteration).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// The padding constant `c` of the `=⊲⊳` operator.
     Pad,
@@ -18,13 +147,13 @@ pub enum Value {
     /// 64-bit integer constant.
     Int(i64),
     /// Interned string constant.
-    Str(Arc<str>),
+    Str(Sym),
 }
 
 impl Value {
-    /// Build a string value.
+    /// Build a string value (interning the string).
     pub fn str(s: &str) -> Value {
-        Value::Str(Arc::from(s))
+        Value::Str(Sym::new(s))
     }
 
     /// Build an integer value.
@@ -48,7 +177,7 @@ impl Value {
     /// The string inside, if any.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -127,5 +256,58 @@ mod tests {
         assert_eq!(Value::from(3i64), Value::int(3));
         assert_eq!(Value::from("s"), Value::str("s"));
         assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn interning_dedups() {
+        let a = Sym::new("same-string");
+        let b = Sym::new("same-string");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "same-string");
+    }
+
+    #[test]
+    fn sym_order_is_lexicographic() {
+        // Short strings decided by the prefix; long strings sharing the
+        // 8-byte prefix fall back to the interner comparison.
+        let cases = [
+            ("", "a"),
+            ("a", "b"),
+            ("ab", "abc"),
+            ("ATL", "BCN"),
+            ("longprefix-aaa", "longprefix-aab"),
+            ("samefirst8", "samefirst8x"),
+        ];
+        for (lo, hi) in cases {
+            assert!(Sym::new(lo) < Sym::new(hi), "{lo} < {hi}");
+            assert!(Sym::new(hi) > Sym::new(lo), "{hi} > {lo}");
+        }
+        assert_eq!(Sym::new("x").cmp(&Sym::new("x")), Ordering::Equal);
+    }
+
+    #[test]
+    fn string_order_matches_str_order() {
+        // The Value order over strings must agree with &str order exactly.
+        let mut words: Vec<&str> = vec![
+            "FRA",
+            "PAR",
+            "PHL",
+            "BCN",
+            "ATL",
+            "HUB",
+            "w1",
+            "w2",
+            "w10",
+            "",
+            "a",
+            "abcdefgh",
+            "abcdefgha",
+            "abcdefghb",
+        ];
+        let mut vals: Vec<Value> = words.iter().map(|w| Value::str(w)).collect();
+        words.sort();
+        vals.sort();
+        let back: Vec<&str> = vals.iter().map(|v| v.as_str().unwrap()).collect();
+        assert_eq!(back, words);
     }
 }

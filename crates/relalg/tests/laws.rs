@@ -235,7 +235,7 @@ fn oracle_natural_join(r: &Relation, s: &Relation) -> Relation {
             if agree {
                 let mut row = l.clone();
                 for a in &r_extra {
-                    row.push(t[s.schema().index_of(a).unwrap()].clone());
+                    row.push(t[s.schema().index_of(a).unwrap()]);
                 }
                 rows.push(row);
             }

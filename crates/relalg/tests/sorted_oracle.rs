@@ -1,0 +1,395 @@
+//! Oracle tests for the sorted-vec tuple storage.
+//!
+//! `Relation` stores its tuples as a sorted, deduplicated `Vec<Tuple>`
+//! (built through `RelationBuilder` or one of the order-preserving fast
+//! paths). These tests pin every operator against the old `BTreeSet`
+//! semantics: an oracle that re-implements each operation over
+//! `BTreeSet<Vec<Value>>` must agree with the engine **and** the engine's
+//! output must satisfy the storage invariant (strictly sorted, hence
+//! deduplicated) — on datagen-seeded randomized inputs and on
+//! proptest-shim generated edge cases.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use relalg::{attr, attrs, Attr, Pred, Relation, Schema, Tuple, Value};
+
+/// The reference representation: schema + BTreeSet of plain value vectors.
+type OracleRel = (Schema, BTreeSet<Vec<Value>>);
+
+fn to_oracle(r: &Relation) -> OracleRel {
+    (r.schema().clone(), r.iter().map(|t| t.to_vec()).collect())
+}
+
+/// The engine relation must match the oracle set *and* iterate in the
+/// BTreeSet's sorted order with no duplicates — the invariant everything
+/// downstream (golden tests, printed tables) relies on.
+fn assert_matches(engine: &Relation, oracle: &OracleRel, what: &str) {
+    assert_eq!(engine.schema(), &oracle.0, "{what}: schema diverged");
+    let engine_rows: Vec<Vec<Value>> = engine.iter().map(|t| t.to_vec()).collect();
+    let oracle_rows: Vec<Vec<Value>> = oracle.1.iter().cloned().collect();
+    assert_eq!(engine_rows, oracle_rows, "{what}: rows or order diverged");
+    assert!(
+        engine
+            .iter()
+            .collect::<Vec<&Tuple>>()
+            .windows(2)
+            .all(|w| w[0] < w[1]),
+        "{what}: iteration not strictly sorted"
+    );
+}
+
+// ---- oracle operator implementations over BTreeSet<Vec<Value>> ----
+
+fn o_select(r: &Relation, pred: &Pred) -> OracleRel {
+    let compiled = pred.compile(r.schema()).unwrap();
+    (
+        r.schema().clone(),
+        r.iter()
+            .map(|t| t.to_vec())
+            .filter(|t| compiled.eval(t))
+            .collect(),
+    )
+}
+
+fn o_project(r: &Relation, keep: &[Attr]) -> OracleRel {
+    let idx: Vec<usize> = keep
+        .iter()
+        .map(|a| r.schema().index_of(a).unwrap())
+        .collect();
+    (
+        Schema::new(keep.to_vec()),
+        r.iter()
+            .map(|t| idx.iter().map(|&i| t[i]).collect())
+            .collect(),
+    )
+}
+
+fn o_product(r: &Relation, s: &Relation) -> OracleRel {
+    let mut a = r.schema().attrs().to_vec();
+    a.extend_from_slice(s.schema().attrs());
+    let mut set = BTreeSet::new();
+    for l in r.iter() {
+        for t in s.iter() {
+            let mut row = l.to_vec();
+            row.extend(t.iter().copied());
+            set.insert(row);
+        }
+    }
+    (Schema::new(a), set)
+}
+
+fn o_theta_join(r: &Relation, s: &Relation, pred: &Pred) -> OracleRel {
+    let (schema, all) = o_product(r, s);
+    let compiled = pred.compile(&schema).unwrap();
+    let set = all.into_iter().filter(|t| compiled.eval(t)).collect();
+    (schema, set)
+}
+
+fn o_natural_join(r: &Relation, s: &Relation) -> OracleRel {
+    let common = r.schema().common(s.schema());
+    let extra: Vec<Attr> = s.schema().minus(&common);
+    let mut a = r.schema().attrs().to_vec();
+    a.extend(extra.iter().cloned());
+    let mut set = BTreeSet::new();
+    for l in r.iter() {
+        for t in s.iter() {
+            let agree = common
+                .iter()
+                .all(|c| l[r.schema().index_of(c).unwrap()] == t[s.schema().index_of(c).unwrap()]);
+            if agree {
+                let mut row = l.to_vec();
+                for e in &extra {
+                    row.push(t[s.schema().index_of(e).unwrap()]);
+                }
+                set.insert(row);
+            }
+        }
+    }
+    (Schema::new(a), set)
+}
+
+fn o_semijoin(r: &Relation, s: &Relation) -> OracleRel {
+    let common = r.schema().common(s.schema());
+    let set = r
+        .iter()
+        .filter(|l| {
+            s.iter().any(|t| {
+                common.iter().all(|c| {
+                    l[r.schema().index_of(c).unwrap()] == t[s.schema().index_of(c).unwrap()]
+                })
+            })
+        })
+        .map(|t| t.to_vec())
+        .collect();
+    (r.schema().clone(), set)
+}
+
+/// Classical definition: `R ÷ S = π_A(R) − π_A(π_A(R) × S − R)`.
+fn o_divide(r: &Relation, s: &Relation) -> OracleRel {
+    let a: Vec<Attr> = r.schema().minus(s.schema().attrs());
+    let (pa_schema, pa) = o_project(r, &a);
+    let r_set: BTreeSet<Vec<Value>> = r
+        .iter()
+        .map(|t| {
+            // Reorder into A ++ B order for comparison with the product.
+            let mut row: Vec<Value> = a
+                .iter()
+                .map(|x| t[r.schema().index_of(x).unwrap()])
+                .collect();
+            for x in s.schema().attrs() {
+                row.push(t[r.schema().index_of(x).unwrap()]);
+            }
+            row
+        })
+        .collect();
+    let mut missing_a = BTreeSet::new();
+    for pa_row in &pa {
+        for b_row in s.iter() {
+            let mut row = pa_row.clone();
+            row.extend(b_row.iter().copied());
+            if !r_set.contains(&row) {
+                missing_a.insert(pa_row.clone());
+            }
+        }
+    }
+    (
+        pa_schema,
+        pa.into_iter().filter(|t| !missing_a.contains(t)).collect(),
+    )
+}
+
+fn o_union(r: &Relation, s: &Relation) -> OracleRel {
+    let (schema, mut set) = to_oracle(r);
+    set.extend(aligned_rows(r, s));
+    (schema, set)
+}
+
+fn o_intersect(r: &Relation, s: &Relation) -> OracleRel {
+    let (schema, l) = to_oracle(r);
+    let right = aligned_rows(r, s);
+    (schema, l.intersection(&right).cloned().collect())
+}
+
+fn o_difference(r: &Relation, s: &Relation) -> OracleRel {
+    let (schema, l) = to_oracle(r);
+    let right = aligned_rows(r, s);
+    (schema, l.difference(&right).cloned().collect())
+}
+
+/// `s`'s rows reordered into `r`'s column order.
+fn aligned_rows(r: &Relation, s: &Relation) -> BTreeSet<Vec<Value>> {
+    let idx: Vec<usize> = r
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| s.schema().index_of(a).unwrap())
+        .collect();
+    s.iter()
+        .map(|t| idx.iter().map(|&i| t[i]).collect())
+        .collect()
+}
+
+// ---- datagen-seeded sweep over every operator ----
+
+fn random_rels(
+    seed: u64,
+    left: Vec<&'static str>,
+    right: Vec<&'static str>,
+) -> (Relation, Relation) {
+    let spec = datagen::RandomSpec {
+        schemas: vec![left, right],
+        worlds: 1,
+        max_tuples: 14,
+        domain: 4,
+    };
+    let ws = datagen::random_world_set(seed, &spec);
+    let w = ws.the_world().expect("single world");
+    (w.rel(0).clone(), w.rel(1).clone())
+}
+
+#[test]
+fn sorted_vec_operators_agree_with_btreeset_oracle() {
+    for seed in 0..200u64 {
+        // Disjoint schemas: product / theta joins / division.
+        let (r, s) = random_rels(seed, vec!["A", "B"], vec!["C", "D"]);
+        assert_matches(&r.product(&s).unwrap(), &o_product(&r, &s), "product");
+
+        let equi = Pred::eq_attr("A", "C");
+        assert_matches(
+            &r.theta_join(&s, &equi).unwrap(),
+            &o_theta_join(&r, &s, &equi),
+            "equi theta_join",
+        );
+        let non_equi = Pred::cmp(
+            relalg::Operand::Attr(attr("B")),
+            relalg::CmpOp::Lt,
+            relalg::Operand::Attr(attr("D")),
+        );
+        assert_matches(
+            &r.theta_join(&s, &non_equi).unwrap(),
+            &o_theta_join(&r, &s, &non_equi),
+            "non-equi theta_join",
+        );
+
+        assert_matches(
+            &r.select(&Pred::eq_const("A", 1)).unwrap(),
+            &o_select(&r, &Pred::eq_const("A", 1)),
+            "select",
+        );
+        assert_matches(
+            &r.project(&attrs(&["B"])).unwrap(),
+            &o_project(&r, &attrs(&["B"])),
+            "project",
+        );
+
+        // Division: R[A,B] ÷ S[B] with the B-columns drawn from R itself so
+        // the quotient is non-trivial.
+        let divisor = s
+            .project(&attrs(&["C"]))
+            .unwrap()
+            .rename(&[(attr("C"), attr("B"))])
+            .unwrap();
+        assert_matches(
+            &r.divide(&divisor).unwrap(),
+            &o_divide(&r, &divisor),
+            "divide",
+        );
+
+        // Shared attribute B: natural join / semijoin / outer pad join.
+        let (r2, s2) = random_rels(seed ^ 0xdead_beef, vec!["A", "B"], vec!["B", "C"]);
+        assert_matches(
+            &r2.natural_join(&s2),
+            &o_natural_join(&r2, &s2),
+            "natural_join",
+        );
+        assert_matches(&r2.semijoin(&s2), &o_semijoin(&r2, &s2), "semijoin");
+
+        // Same attribute set (in swapped column order): the set operations
+        // exercise the aligned() re-sort path.
+        let (u, v) = random_rels(seed ^ 0x5a5a_5a5a, vec!["A", "B"], vec!["B", "A"]);
+        assert_matches(&u.union(&v).unwrap(), &o_union(&u, &v), "union");
+        assert_matches(&u.intersect(&v).unwrap(), &o_intersect(&u, &v), "intersect");
+        assert_matches(
+            &u.difference(&v).unwrap(),
+            &o_difference(&u, &v),
+            "difference",
+        );
+    }
+}
+
+#[test]
+fn outer_pad_join_matches_definition_oracle() {
+    for seed in 0..200u64 {
+        let (r, s) = random_rels(seed, vec!["A", "B"], vec!["B", "C"]);
+        // R =⊲⊳ S = (R ⋈ S) ∪ (R − R⋉S) × {⟨c,…,c⟩}, assembled via oracles.
+        let (schema, joined) = o_natural_join(&r, &s);
+        let (_, matched) = o_semijoin(&r, &s);
+        let pad_count = schema.arity() - r.schema().arity();
+        let mut set = joined;
+        for t in r.iter() {
+            if !matched.contains(&t.to_vec()) {
+                let mut row = t.to_vec();
+                row.extend(std::iter::repeat_n(Value::Pad, pad_count));
+                set.insert(row);
+            }
+        }
+        assert_matches(&r.outer_pad_join(&s), &(schema, set), "outer_pad_join");
+    }
+}
+
+#[test]
+fn partition_and_distinct_agree_with_grouping_oracle() {
+    for seed in 0..200u64 {
+        let (r, _) = random_rels(seed, vec!["A", "B"], vec!["C"]);
+        let key = attrs(&["A"]);
+
+        // distinct_values = sorted distinct key sub-tuples.
+        let oracle_keys: BTreeSet<Vec<Value>> = r.iter().map(|t| vec![t[0]]).collect();
+        let got: Vec<Vec<Value>> = r
+            .distinct_values(&key)
+            .unwrap()
+            .iter()
+            .map(|t| t.to_vec())
+            .collect();
+        assert_eq!(got, oracle_keys.iter().cloned().collect::<Vec<_>>());
+
+        // partition_by: keys in sorted order, partitions = σ_{A=k}(R), each
+        // partition strictly sorted; partitions cover R exactly.
+        let parts = r.partition_by(&key).unwrap();
+        let part_keys: Vec<Vec<Value>> = parts.iter().map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(part_keys, got, "partition keys");
+        let mut covered = 0;
+        for (k, part) in &parts {
+            let sel = r.select(&Pred::eq_const("A", k[0])).unwrap();
+            assert_eq!(part, &sel, "partition content for key {k:?}");
+            covered += part.len();
+        }
+        assert_eq!(covered, r.len(), "partitions cover the relation");
+    }
+}
+
+// ---- proptest-shim edge cases (empty inputs, heavy duplication) ----
+
+fn rel_from_pairs(schema: &[&str], rows: &[(i64, i64)]) -> Relation {
+    Relation::from_rows(
+        Schema::of(schema),
+        rows.iter()
+            .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]),
+    )
+    .unwrap()
+}
+
+fn tight_pairs() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    // Tiny domain: many duplicates, frequent total overlap, empty inputs.
+    proptest::collection::vec((0i64..3, 0i64..3), 0..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn set_ops_match_oracle_on_tight_domains(a in tight_pairs(), b in tight_pairs()) {
+        let r = rel_from_pairs(&["A", "B"], &a);
+        let s = rel_from_pairs(&["A", "B"], &b);
+        assert_matches(&r.union(&s).unwrap(), &o_union(&r, &s), "union");
+        assert_matches(&r.intersect(&s).unwrap(), &o_intersect(&r, &s), "intersect");
+        assert_matches(&r.difference(&s).unwrap(), &o_difference(&r, &s), "difference");
+        // Swapped-column alignment path.
+        let v = rel_from_pairs(&["B", "A"], &b);
+        assert_matches(&r.union(&v).unwrap(), &o_union(&r, &v), "union aligned");
+        assert_matches(&r.difference(&v).unwrap(), &o_difference(&r, &v), "difference aligned");
+    }
+
+    #[test]
+    fn joins_match_oracle_on_tight_domains(a in tight_pairs(), b in tight_pairs()) {
+        let r = rel_from_pairs(&["A", "B"], &a);
+        let s = rel_from_pairs(&["B", "C"], &b);
+        assert_matches(&r.natural_join(&s), &o_natural_join(&r, &s), "natural_join");
+        assert_matches(&r.semijoin(&s), &o_semijoin(&r, &s), "semijoin");
+        let t = rel_from_pairs(&["C", "D"], &b);
+        assert_matches(&r.product(&t).unwrap(), &o_product(&r, &t), "product");
+        let pred = Pred::eq_attr("A", "C");
+        assert_matches(&r.theta_join(&t, &pred).unwrap(), &o_theta_join(&r, &t, &pred), "theta");
+        let divisor = t.project(&attrs(&["C"])).unwrap().rename(&[(attr("C"), attr("B"))]).unwrap();
+        assert_matches(&r.divide(&divisor).unwrap(), &o_divide(&r, &divisor), "divide");
+    }
+}
+
+/// Mixed value kinds (Pad < Bool < Int < Str with lexicographic strings)
+/// must order identically in storage and oracle.
+#[test]
+fn mixed_value_kinds_keep_canonical_order() {
+    let rows: Vec<Vec<Value>> = vec![
+        vec![Value::str("BCN"), Value::Int(2)],
+        vec![Value::Pad, Value::Int(9)],
+        vec![Value::str("ATL"), Value::Int(1)],
+        vec![Value::Bool(true), Value::Int(0)],
+        vec![Value::Int(-3), Value::Int(7)],
+        vec![Value::str("ATL"), Value::Int(1)], // duplicate
+    ];
+    let rel = Relation::from_rows(Schema::of(&["X", "N"]), rows.clone()).unwrap();
+    let oracle: BTreeSet<Vec<Value>> = rows.into_iter().collect();
+    assert_matches(&rel, &(Schema::of(&["X", "N"]), oracle), "mixed kinds");
+    assert_eq!(rel.len(), 5);
+}

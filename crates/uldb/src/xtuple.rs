@@ -18,17 +18,20 @@ pub struct Alternative {
 
 impl Alternative {
     /// An alternative with empty lineage.
-    pub fn new(values: Tuple) -> Alternative {
+    pub fn new(values: impl Into<Tuple>) -> Alternative {
         Alternative {
-            values,
+            values: values.into(),
             lineage: vec![],
         }
     }
 
     /// An alternative whose existence depends on the given external
     /// alternative.
-    pub fn with_lineage(values: Tuple, lineage: Vec<(String, usize)>) -> Alternative {
-        Alternative { values, lineage }
+    pub fn with_lineage(values: impl Into<Tuple>, lineage: Vec<(String, usize)>) -> Alternative {
+        Alternative {
+            values: values.into(),
+            lineage,
+        }
     }
 }
 

@@ -46,7 +46,7 @@ impl Bijection {
         let mut fwd = BTreeMap::new();
         let mut bwd = BTreeMap::new();
         for (a, b) in pairs {
-            if fwd.insert(a.clone(), b.clone()).is_some() {
+            if fwd.insert(a, b).is_some() {
                 return None;
             }
             if bwd.insert(b, a).is_some() {
@@ -66,15 +66,18 @@ impl Bijection {
 
     /// Image of one value.
     pub fn apply_value(&self, v: &Value) -> Value {
-        self.fwd.get(v).cloned().unwrap_or_else(|| v.clone())
+        self.fwd.get(v).cloned().unwrap_or(*v)
     }
 
     /// Image of a relation (tuple-wise).
     pub fn apply_relation(&self, r: &Relation) -> Result<Relation> {
         Relation::from_rows(
             r.schema().clone(),
-            r.iter()
-                .map(|t| t.iter().map(|v| self.apply_value(v)).collect()),
+            r.iter().map(|t| {
+                t.iter()
+                    .map(|v| self.apply_value(v))
+                    .collect::<relalg::Tuple>()
+            }),
         )
     }
 

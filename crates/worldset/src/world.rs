@@ -438,7 +438,7 @@ mod tests {
                 let deps = w.rel(0).distinct_values(&attrs(&["Dep"]))?;
                 deps.into_iter()
                     .map(|d| {
-                        let pred = relalg::Pred::eq_const("Dep", d[0].clone());
+                        let pred = relalg::Pred::eq_const("Dep", d[0]);
                         Ok(World::new(vec![w.rel(0).select(&pred)?]))
                     })
                     .collect()
