@@ -77,24 +77,26 @@ fn eval_worlds_inner(q: &Query, ws: &WorldSet) -> Result<Vec<World>> {
 
         Query::Choice(attrs, inner) => {
             let input = eval_worlds(inner, ws)?;
-            let mut out = Vec::new();
-            for w in &input {
+            // Each world splits independently — the pool fans the partition
+            // work out per world, and the in-order concatenation keeps the
+            // sequential successor order.
+            flatten(relalg::pool::par_map(&input, |w| {
                 let answer = w.last();
                 if answer.is_empty() {
                     // "When applied to the empty relation, choice-of
                     // produces an empty relation" — one world survives.
-                    out.push(w.clone());
-                    continue;
+                    return Ok(vec![w.clone()]);
                 }
                 // One pass over the answer partitions it by the choice
                 // attributes (instead of one σ_{U=v} re-scan per created
                 // world); the prefix relations are shared by every
                 // successor world.
-                for (_, part) in answer.partition_by(attrs)? {
-                    out.push(w.replace_last(part));
-                }
-            }
-            Ok(out)
+                Ok(answer
+                    .partition_by(attrs)?
+                    .into_iter()
+                    .map(|(_, part)| w.replace_last(part))
+                    .collect())
+            }))
         }
 
         Query::Poss(inner) => grouped(ws, inner, None, None, true),
@@ -108,26 +110,34 @@ fn eval_worlds_inner(q: &Query, ws: &WorldSet) -> Result<Vec<World>> {
 
         Query::RepairKey(key, inner) => {
             let input = eval_worlds(inner, ws)?;
-            let mut out = Vec::new();
-            for w in &input {
-                for repair in repairs_by_key(w.last(), key)? {
-                    out.push(w.replace_last(repair));
-                }
-            }
-            Ok(out)
+            flatten(relalg::pool::par_map(&input, |w| {
+                Ok(repairs_by_key(w.last(), key)?
+                    .into_iter()
+                    .map(|repair| w.replace_last(repair))
+                    .collect())
+            }))
         }
     }
+}
+
+/// Concatenate per-world fan-out results in world order, surfacing the
+/// first error (matching the sequential loop's error-and-order behavior).
+fn flatten(nested: Vec<Result<Vec<World>>>) -> Result<Vec<World>> {
+    let mut out = Vec::new();
+    for worlds in nested {
+        out.extend(worlds?);
+    }
+    Ok(out)
 }
 
 fn unary(
     ws: &WorldSet,
     inner: &Query,
-    f: impl Fn(&Relation) -> Result<Relation>,
+    f: impl Fn(&Relation) -> Result<Relation> + Sync,
 ) -> Result<Vec<World>> {
     let input = eval_worlds(inner, ws)?;
-    input
-        .iter()
-        .map(|w| Ok(w.replace_last(f(w.last())?)))
+    relalg::pool::par_map(&input, |w| Ok(w.replace_last(f(w.last())?)))
+        .into_iter()
         .collect()
 }
 
@@ -139,7 +149,7 @@ fn binary(
     ws: &WorldSet,
     a: &Query,
     b: &Query,
-    op: impl Fn(&Relation, &Relation) -> Result<Relation>,
+    op: impl Fn(&Relation, &Relation) -> Result<Relation> + Sync,
 ) -> Result<Vec<World>> {
     let left = eval_worlds(a, ws)?;
     let right = eval_worlds(b, ws)?;
@@ -151,15 +161,17 @@ fn binary(
     for w in &right {
         by_prefix.entry(w.prefix()).or_default().push(w.last());
     }
-    let mut out = Vec::new();
-    for w in &left {
+    // The per-pair operator application fans out over the left worlds; the
+    // map is only read concurrently.
+    flatten(relalg::pool::par_map(&left, |w| {
+        let mut out = Vec::new();
         if let Some(partners) = by_prefix.get(w.prefix()) {
             for r in partners {
                 out.push(w.replace_last(op(w.last(), r)?));
             }
         }
-    }
-    Ok(out)
+        Ok(out)
+    }))
 }
 
 /// Shared implementation of `poss`, `cert`, `pγ^V_U`, `cγ^V_U`.
@@ -192,34 +204,39 @@ fn grouped(
         }
     };
 
-    // Compute the combined answer per group; answers are shared so that
-    // installing a group answer into each member world is an `Arc` bump.
-    let mut group_answer: BTreeMap<Option<Vec<Tuple>>, Arc<Relation>> = BTreeMap::new();
-    for w in &input {
-        let key = key_of(w)?;
-        let contribution = proj_of(w)?;
+    // Per-world key extraction and projection are independent — fan them
+    // out over the pool; the (key, contribution) pairs come back in world
+    // order, so the sequential merge below sees the same sequence as the
+    // old single-threaded loop.
+    type Keyed = (Option<Vec<Tuple>>, Arc<Relation>);
+    let keyed: Vec<Keyed> = relalg::pool::par_map(&input, |w| Ok((key_of(w)?, proj_of(w)?)))
+        .into_iter()
+        .collect::<Result<_>>()?;
+
+    // Combine the answers per group; answers are shared so that installing
+    // a group answer into each member world is an `Arc` bump.
+    let mut group_answer: BTreeMap<&Option<Vec<Tuple>>, Arc<Relation>> = BTreeMap::new();
+    for (key, contribution) in &keyed {
         match group_answer.entry(key) {
             std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(contribution);
+                e.insert(contribution.clone());
             }
             std::collections::btree_map::Entry::Occupied(mut e) => {
                 let merged = if is_poss {
-                    e.get().union(&contribution)?
+                    e.get().union(contribution)?
                 } else {
-                    e.get().intersect(&contribution)?
+                    e.get().intersect(contribution)?
                 };
                 e.insert(Arc::new(merged));
             }
         }
     }
 
-    input
+    Ok(input
         .iter()
-        .map(|w| {
-            let key = key_of(w)?;
-            Ok(w.replace_last(group_answer[&key].clone()))
-        })
-        .collect()
+        .zip(&keyed)
+        .map(|(w, (key, _))| w.replace_last(group_answer[key].clone()))
+        .collect())
 }
 
 /// All repairs of `r` under key `key`: choose exactly one tuple from every
@@ -246,23 +263,28 @@ pub(crate) fn repairs_by_key(r: &Relation, key: &[relalg::Attr]) -> Result<Vec<R
         let k: Tuple = key_idx.iter().map(|&i| t[i]).collect();
         groups.entry(k).or_default().push(t.clone());
     }
-    // Cartesian product of one choice per group.
+    // Cartesian product of one choice per group. The expansion of each
+    // level and the final per-repair relation construction are both
+    // independent per partial pick, so they fan out over the pool; chunked
+    // in-order concatenation keeps the exact sequential enumeration order.
     let mut picks: Vec<Vec<Tuple>> = vec![vec![]];
     for tuples in groups.values() {
-        let mut next = Vec::with_capacity(picks.len() * tuples.len());
-        for partial in &picks {
-            for t in tuples {
-                let mut ext = partial.clone();
-                ext.push(t.clone());
-                next.push(ext);
-            }
-        }
-        picks = next;
+        picks = relalg::pool::par_flat_map(&picks, |partial| {
+            tuples
+                .iter()
+                .map(|t| {
+                    let mut ext = partial.clone();
+                    ext.push(t.clone());
+                    ext
+                })
+                .collect()
+        });
     }
-    picks
-        .into_iter()
-        .map(|rows| Relation::from_rows(r.schema().clone(), rows))
-        .collect()
+    relalg::pool::par_map(&picks, |rows| {
+        Relation::from_rows(r.schema().clone(), rows.iter().cloned())
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

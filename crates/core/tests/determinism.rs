@@ -1,0 +1,112 @@
+//! Parallel-vs-sequential determinism of the Figure-3 semantics.
+//!
+//! The execution pool (`relalg::pool`) must be invisible in every output:
+//! workers write results in input order (or into canonicalizing sort/dedup
+//! passes), so evaluating any query at any thread count yields the same
+//! world-set, byte for byte. This suite pins that property for the world
+//! fan-outs the pool parallelizes — `eval_worlds` over unary/binary
+//! operators, `choice-of` splitting, `grouped` (`poss`/`cert`/`pγ`/`cγ`)
+//! and `repair-by-key` — on datagen-seeded inputs across several seeds.
+
+use relalg::{attrs, pool, Pred};
+use worldset::WorldSet;
+use wsa::{eval_named, Query};
+
+/// Serializes tests that flip the process-wide worker count.
+static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Evaluate `q` over `ws` at the given thread count, returning the
+/// rendered world-set (rendering covers world order, relation order and
+/// every tuple, so equal renders mean byte-identical results).
+fn render_at(threads: usize, q: &Query, ws: &WorldSet) -> String {
+    pool::set_threads(threads);
+    let out = eval_named(q, ws, "Ans").expect("eval");
+    pool::set_threads(0);
+    format!("{}worlds={}", out.render(), out.len())
+}
+
+fn assert_thread_invariant(q: &Query, ws: &WorldSet) {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let sequential = render_at(1, q, ws);
+    for threads in [2, 4, 8] {
+        let parallel = render_at(threads, q, ws);
+        assert_eq!(
+            sequential, parallel,
+            "output diverged between 1 and {threads} threads"
+        );
+    }
+}
+
+const SEEDS: [u64; 3] = [11, 23, 47];
+
+fn split_worlds(seed: u64) -> WorldSet {
+    let flights = datagen::flights(seed, 12, 8, 6);
+    let ws = WorldSet::single(vec![("F", flights)]);
+    eval_named(&Query::rel("F").choice(attrs(&["Dep"])), &ws, "ByDep").expect("split")
+}
+
+#[test]
+fn eval_worlds_unary_chain_is_thread_invariant() {
+    for seed in SEEDS {
+        let ws = split_worlds(seed);
+        let q = Query::rel("ByDep")
+            .select(Pred::ne_attr("Dep", "Arr"))
+            .project(attrs(&["Arr"]));
+        assert_thread_invariant(&q, &ws);
+    }
+}
+
+#[test]
+fn choice_of_is_thread_invariant() {
+    for seed in SEEDS {
+        let flights = datagen::flights(seed, 16, 10, 5);
+        let ws = WorldSet::single(vec![("F", flights)]);
+        let q = Query::rel("F").choice(attrs(&["Dep"]));
+        assert_thread_invariant(&q, &ws);
+        let nested = Query::rel("F")
+            .choice(attrs(&["Dep"]))
+            .choice(attrs(&["Arr"]));
+        assert_thread_invariant(&nested, &ws);
+    }
+}
+
+#[test]
+fn grouped_operators_are_thread_invariant() {
+    for seed in SEEDS {
+        let ws = split_worlds(seed);
+        for q in [
+            Query::rel("ByDep").project(attrs(&["Arr"])).poss(),
+            Query::rel("ByDep").project(attrs(&["Arr"])).cert(),
+            Query::rel("ByDep").poss_group(attrs(&["Arr"]), attrs(&["Dep", "Arr"])),
+            Query::rel("ByDep").cert_group(attrs(&["Arr"]), attrs(&["Arr"])),
+        ] {
+            assert_thread_invariant(&q, &ws);
+        }
+    }
+}
+
+#[test]
+fn binary_pairing_is_thread_invariant() {
+    for seed in SEEDS {
+        let ws = split_worlds(seed);
+        let q = Query::rel("ByDep")
+            .project(attrs(&["Arr"]))
+            .union(Query::rel("F").project(attrs(&["Arr"])));
+        assert_thread_invariant(&q, &ws);
+        let q = Query::rel("ByDep")
+            .project(attrs(&["Arr"]))
+            .intersect(Query::rel("F").project(attrs(&["Arr"])));
+        assert_thread_invariant(&q, &ws);
+    }
+}
+
+#[test]
+fn repair_by_key_is_thread_invariant() {
+    for seed in SEEDS {
+        // 6 violations -> 64 repairs per world; enough to fan out.
+        let census = datagen::census(seed, 12, 6);
+        let ws = WorldSet::single(vec![("C", census)]);
+        let q = Query::rel("C").repair_by_key(attrs(&["SSN"]));
+        assert_thread_invariant(&q, &ws);
+    }
+}

@@ -75,7 +75,7 @@ pub fn eval_select_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Resul
                     .ok_or_else(|| SqlError(format!("unknown relation {name}")))?;
                 let acc_idx = cur.index_of(&acc_name).expect("working relation present");
                 let alias = alias.clone().unwrap_or_else(|| name.clone());
-                cur = cur.map_worlds(|w| {
+                cur = cur.par_map_worlds(|w| {
                     let mut q = qualify(w.rel(idx), &alias)?;
                     if *sel != relalg::Pred::True {
                         q = q.select(sel).map_err(rel_err)?;
@@ -115,7 +115,7 @@ pub fn eval_select_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Resul
     };
     let acc_idx = cur.index_of(&acc_name).expect("working relation present");
     if let Some(cond) = &cond {
-        cur = cur.map_worlds(|w| {
+        cur = cur.par_map_worlds(|w| {
             let acc = w.rel(acc_idx);
             let mut keep = Vec::new();
             for row in acc.iter() {
@@ -132,7 +132,7 @@ pub fn eval_select_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Resul
     // choice of — one world per value combination.
     if !stmt.choice_of.is_empty() {
         let cols = stmt.choice_of.clone();
-        cur = cur.flat_map_worlds(|w| {
+        cur = cur.par_flat_map_worlds(|w| {
             let acc = w.rel(acc_idx);
             let attrs = resolve_cols(&cols, acc.schema())?;
             if acc.is_empty() {
@@ -153,7 +153,7 @@ pub fn eval_select_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Resul
     // repair by key — one world per maximal repair.
     if !stmt.repair_by_key.is_empty() {
         let cols = stmt.repair_by_key.clone();
-        cur = cur.flat_map_worlds(|w| {
+        cur = cur.par_flat_map_worlds(|w| {
             let acc = w.rel(acc_idx);
             let attrs = resolve_cols(&cols, acc.schema())?;
             let repairs = repairs_by_key(acc, &attrs)?;
@@ -175,7 +175,7 @@ pub fn eval_select_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Resul
                     "group worlds by requires possible or certain".into(),
                 ));
             }
-            cur = cur.map_worlds(|w| {
+            cur = cur.par_map_worlds(|w| {
                 let answer = project_world(stmt, w, &names_snapshot, acc_idx)?;
                 Ok(replace_rel(w, acc_idx, answer))
             })?;
@@ -202,11 +202,20 @@ pub fn eval_select_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Resul
                     }
                 }
             };
+            // Per-world key extraction and projection fan out over the
+            // pool; the merge below runs in world order, unchanged.
+            let input: Vec<&World> = cur.iter().collect();
+            let keyed: Vec<(Relation, Relation)> = relalg::pool::par_map(&input, |w| {
+                Ok::<_, SqlError>((
+                    group_key(w)?,
+                    project_world(stmt, w, &names_snapshot, acc_idx)?,
+                ))
+            })
+            .into_iter()
+            .collect::<Result<_>>()?;
             let mut entries: Vec<(World, Relation)> = Vec::new();
             let mut groups: BTreeMap<Relation, Relation> = BTreeMap::new();
-            for w in cur.iter() {
-                let key = group_key(w)?;
-                let ans = project_world(stmt, w, &names_snapshot, acc_idx)?;
+            for (w, (key, ans)) in input.into_iter().zip(keyed) {
                 match groups.entry(key.clone()) {
                     std::collections::btree_map::Entry::Vacant(e) => {
                         e.insert(ans);
@@ -256,7 +265,7 @@ fn add_from_item(item: &FromItem, cur: &WorldSet, acc_name: &str) -> Result<Worl
                 .index_of(name)
                 .ok_or_else(|| SqlError(format!("unknown relation {name}")))?;
             let alias = alias.clone().unwrap_or_else(|| name.clone());
-            cur.map_worlds(|w| {
+            cur.par_map_worlds(|w| {
                 let qualified = qualify(w.rel(idx), &alias)?;
                 let acc = w.rel(acc_idx);
                 Ok(replace_rel(
@@ -273,7 +282,7 @@ fn add_from_item(item: &FromItem, cur: &WorldSet, acc_name: &str) -> Result<Worl
             let sub = eval_select_ws(query, cur, &sub_name)?;
             let sub_idx = sub.index_of(&sub_name).expect("just added");
             let acc_idx = sub.index_of(acc_name).expect("still present");
-            let folded = sub.map_worlds(|w| {
+            let folded = sub.par_map_worlds(|w| {
                 let qualified = qualify(w.rel(sub_idx), alias)?;
                 let acc = w.rel(acc_idx);
                 Ok(replace_rel(

@@ -95,7 +95,7 @@ impl Session {
         let shared = std::sync::Arc::new(rel);
         self.ws = self
             .ws
-            .extend_with(name, |_| Ok::<_, SqlError>(shared.clone()))?;
+            .par_extend_with(name, |_| Ok::<_, SqlError>(shared.clone()))?;
         Ok(())
     }
 
@@ -168,43 +168,52 @@ impl Session {
 
     /// `insert`: the rows are added in every world; if the insertion
     /// violates a declared key in *some* world, it is discarded in all
-    /// (Section 3, "Data Manipulation").
+    /// (Section 3, "Data Manipulation"). The batch is merged into each
+    /// world's relation in one sorted-merge pass (`Relation::merge_rows`),
+    /// not one O(n) shifted insert per row, and the per-world merges and
+    /// key checks run on the execution pool.
     fn insert(&mut self, table: &str, rows: Vec<Vec<Literal>>) -> Result<ExecOutcome> {
         let idx = self.table_index(table)?;
         let values: Vec<Vec<Value>> = rows
             .into_iter()
             .map(|r| r.into_iter().map(lit_to_value).collect())
             .collect();
-        let proposed = self.ws.map_worlds(|w| {
-            let mut rel = w.rel(idx).clone();
-            for row in &values {
-                rel.insert(row.clone())
-                    .map_err(|e| SqlError(e.to_string()))?;
-            }
+        let proposed = self.ws.par_map_worlds(|w| {
+            let rel = w
+                .rel(idx)
+                .merge_rows(values.iter().cloned())
+                .map_err(|e| SqlError(e.to_string()))?;
             Ok(w.replace_rel(idx, rel))
         })?;
         if let Some(key_cols) = self.keys.get(table) {
             let key_attrs: Vec<relalg::Attr> =
                 key_cols.iter().map(|c| relalg::Attr::new(c)).collect();
-            for w in proposed.iter() {
+            let worlds: Vec<_> = proposed.iter().collect();
+            let violated = relalg::pool::par_map(&worlds, |w| {
                 let rel = w.rel(idx);
                 let distinct_keys = rel
                     .distinct_values(&key_attrs)
                     .map_err(|e| SqlError(e.to_string()))?;
-                if distinct_keys.len() != rel.len() {
-                    return Ok(ExecOutcome::Dml { applied: false });
-                }
+                Ok::<_, SqlError>(distinct_keys.len() != rel.len())
+            })
+            .into_iter()
+            .collect::<Result<Vec<bool>>>()?
+            .into_iter()
+            .any(|v| v);
+            if violated {
+                return Ok(ExecOutcome::Dml { applied: false });
             }
         }
         self.ws = proposed;
         Ok(ExecOutcome::Dml { applied: true })
     }
 
-    /// `delete from R [where φ]` in every world.
+    /// `delete from R [where φ]` in every world (worlds filter on the
+    /// execution pool).
     fn delete(&mut self, table: &str, cond: Option<Cond>) -> Result<ExecOutcome> {
         let idx = self.table_index(table)?;
         let names: Vec<String> = self.ws.rel_names().to_vec();
-        self.ws = self.ws.map_worlds(|w| {
+        self.ws = self.ws.par_map_worlds(|w| {
             let rel = w.rel(idx);
             let mut keep = Vec::new();
             for row in rel.iter() {
@@ -223,7 +232,8 @@ impl Session {
         Ok(ExecOutcome::Dml { applied: true })
     }
 
-    /// `update R set … [where φ]` in every world.
+    /// `update R set … [where φ]` in every world (worlds update on the
+    /// execution pool).
     fn update(
         &mut self,
         table: &str,
@@ -232,7 +242,7 @@ impl Session {
     ) -> Result<ExecOutcome> {
         let idx = self.table_index(table)?;
         let names: Vec<String> = self.ws.rel_names().to_vec();
-        self.ws = self.ws.map_worlds(|w| {
+        self.ws = self.ws.par_map_worlds(|w| {
             let rel = w.rel(idx);
             let mut rows = Vec::new();
             for row in rel.iter() {

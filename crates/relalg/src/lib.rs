@@ -22,6 +22,7 @@ mod csv;
 mod error;
 mod eval;
 mod expr;
+pub mod pool;
 mod pred;
 mod relation;
 mod schema;

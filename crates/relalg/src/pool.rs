@@ -1,0 +1,294 @@
+//! Hand-rolled scoped-thread execution pool.
+//!
+//! The world-set semantics is embarrassingly parallel along its world axis
+//! (each world of a world-set is evaluated independently; each repair group
+//! is enumerated independently), and the storage layer has the same shape
+//! along its tuple axis (chunked sort in [`crate::RelationBuilder`],
+//! hash-partitioned join build/probe). The container has no crates.io
+//! access (no rayon), so this module provides the minimal primitives the
+//! engine needs on top of `std::thread::scope`:
+//!
+//! * [`par_map`] — map a slice through a `Sync` closure, preserving input
+//!   order exactly (workers own contiguous chunks; results are concatenated
+//!   in chunk order, so the output is byte-identical to the sequential
+//!   `iter().map().collect()`).
+//! * [`par_flat_map`] — the flattening variant (world fan-outs).
+//! * [`par_sort_dedup`] — chunked `sort_unstable` + k-way merge with
+//!   deduplication (the `RelationBuilder::finish` pass). Sorting and
+//!   deduplicating yields a canonical vector, so the result is identical
+//!   to the sequential sort regardless of chunking.
+//!
+//! The worker count is process-wide: `WSDB_THREADS` if set (a value of `1`
+//! restores the exact sequential code path everywhere), otherwise
+//! [`std::thread::available_parallelism`]. Benchmarks and determinism tests
+//! override it at runtime with [`set_threads`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Cached worker count; `0` means "not yet resolved".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True on pool worker threads. Nested fan-outs (a per-world closure
+    /// hitting a parallel sort or join) run sequentially instead of
+    /// spawning `num_threads²` transient threads — the outer fan-out
+    /// already owns all the cores.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn enter_worker<R>(f: impl FnOnce() -> R) -> R {
+    IN_WORKER.with(|c| c.set(true));
+    // Workers are one-shot scoped threads; no need to reset on exit.
+    f()
+}
+
+/// Below this many items a fan-out stays sequential — spawning threads for
+/// a handful of worlds costs more than it saves.
+pub const PAR_MIN_ITEMS: usize = 4;
+
+/// Below this many tuples [`par_sort_dedup`] and the partitioned join paths
+/// stay sequential.
+pub const PAR_MIN_TUPLES: usize = 8192;
+
+/// The process-wide worker count. Resolved once from the `WSDB_THREADS`
+/// environment variable (minimum 1) or, if unset or unparsable, from
+/// [`std::thread::available_parallelism`]; later calls return the cached
+/// value unless [`set_threads`] overrode it.
+pub fn num_threads() -> usize {
+    let cached = THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let resolved = std::env::var("WSDB_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    // Racing initializers compute the same value; last store wins harmlessly.
+    THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Override the worker count for this process (benchmarks sweep it;
+/// determinism tests pin it). `set_threads(0)` drops the override so the
+/// next [`num_threads`] call re-reads the environment.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::SeqCst);
+}
+
+/// True when a fan-out over `len` items (against the given minimum) should
+/// go parallel: more than one worker is configured, the input is large
+/// enough to amortize the spawns, and the caller is not already inside a
+/// pool worker (nested fan-outs stay sequential).
+pub fn parallelize(len: usize, min_items: usize) -> bool {
+    len >= min_items && num_threads() > 1 && !IN_WORKER.with(|c| c.get())
+}
+
+/// Map `items` through `f` in parallel, preserving input order.
+///
+/// Workers each take one contiguous chunk of the input and map it left to
+/// right; the per-chunk outputs are concatenated in chunk order, so the
+/// result vector is exactly `items.iter().map(f).collect()`. With one
+/// worker (or a short input) the sequential path runs directly on the
+/// calling thread.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if !parallelize(items.len(), PAR_MIN_ITEMS) {
+        return items.iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(num_threads());
+    let f = &f;
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| s.spawn(move || enter_worker(|| chunk.iter().map(f).collect::<Vec<R>>())))
+            .collect();
+        for h in handles {
+            out.extend(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+        }
+    });
+    out
+}
+
+/// Map each item to a vector and concatenate, preserving input order
+/// (the world-splitting fan-outs: `choice-of`, `repair-by-key`).
+pub fn par_flat_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Vec<R> + Sync,
+{
+    let mut out = Vec::new();
+    for v in par_map(items, f) {
+        out.extend(v);
+    }
+    out
+}
+
+/// Sort + dedup `v`, splitting the sort across workers.
+///
+/// Each worker sorts (and pre-dedups) one contiguous chunk; the sorted runs
+/// are then k-way merged with duplicates dropped. A sorted, deduplicated
+/// vector is canonical — the same multiset of elements yields the same
+/// output bytes whatever the chunking — so this is interchangeable with
+/// the sequential `sort_unstable` + `dedup` it replaces.
+pub fn par_sort_dedup<T: Ord + Send>(mut v: Vec<T>) -> Vec<T> {
+    if !parallelize(v.len(), PAR_MIN_TUPLES) {
+        v.sort_unstable();
+        v.dedup();
+        return v;
+    }
+    let total = v.len();
+    let chunk_len = total.div_ceil(num_threads());
+    let mut runs: Vec<Vec<T>> = Vec::with_capacity(num_threads());
+    while v.len() > chunk_len {
+        runs.push(v.split_off(v.len() - chunk_len));
+    }
+    runs.push(v);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = runs
+            .iter_mut()
+            .map(|run| {
+                s.spawn(move || {
+                    enter_worker(|| {
+                        run.sort_unstable();
+                        run.dedup();
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+        }
+    });
+    kway_merge_dedup(runs, total)
+}
+
+/// Merge sorted, internally-deduplicated runs into one sorted vector,
+/// dropping cross-run duplicates.
+fn kway_merge_dedup<T: Ord>(runs: Vec<Vec<T>>, cap_hint: usize) -> Vec<T> {
+    let mut iters: Vec<std::vec::IntoIter<T>> = runs.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<T>> = iters.iter_mut().map(Iterator::next).collect();
+    let mut out: Vec<T> = Vec::with_capacity(cap_hint);
+    loop {
+        // Smallest head wins; with ≤ a few dozen runs a linear scan beats a
+        // heap on constant factors.
+        let mut best: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            if let Some(x) = head {
+                best = match best {
+                    Some(b) if heads[b].as_ref().is_some_and(|y| y <= x) => Some(b),
+                    _ => Some(i),
+                };
+            }
+        }
+        let Some(b) = best else { break };
+        let val = heads[b].take().expect("best head present");
+        heads[b] = iters[b].next();
+        if out.last() != Some(&val) {
+            out.push(val);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the process-wide worker count.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(n);
+        let out = f();
+        set_threads(0);
+        out
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<i64> = (0..1000).collect();
+        for nt in [1usize, 2, 3, 4, 7] {
+            let out = with_threads(nt, || par_map(&items, |x| x * 2));
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_short_input() {
+        let items = [1i64, 2];
+        let out = with_threads(8, || par_map(&items, |x| x + 1));
+        assert_eq!(out, vec![2, 3]);
+        let empty: Vec<i64> = Vec::new();
+        assert!(with_threads(8, || par_map(&empty, |x| *x)).is_empty());
+    }
+
+    #[test]
+    fn par_flat_map_concatenates_in_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let expect: Vec<usize> = items.iter().flat_map(|&i| vec![i, i]).collect();
+        let out = with_threads(4, || par_flat_map(&items, |&i| vec![i, i]));
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_sort_dedup_matches_sequential() {
+        let v: Vec<i64> = (0..20_000).map(|i| (i * 7919) % 4001).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        for nt in [1usize, 2, 4, 8] {
+            let out = with_threads(nt, || par_sort_dedup(v.clone()));
+            assert_eq!(out, expect, "nt={nt}");
+        }
+    }
+
+    #[test]
+    fn par_sort_dedup_small_and_empty() {
+        assert!(with_threads(4, || par_sort_dedup(Vec::<i64>::new())).is_empty());
+        let out = with_threads(4, || par_sort_dedup(vec![3i64, 1, 2, 1]));
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn kway_merge_handles_cross_run_duplicates() {
+        let runs = vec![vec![1i64, 3, 5], vec![1, 2, 5], vec![5, 6]];
+        assert_eq!(kway_merge_dedup(runs, 8), vec![1, 2, 3, 5, 6]);
+    }
+
+    #[test]
+    fn nested_fanouts_stay_sequential() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(4);
+        let items: Vec<usize> = (0..100).collect();
+        // On the calling thread the fan-out is parallel; inside workers
+        // `parallelize` must report false so nested calls stay sequential.
+        assert!(parallelize(items.len(), PAR_MIN_ITEMS));
+        let nested_flags = par_map(&items, |_| parallelize(100, 1));
+        assert!(nested_flags.iter().all(|f| !f));
+        set_threads(0);
+    }
+
+    #[test]
+    fn set_threads_overrides_and_resets() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_threads(0);
+        assert!(num_threads() >= 1);
+        set_threads(0);
+    }
+}

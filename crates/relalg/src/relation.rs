@@ -84,11 +84,13 @@ impl RelationBuilder {
         self.tuples.is_empty()
     }
 
-    /// One sort + dedup pass over the appended tuples.
+    /// One sort + dedup pass over the appended tuples. Large batches sort
+    /// in parallel chunks merged k-way (`relalg::pool`); the sorted,
+    /// deduplicated result is canonical, so the output is byte-identical
+    /// to the sequential sort whatever the worker count.
     pub fn finish(self) -> Relation {
-        let RelationBuilder { schema, mut tuples } = self;
-        tuples.sort_unstable();
-        tuples.dedup();
+        let RelationBuilder { schema, tuples } = self;
+        let tuples = crate::pool::par_sort_dedup(tuples);
         Relation { schema, tuples }
     }
 }
@@ -196,6 +198,23 @@ impl Relation {
             self.tuples.insert(pos, t);
         }
         Ok(())
+    }
+
+    /// Insert a batch of rows in one pass: the batch is sorted and deduped
+    /// through [`RelationBuilder`], then linearly merged with the existing
+    /// tuples. This replaces per-row [`Relation::insert`] calls — an
+    /// O(n)-per-row shifted insert — on the DML path (`Session::insert`).
+    pub fn merge_rows(&self, rows: impl IntoIterator<Item = impl Into<Tuple>>) -> Result<Relation> {
+        let mut b = RelationBuilder::new(self.schema.clone());
+        for row in rows {
+            b.try_push(row)?;
+        }
+        if b.is_empty() {
+            return Ok(self.clone());
+        }
+        let batch = b.finish();
+        let tuples = merge_union(&self.tuples, &batch.tuples);
+        Ok(Relation::from_sorted_vec(self.schema.clone(), tuples))
     }
 
     /// Remove a tuple.
@@ -324,12 +343,29 @@ impl Relation {
         if self.is_empty() || other.is_empty() {
             return Ok(Relation::empty(schema));
         }
-        let mut tuples = Vec::with_capacity(self.tuples.len() * other.tuples.len());
-        for l in &self.tuples {
-            for r in &other.tuples {
-                tuples.push(l.concat(r));
+        // Chunks of the sorted left side emit sorted, disjoint output runs,
+        // so the pool's in-order concatenation stays strictly sorted.
+        let tuples = if crate::pool::parallelize(
+            self.len().saturating_mul(other.len()),
+            crate::pool::PAR_MIN_TUPLES,
+        ) {
+            par_left_chunks(&self.tuples, |chunk, out| {
+                out.reserve(chunk.len() * other.tuples.len());
+                for l in chunk {
+                    for r in &other.tuples {
+                        out.push(l.concat(r));
+                    }
+                }
+            })
+        } else {
+            let mut tuples = Vec::with_capacity(self.tuples.len() * other.tuples.len());
+            for l in &self.tuples {
+                for r in &other.tuples {
+                    tuples.push(l.concat(r));
+                }
             }
-        }
+            tuples
+        };
         Ok(Relation::from_sorted_vec(schema, tuples))
     }
 
@@ -415,7 +451,7 @@ impl Relation {
             return Relation::empty(schema);
         }
 
-        // Index the smaller side, probe with the larger; the merge below
+        // Index the smaller side, probe with the larger; the emit closure
         // reorients each match back into left-then-right column order.
         let index_left = self.len() <= other.len();
         let (build, build_keys, probe, probe_keys) = if index_left {
@@ -423,22 +459,17 @@ impl Relation {
         } else {
             (&other.tuples, &r_idx, &self.tuples, &l_idx)
         };
-        let index = hash_index(build, build_keys);
-        let mut b = RelationBuilder::new(schema);
-        for p in probe {
-            let key: Vec<&Value> = probe_keys.iter().map(|&i| &p[i]).collect();
-            if let Some(matches) = index.get(&key) {
-                for m in matches {
-                    let (l, r): (&Tuple, &Tuple) = if index_left { (m, p) } else { (p, m) };
-                    let mut t = Tuple::with_capacity(l.len() + r_extra.len());
-                    t.extend_from_slice(l);
-                    for &i in &r_extra {
-                        t.push(r[i]);
-                    }
-                    b.push(t);
-                }
+        let tuples = hash_join_collect(build, build_keys, probe, probe_keys, |m, p, _, out| {
+            let (l, r): (&Tuple, &Tuple) = if index_left { (m, p) } else { (p, m) };
+            let mut t = Tuple::with_capacity(l.len() + r_extra.len());
+            t.extend_from_slice(l);
+            for &i in &r_extra {
+                t.push(r[i]);
             }
-        }
+            out.push(t);
+        });
+        let mut b = RelationBuilder::new(schema);
+        b.tuples = tuples;
         b.finish()
     }
 
@@ -471,7 +502,6 @@ impl Relation {
         let residual = residual.compile(&schema)?;
         let l_arity = self.schema.arity();
 
-        let mut scratch: Tuple = Tuple::with_capacity(schema.arity());
         let emit = |l: &Tuple, r: &Tuple, scratch: &mut Tuple, out: &mut Vec<Tuple>| {
             scratch.clear();
             scratch.extend_from_slice(l);
@@ -484,38 +514,54 @@ impl Relation {
         if keys.is_empty() {
             // No equi-conjunct: the left-major nested loop emits a filtered
             // subsequence of the sorted product — already strictly sorted.
-            let mut tuples = Vec::new();
-            for l in &self.tuples {
-                for r in &other.tuples {
-                    emit(l, r, &mut scratch, &mut tuples);
+            // Large pairings fan the left side out over the pool; chunks of
+            // the sorted left input produce sorted, disjoint output runs,
+            // so the in-order concatenation is still strictly sorted.
+            let tuples = if crate::pool::parallelize(
+                self.len().saturating_mul(other.len()),
+                crate::pool::PAR_MIN_TUPLES,
+            ) {
+                par_left_chunks(&self.tuples, |chunk, out| {
+                    let mut scratch = Tuple::new();
+                    for l in chunk {
+                        for r in &other.tuples {
+                            emit(l, r, &mut scratch, out);
+                        }
+                    }
+                })
+            } else {
+                let mut scratch = Tuple::new();
+                let mut out = Vec::new();
+                for l in &self.tuples {
+                    for r in &other.tuples {
+                        emit(l, r, &mut scratch, &mut out);
+                    }
                 }
-            }
+                out
+            };
             Ok(Relation::from_sorted_vec(schema, tuples))
         } else {
             let l_keys: Vec<usize> = keys.iter().map(|(l, _)| *l).collect();
             let r_keys: Vec<usize> = keys.iter().map(|(_, r)| *r - l_arity).collect();
-            let mut b = RelationBuilder::new(schema);
-            if self.len() <= other.len() {
-                let index = hash_index(&self.tuples, &l_keys);
-                for r in &other.tuples {
-                    let key: Vec<&Value> = r_keys.iter().map(|&i| &r[i]).collect();
-                    if let Some(matches) = index.get(&key) {
-                        for l in matches {
-                            emit(l, r, &mut scratch, &mut b.tuples);
-                        }
-                    }
-                }
+            let tuples = if self.len() <= other.len() {
+                hash_join_collect(
+                    &self.tuples,
+                    &l_keys,
+                    &other.tuples,
+                    &r_keys,
+                    |l, r, scratch, out| emit(l, r, scratch, out),
+                )
             } else {
-                let index = hash_index(&other.tuples, &r_keys);
-                for l in &self.tuples {
-                    let key: Vec<&Value> = l_keys.iter().map(|&i| &l[i]).collect();
-                    if let Some(matches) = index.get(&key) {
-                        for r in matches {
-                            emit(l, r, &mut scratch, &mut b.tuples);
-                        }
-                    }
-                }
-            }
+                hash_join_collect(
+                    &other.tuples,
+                    &r_keys,
+                    &self.tuples,
+                    &l_keys,
+                    |r, l, scratch, out| emit(l, r, scratch, out),
+                )
+            };
+            let mut b = RelationBuilder::new(schema);
+            b.tuples = tuples;
             Ok(b.finish())
         }
     }
@@ -804,6 +850,170 @@ fn hash_index<'a>(
         index.entry(key).or_default().push(t);
     }
     index
+}
+
+/// Build a hash index over tuple references (the per-partition variant of
+/// [`hash_index`] used by the parallel join path).
+fn hash_index_refs<'a>(
+    tuples: &[&'a Tuple],
+    key_cols: &[usize],
+) -> HashMap<Vec<&'a Value>, Vec<&'a Tuple>> {
+    let mut index: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::with_capacity(tuples.len());
+    for &t in tuples {
+        let key: Vec<&Value> = key_cols.iter().map(|&i| &t[i]).collect();
+        index.entry(key).or_default().push(t);
+    }
+    index
+}
+
+/// Hash-partition `tuples` by their key-column values into `nparts`
+/// buckets. Chunks of the input are scattered by parallel workers into
+/// per-chunk bucket lists which are then concatenated in chunk order, so
+/// each bucket preserves the input's relative tuple order. The partition
+/// hash depends only on the key *values* (interned `Sym` ids are stable
+/// process-wide), so both join sides route matching keys to the same
+/// partition.
+fn partition_by_key_hash<'a>(
+    tuples: &'a [Tuple],
+    key_cols: &[usize],
+    nparts: usize,
+) -> Vec<Vec<&'a Tuple>> {
+    let chunk_len = tuples.len().div_ceil(nparts).max(1);
+    let chunks: Vec<&[Tuple]> = tuples.chunks(chunk_len).collect();
+    let locals = crate::pool::par_map(&chunks, |chunk| {
+        let mut buckets: Vec<Vec<&Tuple>> = vec![Vec::new(); nparts];
+        for t in *chunk {
+            buckets[key_hash(t, key_cols) % nparts].push(t);
+        }
+        buckets
+    });
+    let mut parts: Vec<Vec<&Tuple>> = vec![Vec::new(); nparts];
+    for local in locals {
+        for (part, bucket) in parts.iter_mut().zip(local) {
+            part.extend(bucket);
+        }
+    }
+    parts
+}
+
+/// Fan a sorted left input out over the pool in contiguous chunks (4 per
+/// worker); `emit_chunk` fills one buffer per chunk and the buffers are
+/// concatenated in chunk order. Used by the sorted streaming paths
+/// (`product`, no-equi theta), whose per-chunk output runs are sorted and
+/// disjoint, so the concatenation preserves the sequential output exactly.
+fn par_left_chunks<F>(left: &[Tuple], emit_chunk: F) -> Vec<Tuple>
+where
+    F: Fn(&[Tuple], &mut Vec<Tuple>) + Sync,
+{
+    let chunk_len = left.len().div_ceil(crate::pool::num_threads() * 4).max(1);
+    let chunks: Vec<&[Tuple]> = left.chunks(chunk_len).collect();
+    crate::pool::par_map(&chunks, |chunk| {
+        let mut out = Vec::new();
+        emit_chunk(chunk, &mut out);
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Deterministic hash of a tuple's key columns (partition routing).
+fn key_hash(t: &Tuple, key_cols: &[usize]) -> usize {
+    use std::hash::{Hash as _, Hasher as _};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for &i in key_cols {
+        t[i].hash(&mut h);
+    }
+    h.finish() as usize
+}
+
+/// The build/probe phases of a hash equi-join, returning the emitted output
+/// tuples (unsorted — callers run them through [`RelationBuilder::finish`]).
+///
+/// `emit(build_tuple, probe_tuple, scratch, out)` appends the output rows
+/// for one key-matching pair (zero rows when a residual predicate rejects
+/// it). With more than one pool worker and a probe side of at least
+/// [`crate::pool::PAR_MIN_TUPLES`], the probe is chunk-partitioned across
+/// the pool: each worker probes with one contiguous chunk and emits into a
+/// local buffer, and a large build side is additionally hash-partitioned
+/// into per-shard indexes built in parallel (a small build side — the
+/// common case, since callers build on the smaller input — is indexed once
+/// and shared read-only). The caller's final sort+dedup canonicalizes the
+/// concatenated buffers, so output is identical to the sequential loop.
+fn hash_join_collect<F>(
+    build: &[Tuple],
+    build_keys: &[usize],
+    probe: &[Tuple],
+    probe_keys: &[usize],
+    emit: F,
+) -> Vec<Tuple>
+where
+    F: Fn(&Tuple, &Tuple, &mut Tuple, &mut Vec<Tuple>) + Sync,
+{
+    use crate::pool;
+    let parallel = pool::parallelize(probe.len(), pool::PAR_MIN_TUPLES);
+    if parallel && build.len() >= pool::PAR_MIN_TUPLES {
+        // Large build side: partition it by key hash and build the
+        // per-shard indexes in parallel; probe chunks route each tuple to
+        // its shard by the same key hash.
+        let nshards = pool::num_threads() * 4;
+        let build_parts = partition_by_key_hash(build, build_keys, nshards);
+        let shard_indexes: Vec<HashMap<Vec<&Value>, Vec<&Tuple>>> =
+            pool::par_map(&build_parts, |part| hash_index_refs(part, build_keys));
+        let chunk_len = probe.len().div_ceil(nshards).max(1);
+        let chunks: Vec<&[Tuple]> = probe.chunks(chunk_len).collect();
+        pool::par_map(&chunks, |chunk| {
+            let mut out = Vec::new();
+            let mut scratch = Tuple::new();
+            for p in *chunk {
+                let shard = &shard_indexes[key_hash(p, probe_keys) % nshards];
+                let key: Vec<&Value> = probe_keys.iter().map(|&i| &p[i]).collect();
+                if let Some(matches) = shard.get(&key) {
+                    for &m in matches {
+                        emit(m, p, &mut scratch, &mut out);
+                    }
+                }
+            }
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    } else {
+        let index = hash_index(build, build_keys);
+        let probe_one = |p: &Tuple, scratch: &mut Tuple, out: &mut Vec<Tuple>| {
+            let key: Vec<&Value> = probe_keys.iter().map(|&i| &p[i]).collect();
+            if let Some(matches) = index.get(&key) {
+                for &m in matches {
+                    emit(m, p, scratch, out);
+                }
+            }
+        };
+        if parallel {
+            // Small build side: one shared read-only index, probe chunks
+            // fan out over the pool with thread-local output buffers.
+            let chunk_len = probe.len().div_ceil(pool::num_threads() * 4).max(1);
+            let chunks: Vec<&[Tuple]> = probe.chunks(chunk_len).collect();
+            pool::par_map(&chunks, |chunk| {
+                let mut out = Vec::new();
+                let mut scratch = Tuple::new();
+                for p in *chunk {
+                    probe_one(p, &mut scratch, &mut out);
+                }
+                out
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            let mut out = Vec::new();
+            let mut scratch = Tuple::new();
+            for p in probe {
+                probe_one(p, &mut scratch, &mut out);
+            }
+            out
+        }
+    }
 }
 
 /// Split `pred` into hash-joinable equi-conjuncts and a residual predicate.

@@ -1,19 +1,29 @@
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{OnceLock, RwLock};
+use std::hash::{Hash as _, Hasher as _};
+use std::sync::RwLock;
 
 /// An interned string handle.
 ///
 /// Every distinct string is stored once in a process-wide interner and
-/// identified by a dense `id`. Equality and hashing are single word
-/// compares on the id; ordering is *lexicographic* on the underlying
-/// string — required so that relations containing string values iterate in
-/// the same order as before interning (golden tests, printed tables) — and
-/// is decided without touching the interner in almost all cases via an
-/// inlined 8-byte big-endian prefix of the string. Only symbols that agree
-/// on their first 8 bytes but differ as strings fall back to a full
-/// comparison of the interned data.
+/// identified by an `id`. Equality and hashing are single word compares on
+/// the id; ordering is *lexicographic* on the underlying string — required
+/// so that relations containing string values iterate in the same order as
+/// before interning (golden tests, printed tables) — and is decided without
+/// touching the interner in almost all cases via an inlined 8-byte
+/// big-endian prefix of the string. Only symbols that agree on their first
+/// 8 bytes but differ as strings fall back to a full comparison of the
+/// interned data.
+///
+/// The interner is **sharded**: [`INTERNER_SHARDS`] independent
+/// `RwLock`-protected shards, selected by string hash, so concurrent `Sym`
+/// creation from the worker pool (`relalg::pool`) does not serialize on a
+/// single lock. The id encodes the shard in its low bits
+/// (`id = local_index * SHARDS + shard`), so resolution needs no global
+/// table. Shard assignment depends only on the string's hash, never on
+/// interning order, and `Sym` ordering compares strings, not ids — so the
+/// interleaving of threads cannot change any observable order.
 ///
 /// Interned strings are leaked (the interner lives for the process); the
 /// set of distinct strings in a workload is bounded by its active domain,
@@ -23,23 +33,34 @@ pub struct Sym {
     /// Big-endian first 8 bytes of the string, zero-padded. Prefix order
     /// refines lexicographic order: `prefix(a) < prefix(b) ⇒ a < b`.
     prefix: u64,
-    /// Dense interner id; equal strings always intern to the same id.
+    /// Shard-encoded interner id; equal strings always intern to the same
+    /// id. Low `log2(SHARDS)` bits select the shard, the rest index into
+    /// the shard's string table.
     id: u32,
 }
 
-struct Interner {
+/// Number of interner shards (a power of two; the shard index lives in the
+/// low bits of [`Sym`]'s id).
+const INTERNER_SHARDS: usize = 16;
+
+#[derive(Default)]
+struct Shard {
     map: HashMap<&'static str, u32>,
     strings: Vec<&'static str>,
 }
 
-fn interner() -> &'static RwLock<Interner> {
-    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        RwLock::new(Interner {
-            map: HashMap::new(),
-            strings: Vec::new(),
-        })
-    })
+fn shards() -> &'static [RwLock<Shard>; INTERNER_SHARDS] {
+    static SHARDS: std::sync::OnceLock<[RwLock<Shard>; INTERNER_SHARDS]> =
+        std::sync::OnceLock::new();
+    SHARDS.get_or_init(|| std::array::from_fn(|_| RwLock::new(Shard::default())))
+}
+
+/// Shard index for a string: by hash, so it is independent of interning
+/// order and uniform across the active domain.
+fn shard_of(s: &str) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    s.hash(&mut h);
+    (h.finish() as usize) % INTERNER_SHARDS
 }
 
 fn prefix_of(s: &str) -> u64 {
@@ -52,21 +73,25 @@ fn prefix_of(s: &str) -> u64 {
 
 impl Sym {
     /// Intern `s`, returning its handle. Repeated interning of the same
-    /// string is a hash lookup under a read lock.
+    /// string is a hash lookup under the read half of one shard lock;
+    /// distinct shards never contend.
     pub fn new(s: &str) -> Sym {
         let prefix = prefix_of(s);
+        let shard_idx = shard_of(s);
+        let shard = &shards()[shard_idx];
         {
-            let int = interner().read().expect("interner poisoned");
+            let int = shard.read().expect("interner poisoned");
             if let Some(&id) = int.map.get(s) {
                 return Sym { prefix, id };
             }
         }
-        let mut int = interner().write().expect("interner poisoned");
+        let mut int = shard.write().expect("interner poisoned");
         if let Some(&id) = int.map.get(s) {
             return Sym { prefix, id };
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let id = u32::try_from(int.strings.len()).expect("interner overflow");
+        let local = int.strings.len();
+        let id = u32::try_from(local * INTERNER_SHARDS + shard_idx).expect("interner overflow");
         int.strings.push(leaked);
         int.map.insert(leaked, id);
         Sym { prefix, id }
@@ -75,7 +100,8 @@ impl Sym {
     /// The interned string. The returned reference is `'static` — interned
     /// data is never freed.
     pub fn as_str(self) -> &'static str {
-        interner().read().expect("interner poisoned").strings[self.id as usize]
+        let shard = &shards()[self.id as usize % INTERNER_SHARDS];
+        shard.read().expect("interner poisoned").strings[self.id as usize / INTERNER_SHARDS]
     }
 }
 

@@ -1,0 +1,179 @@
+//! Determinism of the storage-layer parallel paths, and interner safety
+//! under concurrency.
+//!
+//! The pool-backed operator paths — partitioned hash-join build/probe,
+//! chunked builder sort + k-way merge, the fanned-out sorted streaming
+//! paths (`product`, no-equi theta) — must produce byte-identical output
+//! at every thread count. Inputs are datagen-seeded and large enough to
+//! cross `pool::PAR_MIN_TUPLES`, so the parallel code paths actually run.
+
+use relalg::{attr, attrs, pool, Pred, Relation, RelationBuilder, Tuple, Value};
+
+/// Serializes tests that flip the process-wide worker count.
+static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn at_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    pool::set_threads(n);
+    let out = f();
+    pool::set_threads(0);
+    out
+}
+
+fn assert_thread_invariant(f: impl Fn() -> Relation) {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let sequential = at_threads(1, &f);
+    for threads in [2, 4, 8] {
+        let parallel = at_threads(threads, &f);
+        assert_eq!(
+            sequential, parallel,
+            "relation diverged between 1 and {threads} threads"
+        );
+        // `Eq` on Relation compares schema + sorted tuple vector, i.e. the
+        // full byte-visible state; double-check order explicitly anyway.
+        let seq: Vec<&Tuple> = sequential.iter().collect();
+        let par: Vec<&Tuple> = parallel.iter().collect();
+        assert_eq!(seq, par);
+    }
+}
+
+const SEEDS: [u64; 3] = [5, 17, 31];
+
+#[test]
+fn partitioned_hash_join_matches_sequential() {
+    for seed in SEEDS {
+        // ~12k tuples on the probe side crosses PAR_MIN_TUPLES.
+        let left = datagen::flights(seed, 300, 80, 40);
+        let right = left
+            .project(&attrs(&["Dep"]))
+            .unwrap()
+            .rename(&[(attr("Dep"), attr("D2"))])
+            .unwrap();
+        let pred = Pred::eq_attr("Dep", "D2");
+        assert_thread_invariant(|| left.theta_join(&right, &pred).unwrap());
+
+        let hubs = datagen::flights(seed ^ 0xff, 40, 80, 10);
+        assert_thread_invariant(|| left.natural_join(&hubs));
+    }
+}
+
+#[test]
+fn theta_join_with_residual_matches_sequential() {
+    for seed in SEEDS {
+        let left = datagen::flights(seed, 200, 60, 50);
+        let right = left
+            .project(&attrs(&["Arr"]))
+            .unwrap()
+            .rename(&[(attr("Arr"), attr("A2"))])
+            .unwrap();
+        // Equi-conjunct (hash path) plus a residual comparison.
+        let pred = Pred::eq_attr("Arr", "A2").and(Pred::ne_attr("Dep", "A2"));
+        assert_thread_invariant(|| left.theta_join(&right, &pred).unwrap());
+    }
+}
+
+#[test]
+fn no_equi_theta_and_product_match_sequential() {
+    for seed in SEEDS {
+        let left = datagen::flights(seed, 60, 30, 2);
+        let right = left
+            .project(&attrs(&["Arr"]))
+            .unwrap()
+            .rename(&[(attr("Arr"), attr("A2"))])
+            .unwrap();
+        // |left| × |right| comfortably exceeds PAR_MIN_TUPLES.
+        let pred = Pred::cmp(
+            relalg::Operand::Attr(attr("Arr")),
+            relalg::CmpOp::Lt,
+            relalg::Operand::Attr(attr("A2")),
+        );
+        assert_thread_invariant(|| left.theta_join(&right, &pred).unwrap());
+        assert_thread_invariant(|| left.product(&right).unwrap());
+    }
+}
+
+#[test]
+fn builder_parallel_sort_matches_sequential() {
+    for seed in SEEDS {
+        let base = datagen::flights(seed, 400, 100, 30);
+        // Reversed + duplicated input forces real sort and dedup work.
+        let rows: Vec<Tuple> = base
+            .tuples()
+            .iter()
+            .rev()
+            .chain(base.tuples().iter())
+            .cloned()
+            .collect();
+        assert_thread_invariant(|| {
+            let mut b = RelationBuilder::with_capacity(base.schema().clone(), rows.len());
+            for r in &rows {
+                b.push(r.clone());
+            }
+            b.finish()
+        });
+    }
+}
+
+#[test]
+fn merge_rows_equals_per_row_insert() {
+    for seed in SEEDS {
+        let base = datagen::flights(seed, 50, 20, 10);
+        let extra = datagen::flights(seed ^ 0xabcd, 30, 20, 10);
+        let rows: Vec<Tuple> = extra.tuples().to_vec();
+
+        let mut by_insert = base.clone();
+        for r in &rows {
+            by_insert.insert(r.clone()).unwrap();
+        }
+        let by_merge = base.merge_rows(rows.iter().cloned()).unwrap();
+        assert_eq!(by_insert, by_merge);
+    }
+    // Arity violations are rejected and empty batches are no-ops.
+    let base = Relation::table(&["A"], &[&[1i64]]);
+    assert!(base.merge_rows(vec![Tuple::new()]).is_err());
+    assert_eq!(base.merge_rows(Vec::<Tuple>::new()).unwrap(), base.clone());
+}
+
+#[test]
+fn interner_concurrent_overlapping_sets_are_consistent() {
+    // 8 threads intern overlapping string sets concurrently; every thread
+    // must observe the same Sym for the same string, and Sym order must
+    // stay exactly lexicographic regardless of interleaving.
+    let words: Vec<String> = (0..800)
+        .map(|i| format!("stress-{:03}-{}", i % 200, i % 7))
+        .collect();
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let words = words.clone();
+            std::thread::spawn(move || {
+                let mut syms = Vec::with_capacity(words.len());
+                // Each thread walks the set from a different offset so the
+                // first-interning thread differs per string.
+                for i in 0..words.len() {
+                    let w = &words[(i + t * 97) % words.len()];
+                    syms.push((w.clone(), Value::str(w)));
+                }
+                syms
+            })
+        })
+        .collect();
+    let per_thread: Vec<Vec<(String, Value)>> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Same string -> same interned value in every thread.
+    let reference: std::collections::HashMap<&String, Value> =
+        per_thread[0].iter().map(|(w, v)| (w, *v)).collect();
+    for thread_syms in &per_thread {
+        for (w, v) in thread_syms {
+            assert_eq!(reference[w], *v, "inconsistent Sym for {w}");
+        }
+    }
+
+    // Sym ordering matches string ordering exactly.
+    let mut by_sym: Vec<&String> = words.iter().collect();
+    let mut by_str: Vec<&String> = words.iter().collect();
+    by_sym.sort_by_key(|w| Value::str(w));
+    by_sym.dedup();
+    by_str.sort();
+    by_str.dedup();
+    assert_eq!(by_sym, by_str);
+}

@@ -243,6 +243,63 @@ impl WorldSet {
         })
     }
 
+    /// Parallel counterpart of [`WorldSet::map_worlds`]: each world is
+    /// transformed by a pool worker (`relalg::pool`, `WSDB_THREADS` knob).
+    /// Results are re-collected into the deduplicating world set, so the
+    /// output is identical to the sequential variant; the closure must be
+    /// `Fn + Sync` rather than `FnMut`.
+    pub fn par_map_worlds<E: Send>(
+        &self,
+        f: impl Fn(&World) -> std::result::Result<World, E> + Sync,
+    ) -> std::result::Result<WorldSet, E> {
+        let input: Vec<&World> = self.worlds.iter().collect();
+        let worlds: BTreeSet<World> = relalg::pool::par_map(&input, |w| f(w))
+            .into_iter()
+            .collect::<std::result::Result<_, E>>()?;
+        Ok(WorldSet {
+            rel_names: self.rel_names.clone(),
+            worlds,
+        })
+    }
+
+    /// Parallel counterpart of [`WorldSet::flat_map_worlds`] (world
+    /// splitting: choice-of, repair-by-key). Deterministic for the same
+    /// reason as [`WorldSet::par_map_worlds`].
+    pub fn par_flat_map_worlds<E: Send>(
+        &self,
+        f: impl Fn(&World) -> std::result::Result<Vec<World>, E> + Sync,
+    ) -> std::result::Result<WorldSet, E> {
+        let input: Vec<&World> = self.worlds.iter().collect();
+        let mut worlds = BTreeSet::new();
+        for ws in relalg::pool::par_map(&input, |w| f(w)) {
+            worlds.extend(ws?);
+        }
+        Ok(WorldSet {
+            rel_names: self.rel_names.clone(),
+            worlds,
+        })
+    }
+
+    /// Parallel counterpart of [`WorldSet::extend_with`]: evaluate `f` on
+    /// every world concurrently and append the produced relation under
+    /// `name`.
+    pub fn par_extend_with<E: Send, R: Into<Arc<Relation>> + Send>(
+        &self,
+        name: &str,
+        f: impl Fn(&World) -> std::result::Result<R, E> + Sync,
+    ) -> std::result::Result<WorldSet, E> {
+        let mut rel_names = (*self.rel_names).clone();
+        rel_names.push(name.to_string());
+        let input: Vec<&World> = self.worlds.iter().collect();
+        let worlds: BTreeSet<World> = relalg::pool::par_map(&input, |w| f(w).map(|r| w.with(r)))
+            .into_iter()
+            .collect::<std::result::Result<_, E>>()?;
+        Ok(WorldSet {
+            rel_names: Arc::new(rel_names),
+            worlds,
+        })
+    }
+
     /// Replace every world by zero or more successor worlds (used by
     /// choice-of and repair-by-key, which split worlds). Generic over the
     /// caller's error type.
@@ -357,14 +414,20 @@ impl fmt::Display for WorldSet {
 pub fn pair_worlds(ws: &WorldSet) -> WorldSet {
     let mut names: Vec<String> = ws.rel_names().to_vec();
     names.extend(ws.rel_names().iter().map(|n| format!("{n}'")));
-    let mut worlds = BTreeSet::new();
-    for i in ws.iter() {
-        for j in ws.iter() {
-            let mut rels = i.rels().to_vec();
-            rels.extend(j.rels().iter().cloned());
-            worlds.insert(World::from_shared(rels));
-        }
-    }
+    // The outer pairing loop fans out over the pool (|worlds|² pairs of
+    // pointer-bump concatenations); the set collection dedups as before.
+    let left: Vec<&World> = ws.iter().collect();
+    let worlds: BTreeSet<World> = relalg::pool::par_flat_map(&left, |i| {
+        ws.iter()
+            .map(|j| {
+                let mut rels = i.rels().to_vec();
+                rels.extend(j.rels().iter().cloned());
+                World::from_shared(rels)
+            })
+            .collect()
+    })
+    .into_iter()
+    .collect();
     WorldSet {
         rel_names: Arc::new(names),
         worlds,
@@ -445,6 +508,43 @@ mod tests {
             })
             .unwrap();
         assert_eq!(split.len(), 3); // FRA, PAR, PHL — Figure 2(b)
+    }
+
+    #[test]
+    fn par_variants_match_sequential() {
+        let ws = WorldSet::single(vec![("Flights", flights())]);
+        let split = ws
+            .flat_map_worlds(|w| -> Result<Vec<World>> {
+                w.rel(0).partition_by(&attrs(&["Dep"])).map(|parts| {
+                    parts
+                        .into_iter()
+                        .map(|(_, p)| World::new(vec![p]))
+                        .collect()
+                })
+            })
+            .unwrap();
+
+        let seq_map = split
+            .map_worlds(|w| -> Result<World> { Ok(w.replace_last(w.last().clone())) })
+            .unwrap();
+        let par_map = split
+            .par_map_worlds(|w| -> Result<World> { Ok(w.replace_last(w.last().clone())) })
+            .unwrap();
+        assert_eq!(seq_map, par_map);
+
+        let seq_ext = split
+            .extend_with("Deps", |w| w.last().project(&attrs(&["Dep"])))
+            .unwrap();
+        let par_ext = split
+            .par_extend_with("Deps", |w| w.last().project(&attrs(&["Dep"])))
+            .unwrap();
+        assert_eq!(seq_ext, par_ext);
+
+        let dup = |w: &World| -> Result<Vec<World>> { Ok(vec![w.clone(), w.clone()]) };
+        assert_eq!(
+            split.flat_map_worlds(dup).unwrap(),
+            split.par_flat_map_worlds(dup).unwrap()
+        );
     }
 
     #[test]

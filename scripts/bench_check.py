@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: re-run the bench suite and compare against the
+committed baseline.
+
+Runs `scripts/bench_dump.sh` into a temporary file and compares every
+benchmark's mean against the committed `BENCH_core.json`, failing (exit 1)
+when any benchmark slowed down by more than the tolerance (default 25%,
+see EXPERIMENTS.md "Bench-regression gate"). Benchmarks present on only
+one side are reported but never fail the gate (new benches appear, old
+ones get retired). Stdlib-only by design — the container has no package
+index.
+
+Usage:
+    scripts/bench_check.py                         # full suite vs BENCH_core.json
+    scripts/bench_check.py --targets worldset_ops parallel_scaling
+    scripts/bench_check.py --current some.json     # skip the bench run
+    scripts/bench_check.py --tolerance 0.25 --min-ns 0
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_benchmarks(path):
+    """Map benchmark id -> mean_ns from a BENCH_core.json-shaped file."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        out[entry["id"]] = float(entry["mean_ns"])
+    return out
+
+
+def run_benches(targets):
+    """Run scripts/bench_dump.sh into a temp file; return the parsed means."""
+    fd, tmp = tempfile.mkstemp(prefix="bench_current_", suffix=".json")
+    os.close(fd)
+    try:
+        env = dict(os.environ, BENCH_OUT=tmp)
+        cmd = [os.path.join(REPO_ROOT, "scripts", "bench_dump.sh"), *targets]
+        subprocess.run(cmd, check=True, cwd=REPO_ROOT, env=env)
+        return load_benchmarks(tmp)
+    finally:
+        os.unlink(tmp)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--baseline",
+        default=os.path.join(REPO_ROOT, "BENCH_core.json"),
+        help="committed baseline JSON (default: BENCH_core.json)",
+    )
+    ap.add_argument(
+        "--current",
+        default=None,
+        help="pre-recorded current-run JSON; omit to run the benches now",
+    )
+    ap.add_argument(
+        "--targets",
+        nargs="*",
+        default=[],
+        help="bench targets forwarded to bench_dump.sh (default: all)",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_TOLERANCE", "0.25")),
+        help="allowed fractional slowdown before failing (default 0.25 = 25%%)",
+    )
+    ap.add_argument(
+        "--min-ns",
+        type=float,
+        default=float(os.environ.get("BENCH_MIN_NS", "0")),
+        help="ignore benchmarks whose baseline mean is below this many ns",
+    )
+    args = ap.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = (
+        load_benchmarks(args.current) if args.current else run_benches(args.targets)
+    )
+
+    regressions = []
+    improvements = 0
+    compared = 0
+    for bench_id in sorted(baseline):
+        if bench_id not in current:
+            print(f"  [skip] {bench_id}: missing from current run")
+            continue
+        base = baseline[bench_id]
+        if base < args.min_ns:
+            continue
+        now = current[bench_id]
+        compared += 1
+        ratio = now / base if base > 0 else float("inf")
+        if ratio > 1.0 + args.tolerance:
+            regressions.append((bench_id, base, now, ratio))
+        elif ratio < 1.0:
+            improvements += 1
+    for bench_id in sorted(set(current) - set(baseline)):
+        print(f"  [new]  {bench_id}: {current[bench_id]:.0f} ns (no baseline)")
+
+    print(
+        f"\ncompared {compared} benchmarks against {os.path.basename(args.baseline)}"
+        f" (tolerance +{args.tolerance:.0%}); {improvements} improved"
+    )
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond tolerance:")
+        for bench_id, base, now, ratio in regressions:
+            print(
+                f"  {bench_id}: {base:.0f} ns -> {now:.0f} ns"
+                f" ({(ratio - 1.0):+.0%})"
+            )
+        return 1
+    print("OK: no benchmark regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
