@@ -46,7 +46,7 @@ fn bench_rewrite_gain(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(400));
     group.measurement_time(Duration::from_millis(1500));
-    let ctx = RewriteCtx { base: &base };
+    let ctx = RewriteCtx::new(&base);
     let q1_prime = optimize(&q1(), &ctx);
     let q2_prime = optimize(&q2(), &ctx);
 

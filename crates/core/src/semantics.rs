@@ -214,22 +214,27 @@ fn grouped(
         .collect::<Result<_>>()?;
 
     // Combine the answers per group; answers are shared so that installing
-    // a group answer into each member world is an `Arc` bump.
-    let mut group_answer: BTreeMap<&Option<Vec<Tuple>>, Arc<Relation>> = BTreeMap::new();
+    // a group answer into each member world is an `Arc` bump. Each group
+    // merges as a pairwise tree reduction on the pool (union/intersection
+    // are associative and keep the leftmost schema, so the result equals
+    // the sequential in-order fold); a single-member group returns its
+    // contribution unchanged — still a shared handle, no copy.
+    let mut members: BTreeMap<&Option<Vec<Tuple>>, Vec<Arc<Relation>>> = BTreeMap::new();
     for (key, contribution) in &keyed {
-        match group_answer.entry(key) {
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(contribution.clone());
-            }
-            std::collections::btree_map::Entry::Occupied(mut e) => {
-                let merged = if is_poss {
-                    e.get().union(contribution)?
-                } else {
-                    e.get().intersect(contribution)?
-                };
-                e.insert(Arc::new(merged));
-            }
-        }
+        members.entry(key).or_default().push(contribution.clone());
+    }
+    let mut group_answer: BTreeMap<&Option<Vec<Tuple>>, Arc<Relation>> = BTreeMap::new();
+    for (key, contributions) in members {
+        let merged = relalg::pool::par_reduce(contributions, |a, b| {
+            let r = if is_poss {
+                a.union(b)?
+            } else {
+                a.intersect(b)?
+            };
+            Ok::<_, relalg::RelalgError>(Arc::new(r))
+        })?
+        .expect("every group has at least one member");
+        group_answer.insert(key, merged);
     }
 
     Ok(input

@@ -1,6 +1,6 @@
 //! The inlined representation of world-sets (Definition 5.1, Figure 4).
 
-use relalg::{attr, Attr, Pred, Relation, Result, Schema, Value};
+use relalg::{attr, Attr, Relation, Result, Schema, Value};
 use worldset::{World, WorldSet};
 
 /// An inlined representation `T = ⟨R₁ᵀ[U₁∪V], …, R_kᵀ[U_k∪V], W[V]⟩`.
@@ -83,27 +83,73 @@ impl InlinedRep {
     /// The represented world-set (the `rep` function of Section 5.1):
     /// `rep(T) = {⟨π_{U₁}(σ_{V=w}(R₁ᵀ)), …⟩ | w ∈ W}`. Equivalent worlds
     /// under different ids collapse, since a world-set is a set.
+    ///
+    /// Decoding partitions every table by the id attributes **once**
+    /// (`O(N log N)` total) instead of running one full-table selection per
+    /// world id (`O(worlds × N)`) — on the Figure-6 translation route the
+    /// per-world selects used to dominate the whole pipeline.
     pub fn rep(&self) -> Result<WorldSet> {
-        let mut worlds = Vec::with_capacity(self.world_table.len());
-        for wid in self.world_table.iter() {
-            let mut rels = Vec::with_capacity(self.tables.len());
-            for table in &self.tables {
-                let mut pred = Pred::True;
-                for (a, v) in self.id_attrs.iter().zip(wid) {
-                    pred = pred.and(Pred::eq_const(a.clone(), *v));
-                }
-                let value_attrs = table.schema().minus(&self.id_attrs);
-                rels.push(table.select(&pred)?.project(&value_attrs)?);
-            }
-            worlds.push(World::new(rels));
-        }
-        WorldSet::from_worlds(self.names.clone(), worlds)
+        let tables: Vec<&Relation> = self.tables.iter().collect();
+        decode_worlds(
+            self.names.clone(),
+            &tables,
+            &self.id_attrs,
+            &self.world_table,
+        )
     }
 
     /// Number of worlds encoded (ids in `W`; distinct worlds may be fewer).
     pub fn world_count(&self) -> usize {
         self.world_table.len()
     }
+}
+
+/// The decode behind [`InlinedRep::rep`], over borrowed tables — so the
+/// translation route can decode its evaluated `Arc<Relation>` results
+/// without unsharing (and deep-copying) them first.
+pub(crate) fn decode_worlds(
+    names: Vec<String>,
+    tables: &[&Relation],
+    id_attrs: &[Attr],
+    world_table: &Relation,
+) -> Result<WorldSet> {
+    if id_attrs.is_empty() {
+        // V = ∅: a single world (W = {⟨⟩}) or the empty world-set.
+        let mut worlds = Vec::new();
+        if !world_table.is_empty() {
+            worlds.push(World::new(tables.iter().map(|t| (*t).clone()).collect()));
+        }
+        return WorldSet::from_worlds(names, worlds);
+    }
+    // One partition pass per table: world id → value-attribute slice.
+    let partitioned: Vec<(Schema, std::collections::BTreeMap<relalg::Tuple, Relation>)> = tables
+        .iter()
+        .map(|table| {
+            let value_attrs = table.schema().minus(id_attrs);
+            let parts = table
+                .partition_by_project(id_attrs, &value_attrs)?
+                .into_iter()
+                .collect();
+            Ok((Schema::new(value_attrs), parts))
+        })
+        .collect::<Result<_>>()?;
+    // Assemble one world per id in W; ids absent from a table encode an
+    // empty relation there. Keys are extracted in `id_attrs` order so they
+    // compare against the partition keys attribute-by-attribute.
+    let wids = world_table.distinct_values(id_attrs)?;
+    let worlds: Vec<World> = relalg::pool::par_map(&wids, |wid| {
+        let rels = partitioned
+            .iter()
+            .map(|(value_schema, parts)| {
+                parts
+                    .get(wid)
+                    .cloned()
+                    .unwrap_or_else(|| Relation::empty(value_schema.clone()))
+            })
+            .collect();
+        World::new(rels)
+    });
+    WorldSet::from_worlds(names, worlds)
 }
 
 #[cfg(test)]

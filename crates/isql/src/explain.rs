@@ -22,11 +22,21 @@ pub struct Explanation {
     pub algebra: Query,
     /// The algebra after Figure-7 rewriting.
     pub optimized: Query,
+    /// Estimated cost of the unrewritten plan (cardinality model over the
+    /// session's actual relation sizes).
+    pub cost_before: u64,
+    /// Estimated cost after rewriting.
+    pub cost_after: u64,
     /// Whether the query maps complete databases to complete databases.
     pub complete_to_complete: bool,
     /// For `1↦1` queries: the equivalent relational algebra plan
     /// (Section 5.3, simplified) evaluable by any relational engine.
     pub relational_plan: Option<relalg::Expr>,
+    /// Evaluation-cache behavior of a trial evaluation of the relational
+    /// plan against the session's relations (`None` when there is no plan
+    /// or the rewrite path is off): node hits, canonical-CSE hits,
+    /// process-level plan-cache hits, misses.
+    pub cache: Option<relalg::EvalStats>,
 }
 
 impl Explanation {
@@ -34,8 +44,10 @@ impl Explanation {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("algebra:    {}\n", self.algebra));
+        out.push_str(&format!("            est. cost {}\n", self.cost_before));
         if self.optimized != self.algebra {
             out.push_str(&format!("optimized:  {}\n", self.optimized));
+            out.push_str(&format!("            est. cost {}\n", self.cost_after));
         }
         out.push_str(&format!(
             "type:       {}\n",
@@ -47,6 +59,12 @@ impl Explanation {
         ));
         if let Some(plan) = &self.relational_plan {
             out.push_str(&format!("relational: {plan}\n"));
+        }
+        if let Some(stats) = &self.cache {
+            out.push_str(&format!(
+                "cache:      {} node hit(s), {} cse hit(s), {} plan-cache hit(s), {} miss(es)\n",
+                stats.node_hits, stats.canon_hits, stats.plan_hits, stats.misses
+            ));
         }
         out
     }
@@ -71,9 +89,22 @@ impl Session {
             let w = ws.iter().next()?;
             Some(w.rel(idx).schema().clone())
         };
+        let cards = |name: &str| -> Option<u64> {
+            let idx = ws.index_of(name)?;
+            Some(ws.iter().next()?.rel(idx).len() as u64)
+        };
+        let multiplicity = if ws.len() <= 1 {
+            wsa::typing::Multiplicity::One
+        } else {
+            wsa::typing::Multiplicity::Many
+        };
         let algebra = compile_select(sel, &base)?;
-        let ctx = wsa_rewrite::RewriteCtx { base: &base };
+        let ctx = wsa_rewrite::RewriteCtx::new(&base)
+            .with_cards(&cards)
+            .with_multiplicity(multiplicity);
         let optimized = wsa_rewrite::optimize(&algebra, &ctx);
+        let cost_before = wsa_rewrite::cost_ctx(&algebra, &ctx);
+        let cost_after = wsa_rewrite::cost_ctx(&optimized, &ctx);
         let complete = is_complete_to_complete(&algebra);
         let relational_plan = if complete {
             let names: Vec<String> = ws.rel_names().to_vec();
@@ -84,11 +115,32 @@ impl Session {
         } else {
             None
         };
+        // Trial-evaluate the relational plan to report how the evaluator's
+        // caches (node / canonical-CSE / process plan cache) would behave —
+        // the "EXPLAIN ANALYZE" corner of the paper's conclusion.
+        let cache = match (&relational_plan, relalg::plan_cache::rewrite_enabled()) {
+            (Some(plan), true) => {
+                let world = ws.iter().next();
+                world.and_then(|w| {
+                    let mut catalog = relalg::Catalog::new();
+                    for (idx, name) in ws.rel_names().iter().enumerate() {
+                        catalog.put(name, w.rel_shared(idx).clone());
+                    }
+                    let mut ec = relalg::EvalCache::new();
+                    catalog.eval_cached(plan, &mut ec).ok()?;
+                    Some(ec.stats())
+                })
+            }
+            _ => None,
+        };
         Ok(Explanation {
             algebra,
             optimized,
+            cost_before,
+            cost_after,
             complete_to_complete: complete,
             relational_plan,
+            cache,
         })
     }
 }
@@ -147,6 +199,78 @@ mod tests {
         assert!(!e.complete_to_complete);
         assert!(e.relational_plan.is_none());
         assert!(e.render().contains("world-set valued"));
+    }
+
+    /// Serializes the tests that pin the process-global rewrite toggle
+    /// (without it, one test's restore can race another's explain call
+    /// when the suite runs under `WSDB_NO_REWRITE=1`).
+    fn toggle_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn explain_reports_costs_and_cache_behavior() {
+        // Pin the rewrite path on: the cache annotations are what this
+        // test is about (a `WSDB_NO_REWRITE` environment must not turn
+        // them off underneath it).
+        let _guard = toggle_lock();
+        relalg::plan_cache::set_enabled(Some(true));
+        let s = session();
+        let e = s
+            .explain("select certain Arr from HFlights choice of Dep;")
+            .unwrap();
+        relalg::plan_cache::set_enabled(None);
+        // The cardinality model prices both plans; rewriting never makes
+        // the plan more expensive.
+        assert!(e.cost_before > 0);
+        assert!(e.cost_after <= e.cost_before);
+        // The trial evaluation of the relational plan reports its cache
+        // behavior. The division plan has composite nodes, so they either
+        // evaluate (misses) or come out of the process plan cache when an
+        // earlier test already evaluated the same plan.
+        let stats = e.cache.expect("rewrite path on by default");
+        assert!(stats.misses + stats.plan_hits > 0, "{stats:?}");
+        let rendered = e.render();
+        assert!(rendered.contains("est. cost"), "{rendered}");
+        assert!(rendered.contains("cache:"), "{rendered}");
+    }
+
+    /// Golden rendering: the full before/after pipeline for the paper's
+    /// trip-planning query, with estimated costs and cache annotations.
+    #[test]
+    fn explain_render_golden() {
+        let _guard = toggle_lock();
+        relalg::plan_cache::set_enabled(Some(true));
+        let s = session();
+        let e = s
+            .explain("select certain Arr from HFlights choice of Dep;")
+            .unwrap();
+        relalg::plan_cache::set_enabled(None);
+        let rendered = e.render();
+        let mut lines = rendered.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "algebra:    δ{HFlights.Arr→Arr}(cert(π{HFlights.Arr}(χ{HFlights.Dep}(δ{Dep→HFlights.Dep,Arr→HFlights.Arr}(HFlights)))))"
+        );
+        assert_eq!(lines.next().unwrap(), "            est. cost 26");
+        assert_eq!(
+            lines.next().unwrap(),
+            "type:       1↦1 (complete-to-complete)"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "relational: (π{Arr,Dep}(HFlights) ÷ π{Dep}(HFlights))"
+        );
+        let cache_line = lines.next().unwrap();
+        assert!(
+            cache_line.starts_with("cache:      ") && cache_line.contains("miss(es)"),
+            "{cache_line}"
+        );
+        assert!(
+            lines.next().is_none(),
+            "unexpected extra lines:\n{rendered}"
+        );
     }
 
     #[test]

@@ -47,7 +47,116 @@ fn fresh(ws: &WorldSet, base: &str) -> String {
 
 /// Evaluate a select statement against a world-set, appending the answer
 /// relation under `out_name`.
+///
+/// Statements in the clean fragment that use world constructs first try
+/// the **rewrite route**: compile to World-set Algebra, run the Section-6
+/// optimizer (with real relation cardinalities), and — when the optimizer
+/// found a strictly cheaper plan — evaluate the optimized algebra query
+/// directly. Everything else (and the `WSDB_NO_REWRITE` escape hatch, or
+/// any failure along the route) falls back to the direct interpreter
+/// below; the two routes agree on the clean fragment (pinned by
+/// `tests/interp_vs_algebra.rs`).
 pub fn eval_select_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Result<WorldSet> {
+    if let Some(out) = try_rewrite_route_ws(stmt, ws, out_name) {
+        return Ok(out);
+    }
+    eval_select_ws_interp(stmt, ws, out_name)
+}
+
+/// One relation's contribution to the optimizer-memo key: name, schema
+/// (plans are schema-dependent — two sessions in one process may register
+/// different tables under one name), and cardinality (the cost model's
+/// input; DML changes it and thereby invalidates the memoized choice).
+type RelFingerprint = (String, Schema, u64);
+
+/// Process-level memo for the optimizer search: re-running the same
+/// statement against unchanged relations must not pay the best-first
+/// search again (the search is the route's only fixed cost, and it dwarfs
+/// small-query execution). Keyed by the compiled algebra, the relation
+/// fingerprints, the input multiplicity and the search budget; the value
+/// is the optimized plan (`None` when rewriting found nothing).
+type OptKey = (wsa::Query, Vec<RelFingerprint>, bool, usize);
+
+fn optimize_memoized(
+    algebra: &wsa::Query,
+    base: &dyn Fn(&str) -> Option<Schema>,
+    cards: Vec<RelFingerprint>,
+    many_worlds: bool,
+    cap: usize,
+) -> Option<wsa::Query> {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    static MEMO: Mutex<Option<HashMap<OptKey, Option<wsa::Query>>>> = Mutex::new(None);
+    const MEMO_CAP: usize = 256;
+
+    let key: OptKey = (algebra.clone(), cards, many_worlds, cap);
+    {
+        let mut guard = MEMO.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(hit) = guard.get_or_insert_with(HashMap::new).get(&key) {
+            return hit.clone();
+        }
+    }
+    let card_fn = |name: &str| -> Option<u64> {
+        key.1
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, len)| *len)
+    };
+    let multiplicity = if many_worlds {
+        wsa::typing::Multiplicity::Many
+    } else {
+        wsa::typing::Multiplicity::One
+    };
+    let ctx = wsa_rewrite::RewriteCtx::new(base)
+        .with_cards(&card_fn)
+        .with_multiplicity(multiplicity);
+    let optimized = wsa_rewrite::optimize_capped(algebra, &ctx, cap).0;
+    let result = if optimized == *algebra {
+        None
+    } else {
+        Some(optimized)
+    };
+    let mut guard = MEMO.lock().unwrap_or_else(|p| p.into_inner());
+    let memo = guard.get_or_insert_with(HashMap::new);
+    if memo.len() >= MEMO_CAP {
+        memo.clear();
+    }
+    memo.insert(key, result.clone());
+    result
+}
+
+/// The relations as seen in the first world — the fingerprint the
+/// optimizer memo keys on (DML or a different session layout invalidates
+/// the memoized plan choice).
+fn card_fingerprint(ws: &WorldSet) -> Vec<RelFingerprint> {
+    match ws.iter().next() {
+        None => Vec::new(),
+        Some(w) => ws
+            .rel_names()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), w.rel(i).schema().clone(), w.rel(i).len() as u64))
+            .collect(),
+    }
+}
+
+/// The algebra fast path of [`eval_select_ws`]; `None` means "use the
+/// interpreter" (out of fragment, rewriting found nothing, or the route
+/// failed — the interpreter then reports the authoritative error).
+fn try_rewrite_route_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Option<WorldSet> {
+    if !relalg::plan_cache::rewrite_enabled() || !stmt.uses_world_constructs() {
+        return None;
+    }
+    let base = |name: &str| -> Option<Schema> {
+        let idx = ws.index_of(name)?;
+        Some(ws.iter().next()?.rel(idx).schema().clone())
+    };
+    let algebra = crate::compile::compile_select(stmt, &base).ok()?;
+    let optimized = optimize_memoized(&algebra, &base, card_fingerprint(ws), ws.len() > 1, 20_000)?;
+    wsa::eval_named(&optimized, ws, out_name).ok()
+}
+
+fn eval_select_ws_interp(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Result<WorldSet> {
     let base_count = ws.rel_names().len();
 
     // Plan which simple `where`-comparisons can be pushed into the
@@ -213,22 +322,26 @@ pub fn eval_select_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Resul
             })
             .into_iter()
             .collect::<Result<_>>()?;
+            // Per-group merge as a pairwise tree reduction on the pool
+            // (union/intersection are associative and keep the leftmost
+            // schema, so this equals the sequential in-order fold).
             let mut entries: Vec<(World, Relation)> = Vec::new();
-            let mut groups: BTreeMap<Relation, Relation> = BTreeMap::new();
+            let mut members: BTreeMap<Relation, Vec<Relation>> = BTreeMap::new();
             for (w, (key, ans)) in input.into_iter().zip(keyed) {
-                match groups.entry(key.clone()) {
-                    std::collections::btree_map::Entry::Vacant(e) => {
-                        e.insert(ans);
-                    }
-                    std::collections::btree_map::Entry::Occupied(mut e) => {
-                        let merged = match quant {
-                            Quant::Possible => e.get().union(&ans).map_err(rel_err)?,
-                            Quant::Certain => e.get().intersect(&ans).map_err(rel_err)?,
-                        };
-                        e.insert(merged);
-                    }
-                }
+                members.entry(key.clone()).or_default().push(ans);
                 entries.push((w.clone(), key));
+            }
+            let mut groups: BTreeMap<Relation, Relation> = BTreeMap::new();
+            for (key, contributions) in members {
+                let merged = relalg::pool::par_reduce(contributions, |a, b| {
+                    match quant {
+                        Quant::Possible => a.union(b),
+                        Quant::Certain => a.intersect(b),
+                    }
+                    .map_err(rel_err)
+                })?
+                .expect("every group has at least one member");
+                groups.insert(key, merged);
             }
             let worlds: Vec<World> = entries
                 .into_iter()
@@ -656,6 +769,13 @@ type Scopes = Vec<(Schema, Tuple)>;
 
 /// Evaluate a world-construct-free select statement inside one world, with
 /// outer-row bindings available for correlation.
+///
+/// Uncorrelated statements in the clean fragment take the **rewrite
+/// route**: compile to (relational) WSA, optimize (join ordering /
+/// pushdown under a small search budget), translate to a relational plan
+/// and evaluate it through the canonically-keyed caches — so a subquery
+/// re-evaluated per row or per world is a plan-cache hit, not a re-run.
+/// Correlated or out-of-fragment statements use the row-wise interpreter.
 pub fn eval_select_local(
     stmt: &SelectStmt,
     world: &World,
@@ -670,6 +790,9 @@ pub fn eval_select_local(
         return Err(SqlError(
             "subquery in this position must not use world constructs".into(),
         ));
+    }
+    if let Some(rel) = try_rewrite_route_local(stmt, world, names) {
+        return Ok(rel);
     }
     // Push simple where-comparisons into the from-product where possible
     // (table-only from lists; unresolvable conjuncts — e.g. correlated
@@ -730,6 +853,91 @@ pub fn eval_select_local(
         acc = Relation::from_rows(acc.schema().clone(), keep).map_err(rel_err)?;
     }
     project_rows(stmt, &acc, world, names, scopes)
+}
+
+/// The relational fast path of [`eval_select_local`]: `None` falls back to
+/// the row-wise interpreter (correlated references and anything outside
+/// the clean fragment fail compilation, so they never take this route).
+fn try_rewrite_route_local(stmt: &SelectStmt, world: &World, names: &[String]) -> Option<Relation> {
+    if !relalg::plan_cache::rewrite_enabled() {
+        return None;
+    }
+    let base = |name: &str| -> Option<Schema> {
+        let idx = names.iter().position(|n| n == name)?;
+        Some(world.rel(idx).schema().clone())
+    };
+    let algebra = crate::compile::compile_select(stmt, &base).ok()?;
+    // Join ordering only matters with several from-items; single-table
+    // statements skip the plan search entirely (this path runs per row for
+    // `in`/`exists`/scalar subqueries). The search itself is memoized, so
+    // a repeated subquery pays it once.
+    let optimized = if stmt.from.len() > 1 {
+        let cards: Vec<RelFingerprint> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                (
+                    n.clone(),
+                    world.rel(i).schema().clone(),
+                    world.rel(i).len() as u64,
+                )
+            })
+            .collect();
+        optimize_memoized(&algebra, &base, cards, false, 400).unwrap_or(algebra)
+    } else {
+        algebra
+    };
+    let schemas: Vec<(String, Schema)> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), world.rel(i).schema().clone()))
+        .collect();
+    let expr = translate_memoized(&optimized, &base, schemas)?;
+    let mut catalog = relalg::Catalog::new();
+    for (idx, name) in names.iter().enumerate() {
+        catalog.put(name, world.rel_shared(idx).clone());
+    }
+    catalog
+        .eval(&expr)
+        .ok()
+        .map(std::sync::Arc::unwrap_or_clone)
+}
+
+/// Process-level memo for the translate + simplify stage of the local
+/// route: a subquery re-evaluated per row (or per world) reuses one
+/// relational plan instead of re-translating — and since the memoized
+/// `Expr` keeps its node identities, the canonicalization memo and plan
+/// cache hit on the same allocations every time. Keyed by the (optimized)
+/// algebra and the relation schemas it was translated against; `None`
+/// records "not translatable" so failures don't retry per row.
+fn translate_memoized(
+    q: &wsa::Query,
+    base: &dyn Fn(&str) -> Option<Schema>,
+    schemas: Vec<(String, Schema)>,
+) -> Option<relalg::Expr> {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    type Key = (wsa::Query, Vec<(String, Schema)>);
+    static MEMO: Mutex<Option<HashMap<Key, Option<relalg::Expr>>>> = Mutex::new(None);
+    const MEMO_CAP: usize = 256;
+
+    let key: Key = (q.clone(), schemas);
+    {
+        let mut guard = MEMO.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(hit) = guard.get_or_insert_with(HashMap::new).get(&key) {
+            return hit.clone();
+        }
+    }
+    let expr = wsa_inlined::translate_opt_complete(q, base)
+        .ok()
+        .and_then(|e| relalg::simplify(&e, base).ok());
+    let mut guard = MEMO.lock().unwrap_or_else(|p| p.into_inner());
+    let memo = guard.get_or_insert_with(HashMap::new);
+    if memo.len() >= MEMO_CAP {
+        memo.clear();
+    }
+    memo.insert(key, expr.clone());
+    expr
 }
 
 /// Final projection of a select statement over the filtered product `acc`,

@@ -154,9 +154,18 @@ impl Session {
                     worlds: self.ws.len(),
                 })
             }
-            Stmt::Insert { table, rows } => self.insert(&table, rows),
-            Stmt::Delete { table, cond } => self.delete(&table, cond),
-            Stmt::Update { table, sets, cond } => self.update(&table, sets, cond),
+            Stmt::Insert { table, rows } => {
+                relalg::plan_cache::clear();
+                self.insert(&table, rows)
+            }
+            Stmt::Delete { table, cond } => {
+                relalg::plan_cache::clear();
+                self.delete(&table, cond)
+            }
+            Stmt::Update { table, sets, cond } => {
+                relalg::plan_cache::clear();
+                self.update(&table, sets, cond)
+            }
         }
     }
 

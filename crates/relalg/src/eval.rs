@@ -1,7 +1,8 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use crate::{Expr, ExprKind, RelalgError, Relation, Result, Schema};
+use crate::canon::{canonical, CanonExpr};
+use crate::{plan_cache, Expr, ExprKind, RelalgError, Relation, Result, Schema};
 
 /// A catalog of named base relations — the database the expression
 /// evaluator runs against.
@@ -15,20 +16,69 @@ pub struct Catalog {
     tables: BTreeMap<String, Arc<Relation>>,
 }
 
-/// A reusable evaluation memo for [`Catalog::eval_cached`]: results of
-/// shared DAG nodes, keyed by node identity. Each entry also pins its
-/// expression node, so a node address can never be freed and reused for a
-/// different expression while the cache is alive (which would make the
-/// identity key silently stale).
+/// A reusable evaluation memo for [`Catalog::eval_cached`].
+///
+/// Results are keyed two ways:
+///
+/// * by **node identity** (the fast path — each entry pins its expression
+///   node, so a node address can never be freed and reused for a different
+///   expression while the cache is alive), and
+/// * by **canonical form** ([`crate::canon`]): two structurally different
+///   nodes that denote the same relation — e.g. the per-table copies of the
+///   same base-table join built by the Figure-6 translation — evaluate
+///   once. This is the cross-world common-subexpression elimination of the
+///   translation route.
+///
+/// On a miss at both levels, composite nodes also consult the process-wide
+/// [`crate::plan_cache`] (when the rewrite path is enabled), so identical
+/// plans re-built across calls — one `run_general` per query, one subquery
+/// evaluation per row — skip evaluation entirely.
 #[derive(Default)]
 pub struct EvalCache {
     memo: HashMap<usize, (Expr, Arc<Relation>)>,
+    canon_memo: HashMap<u64, Vec<(Expr, Arc<Relation>)>>,
+    stats: EvalStats,
+}
+
+/// Cache-effectiveness counters for one [`EvalCache`] (surfaced by the
+/// I-SQL `EXPLAIN` output).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Hits by node identity (shared DAG nodes).
+    pub node_hits: u64,
+    /// Hits by canonical form (structurally distinct, result-identical
+    /// nodes — the CSE wins).
+    pub canon_hits: u64,
+    /// Hits in the process-level plan cache.
+    pub plan_hits: u64,
+    /// Composite nodes that had to be evaluated.
+    pub misses: u64,
 }
 
 impl EvalCache {
     /// An empty cache.
     pub fn new() -> EvalCache {
         EvalCache::default()
+    }
+
+    /// Hit/miss counters accumulated by this cache.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    fn canon_get(&mut self, canon: &CanonExpr) -> Option<Arc<Relation>> {
+        let bucket = self.canon_memo.get(&canon.hash)?;
+        bucket
+            .iter()
+            .find(|(e, _)| *e == canon.expr)
+            .map(|(_, r)| Arc::clone(r))
+    }
+
+    fn canon_put(&mut self, canon: &CanonExpr, rel: &Arc<Relation>) {
+        self.canon_memo
+            .entry(canon.hash)
+            .or_default()
+            .push((canon.expr.clone(), Arc::clone(rel)));
     }
 }
 
@@ -72,10 +122,14 @@ impl Catalog {
     /// Evaluate an expression against this catalog.
     ///
     /// Shared sub-expressions (DAG nodes) are evaluated once: results are
-    /// memoized by node identity, and both memo hits and the returned value
-    /// are `Arc` clones — no relation data is copied. This matters for the
-    /// Figure-6 translation output, where the world table `W` is referenced
-    /// by every base table copy.
+    /// memoized by node identity *and* by canonical form, and both memo
+    /// hits and the returned value are `Arc` clones — no relation data is
+    /// copied. This matters for the Figure-6 translation output, where the
+    /// world table `W` is referenced by every base table copy.
+    ///
+    /// This entry point always delegates to [`Catalog::eval_cached`] with a
+    /// fresh cache, so canonicalization, CSE, and the plan cache apply
+    /// identically on both entry points.
     pub fn eval(&self, expr: &Expr) -> Result<Arc<Relation>> {
         let mut cache = EvalCache::new();
         self.eval_cached(expr, &mut cache)
@@ -88,70 +142,116 @@ impl Catalog {
     /// has seen, so reuse across expressions is safe; do not reuse a cache
     /// across catalogs (results would come from the wrong tables).
     pub fn eval_cached(&self, expr: &Expr, cache: &mut EvalCache) -> Result<Arc<Relation>> {
-        self.eval_memo(expr, &mut cache.memo)
+        self.eval_memo(expr, cache)
     }
 
-    fn eval_memo(
-        &self,
-        expr: &Expr,
-        memo: &mut HashMap<usize, (Expr, Arc<Relation>)>,
-    ) -> Result<Arc<Relation>> {
-        if let Some((_, hit)) = memo.get(&expr.id()) {
+    fn eval_memo(&self, expr: &Expr, cache: &mut EvalCache) -> Result<Arc<Relation>> {
+        if let Some((_, hit)) = cache.memo.get(&expr.id()) {
+            cache.stats.node_hits += 1;
             return Ok(Arc::clone(hit));
         }
+        // Leaves are cheap (a catalog lookup / an `Arc` bump): evaluate
+        // directly under the identity key only, keeping the invariant that
+        // a base-table reference returns the catalog's own allocation.
+        match expr.kind() {
+            ExprKind::Table(name) => {
+                let out = self
+                    .tables
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| RelalgError::UnknownTable { name: name.clone() })?;
+                cache
+                    .memo
+                    .insert(expr.id(), (expr.clone(), Arc::clone(&out)));
+                return Ok(out);
+            }
+            ExprKind::Lit(rel) => {
+                let out = Arc::clone(rel);
+                cache
+                    .memo
+                    .insert(expr.id(), (expr.clone(), Arc::clone(&out)));
+                return Ok(out);
+            }
+            _ => {}
+        }
+        // Composite node: the canonical form widens the key from "this
+        // node" to "any node denoting this relation" — structurally
+        // distinct copies of a subplan (and, through the plan cache,
+        // re-built plans from earlier calls) evaluate once.
+        let canon = canonical(expr);
+        if let Some(hit) = cache.canon_get(&canon) {
+            cache.stats.canon_hits += 1;
+            cache
+                .memo
+                .insert(expr.id(), (expr.clone(), Arc::clone(&hit)));
+            return Ok(hit);
+        }
+        let plan_cache_on = plan_cache::rewrite_enabled();
+        if plan_cache_on {
+            if let Some(hit) = plan_cache::lookup(&canon, self) {
+                cache.stats.plan_hits += 1;
+                cache.canon_put(&canon, &hit);
+                cache
+                    .memo
+                    .insert(expr.id(), (expr.clone(), Arc::clone(&hit)));
+                return Ok(hit);
+            }
+        }
+        cache.stats.misses += 1;
         let out: Arc<Relation> = match expr.kind() {
-            ExprKind::Table(name) => self
-                .tables
-                .get(name)
-                .cloned()
-                .ok_or_else(|| RelalgError::UnknownTable { name: name.clone() })?,
-            ExprKind::Lit(rel) => Arc::clone(rel),
-            ExprKind::Select(p, e) => Arc::new(self.eval_memo(e, memo)?.select(p)?),
-            ExprKind::Project(attrs, e) => Arc::new(self.eval_memo(e, memo)?.project(attrs)?),
-            ExprKind::ProjectAs(list, e) => Arc::new(self.eval_memo(e, memo)?.project_as(list)?),
-            ExprKind::Rename(map, e) => Arc::new(self.eval_memo(e, memo)?.rename(map)?),
+            ExprKind::Table(_) | ExprKind::Lit(_) => unreachable!("handled above"),
+            ExprKind::Select(p, e) => Arc::new(self.eval_memo(e, cache)?.select(p)?),
+            ExprKind::Project(attrs, e) => Arc::new(self.eval_memo(e, cache)?.project(attrs)?),
+            ExprKind::ProjectAs(list, e) => Arc::new(self.eval_memo(e, cache)?.project_as(list)?),
+            ExprKind::Rename(map, e) => Arc::new(self.eval_memo(e, cache)?.rename(map)?),
             ExprKind::Product(a, b) => {
-                let l = self.eval_memo(a, memo)?;
-                let r = self.eval_memo(b, memo)?;
+                let l = self.eval_memo(a, cache)?;
+                let r = self.eval_memo(b, cache)?;
                 Arc::new(l.product(&r)?)
             }
             ExprKind::Union(a, b) => {
-                let l = self.eval_memo(a, memo)?;
-                let r = self.eval_memo(b, memo)?;
+                let l = self.eval_memo(a, cache)?;
+                let r = self.eval_memo(b, cache)?;
                 Arc::new(l.union(&r)?)
             }
             ExprKind::Intersect(a, b) => {
-                let l = self.eval_memo(a, memo)?;
-                let r = self.eval_memo(b, memo)?;
+                let l = self.eval_memo(a, cache)?;
+                let r = self.eval_memo(b, cache)?;
                 Arc::new(l.intersect(&r)?)
             }
             ExprKind::Difference(a, b) => {
-                let l = self.eval_memo(a, memo)?;
-                let r = self.eval_memo(b, memo)?;
+                let l = self.eval_memo(a, cache)?;
+                let r = self.eval_memo(b, cache)?;
                 Arc::new(l.difference(&r)?)
             }
             ExprKind::NaturalJoin(a, b) => {
-                let l = self.eval_memo(a, memo)?;
-                let r = self.eval_memo(b, memo)?;
+                let l = self.eval_memo(a, cache)?;
+                let r = self.eval_memo(b, cache)?;
                 Arc::new(l.natural_join(&r))
             }
             ExprKind::ThetaJoin(p, a, b) => {
-                let l = self.eval_memo(a, memo)?;
-                let r = self.eval_memo(b, memo)?;
+                let l = self.eval_memo(a, cache)?;
+                let r = self.eval_memo(b, cache)?;
                 Arc::new(l.theta_join(&r, p)?)
             }
             ExprKind::Divide(a, b) => {
-                let l = self.eval_memo(a, memo)?;
-                let r = self.eval_memo(b, memo)?;
+                let l = self.eval_memo(a, cache)?;
+                let r = self.eval_memo(b, cache)?;
                 Arc::new(l.divide(&r)?)
             }
             ExprKind::OuterPadJoin(a, b) => {
-                let l = self.eval_memo(a, memo)?;
-                let r = self.eval_memo(b, memo)?;
+                let l = self.eval_memo(a, cache)?;
+                let r = self.eval_memo(b, cache)?;
                 Arc::new(l.outer_pad_join(&r))
             }
         };
-        memo.insert(expr.id(), (expr.clone(), Arc::clone(&out)));
+        cache
+            .memo
+            .insert(expr.id(), (expr.clone(), Arc::clone(&out)));
+        cache.canon_put(&canon, &out);
+        if plan_cache_on {
+            plan_cache::insert(&canon, self, &out);
+        }
         Ok(out)
     }
 }
@@ -239,6 +339,47 @@ mod tests {
         let right = shared.project(attrs(&["Arr"]));
         let e = left.product(&right);
         assert_eq!(c.eval(&e).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn canonical_cse_shares_structurally_equal_nodes() {
+        // Two separately-built, structurally identical subplans (distinct
+        // `Arc` nodes): the second copy evaluates as a canonical-form hit,
+        // and its children are never visited at all.
+        let _guard = crate::plan_cache::test_lock();
+        crate::plan_cache::set_enabled(Some(false));
+        let c = catalog();
+        let mk = || Expr::table("Flights").select(Pred::eq_const("Arr", "ATL"));
+        let e = mk().project(attrs(&["Dep"])).product(
+            &mk()
+                .project(attrs(&["Dep"]))
+                .rename(vec![("Dep".into(), "Dep2".into())]),
+        );
+        let mut cache = EvalCache::new();
+        let out = c.eval_cached(&e, &mut cache).unwrap();
+        crate::plan_cache::set_enabled(None);
+        assert_eq!(out.len(), 9);
+        let stats = cache.stats();
+        assert!(
+            stats.canon_hits >= 1,
+            "the duplicated select+project subplan should hit canonically: {stats:?}"
+        );
+        // product, first project, its select, and the rename evaluate; the
+        // second select+project copy is covered by the canonical hit.
+        assert_eq!(stats.misses, 4, "{stats:?}");
+    }
+
+    #[test]
+    fn eval_and_eval_cached_agree() {
+        // The uncached entry point delegates to a fresh cache, so both
+        // entry points run the identical canonicalized path.
+        let c = catalog();
+        let e = Expr::table("Flights")
+            .select(Pred::eq_const("Arr", "BCN"))
+            .select(Pred::eq_const("Dep", "FRA"))
+            .project(attrs(&["Dep"]));
+        let mut cache = EvalCache::new();
+        assert_eq!(c.eval(&e).unwrap(), c.eval_cached(&e, &mut cache).unwrap());
     }
 
     #[test]

@@ -18,10 +18,12 @@
 //! Relations iterate in a deterministic (sorted) order so that translated
 //! plans, examples and golden tests are reproducible.
 
+pub mod canon;
 mod csv;
 mod error;
 mod eval;
 mod expr;
+pub mod plan_cache;
 pub mod pool;
 mod pred;
 mod relation;
@@ -32,7 +34,7 @@ mod value;
 
 pub use csv::{relation_from_csv, relation_to_csv};
 pub use error::{RelalgError, Result};
-pub use eval::{Catalog, EvalCache};
+pub use eval::{Catalog, EvalCache, EvalStats};
 pub use expr::{Expr, ExprKind};
 pub use pred::{CmpOp, Operand, Pred};
 pub use relation::{Relation, RelationBuilder};

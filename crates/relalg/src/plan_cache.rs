@@ -1,0 +1,246 @@
+//! Process-level plan/result cache for relational expressions.
+//!
+//! Keyed by the **canonical form** of a plan ([`crate::canon`]) plus the
+//! identity of the base tables it reads, the cache returns the previously
+//! computed `Arc<Relation>` for a plan that is re-evaluated against the
+//! same inputs — the Figure-6 translation route re-builds and re-evaluates
+//! structurally identical plans on every call, and the I-SQL interpreter
+//! re-evaluates uncorrelated subqueries per row.
+//!
+//! **Soundness is content-addressed, not invalidation-addressed**: a hit is
+//! returned only after verifying that every base table the cached plan read
+//! is equal (pointer-equal, or else value-equal) to the table currently
+//! registered under that name. Stale entries therefore can never serve
+//! wrong data; explicit invalidation ([`clear`], called by I-SQL DML) only
+//! bounds memory and keeps dead entries from occupying the cache.
+//!
+//! The cache — like the whole rewrite path — can be switched off with the
+//! `WSDB_NO_REWRITE` environment variable (any non-empty value) for A/B
+//! benchmarking, or at runtime with [`set_enabled`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::canon::CanonExpr;
+use crate::{Catalog, Relation};
+
+/// One cached evaluation: the canonical plan, the exact inputs it read, and
+/// the result. Inputs are pinned, so their allocations outlive the entry.
+struct Entry {
+    canon: crate::Expr,
+    inputs: Vec<(String, Arc<Relation>)>,
+    result: Arc<Relation>,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u64, Vec<Entry>>,
+    entries: usize,
+}
+
+/// Maximum number of cached plans; exceeding it clears the cache (simple
+/// and predictable — a workload that overflows this is not re-evaluating
+/// the same plans anyway).
+const CAP: usize = 1024;
+
+static CACHE: Mutex<Option<Inner>> = Mutex::new(None);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Runtime enable state: 0 = resolve from the environment, 1 = forced on,
+/// 2 = forced off.
+static ENABLED: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether the rewrite/caching execution path is on. `WSDB_NO_REWRITE`
+/// (non-empty) turns it off; [`set_enabled`] overrides at runtime.
+pub fn rewrite_enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => !env_disabled(),
+    }
+}
+
+fn env_disabled() -> bool {
+    std::env::var("WSDB_NO_REWRITE")
+        .map(|v| !v.trim().is_empty())
+        .unwrap_or(false)
+}
+
+/// Force the rewrite path on/off for this process (benchmarks A/B the two
+/// paths); `None` restores the environment-derived default.
+pub fn set_enabled(on: Option<bool>) {
+    ENABLED.store(
+        match on {
+            Some(true) => 1,
+            Some(false) => 2,
+            None => 0,
+        },
+        Ordering::SeqCst,
+    );
+}
+
+/// Drop every cached plan (DML invalidation; also bounds stats drift in
+/// tests). Content verification makes this a memory measure, not a
+/// correctness measure.
+pub fn clear() {
+    let mut guard = CACHE.lock().unwrap_or_else(|p| p.into_inner());
+    *guard = None;
+}
+
+/// `(hits, misses)` since process start (or the last [`reset_stats`]).
+pub fn stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Zero the hit/miss counters (used by `EXPLAIN` tests for stable output).
+pub fn reset_stats() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Resolve the tables a canonical plan reads against `catalog`. `None` when
+/// a referenced table is missing (such plans error at evaluation and are
+/// never cached).
+fn resolve_inputs(canon: &CanonExpr, catalog: &Catalog) -> Option<Vec<(String, Arc<Relation>)>> {
+    canon
+        .tables
+        .iter()
+        .map(|name| {
+            catalog
+                .get_shared(name)
+                .map(|rel| (name.clone(), Arc::clone(rel)))
+        })
+        .collect()
+}
+
+/// Look up a cached result for `canon` evaluated against `catalog`.
+pub(crate) fn lookup(canon: &CanonExpr, catalog: &Catalog) -> Option<Arc<Relation>> {
+    let inputs = resolve_inputs(canon, catalog)?;
+    let guard = CACHE.lock().unwrap_or_else(|p| p.into_inner());
+    let inner = guard.as_ref()?;
+    let bucket = inner.map.get(&canon.hash)?;
+    for entry in bucket {
+        if entry.canon == canon.expr && inputs_match(&entry.inputs, &inputs) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(&entry.result));
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    None
+}
+
+/// Record a computed result. No-op when a referenced table is absent.
+pub(crate) fn insert(canon: &CanonExpr, catalog: &Catalog, result: &Arc<Relation>) {
+    let Some(inputs) = resolve_inputs(canon, catalog) else {
+        return;
+    };
+    let mut guard = CACHE.lock().unwrap_or_else(|p| p.into_inner());
+    let inner = guard.get_or_insert_with(Inner::default);
+    if inner.entries >= CAP {
+        inner.map.clear();
+        inner.entries = 0;
+    }
+    let bucket = inner.map.entry(canon.hash).or_default();
+    if bucket
+        .iter()
+        .any(|e| e.canon == canon.expr && inputs_match(&e.inputs, &inputs))
+    {
+        return;
+    }
+    bucket.push(Entry {
+        canon: canon.expr.clone(),
+        inputs,
+        result: Arc::clone(result),
+    });
+    inner.entries += 1;
+}
+
+/// Whether the cached inputs are the same relations the catalog holds now:
+/// pointer equality first (same allocation), full value comparison as the
+/// fallback (rebuilt catalogs with equal contents still hit).
+fn inputs_match(cached: &[(String, Arc<Relation>)], current: &[(String, Arc<Relation>)]) -> bool {
+    cached.len() == current.len()
+        && cached
+            .iter()
+            .zip(current)
+            .all(|((cn, cr), (xn, xr))| cn == xn && (Arc::ptr_eq(cr, xr) || cr == xr))
+}
+
+/// Serializes tests (across this crate's modules) that toggle the process
+/// -wide enable state or assert on cache hit behavior.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{attrs, Expr, Pred};
+
+    fn catalog(rows: &[&[i64]]) -> Catalog {
+        let mut c = Catalog::new();
+        c.put("R", Relation::table(&["A", "B"], rows));
+        c
+    }
+
+    #[test]
+    fn hit_requires_equal_inputs() {
+        let _g = test_lock();
+        clear();
+        set_enabled(Some(true));
+        let e = Expr::table("R")
+            .select(Pred::eq_const("A", 1))
+            .project(attrs(&["B"]));
+        let c1 = catalog(&[&[1, 2], &[3, 4]]);
+        let r1 = c1.eval(&e).unwrap();
+        // Equal-content catalog in a fresh allocation: hit.
+        let c2 = catalog(&[&[1, 2], &[3, 4]]);
+        let r2 = c2.eval(&e).unwrap();
+        assert!(Arc::ptr_eq(&r1, &r2), "content-equal catalog must hit");
+        // Different content: miss, different answer.
+        let c3 = catalog(&[&[1, 9]]);
+        let r3 = c3.eval(&e).unwrap();
+        assert_ne!(r1, r3);
+        set_enabled(None);
+        clear();
+    }
+
+    #[test]
+    fn disabled_cache_shares_nothing() {
+        let _g = test_lock();
+        clear();
+        set_enabled(Some(false));
+        let e = Expr::table("R").select(Pred::eq_const("A", 1));
+        let c1 = catalog(&[&[1, 2]]);
+        let r1 = c1.eval(&e).unwrap();
+        let c2 = catalog(&[&[1, 2]]);
+        let r2 = c2.eval(&e).unwrap();
+        assert!(!Arc::ptr_eq(&r1, &r2));
+        assert_eq!(r1, r2);
+        set_enabled(None);
+        clear();
+    }
+
+    #[test]
+    fn structurally_equal_plans_share_across_calls() {
+        let _g = test_lock();
+        clear();
+        set_enabled(Some(true));
+        let c = catalog(&[&[1, 2], &[2, 3]]);
+        // Two separately built, structurally identical DAGs.
+        let mk = || {
+            Expr::table("R")
+                .select(Pred::eq_const("A", 2))
+                .project(attrs(&["B"]))
+        };
+        let r1 = c.eval(&mk()).unwrap();
+        let r2 = c.eval(&mk()).unwrap();
+        assert!(Arc::ptr_eq(&r1, &r2));
+        set_enabled(None);
+        clear();
+    }
+}

@@ -51,6 +51,10 @@ pub const PAR_MIN_ITEMS: usize = 4;
 /// stay sequential.
 pub const PAR_MIN_TUPLES: usize = 8192;
 
+/// Below this many items [`par_reduce`] runs as a plain sequential left
+/// fold — per-round thread spawns only amortize over wide reductions.
+pub const PAR_MIN_REDUCE: usize = 32;
+
 /// The process-wide worker count. Resolved once from the `WSDB_THREADS`
 /// environment variable (minimum 1) or, if unset or unparsable, from
 /// [`std::thread::available_parallelism`]; later calls return the cached
@@ -133,6 +137,58 @@ where
         out.extend(v);
     }
     out
+}
+
+/// Reduce `items` with an associative `merge` by pairwise tree reduction,
+/// each round's pair merges fanning out over the pool.
+///
+/// The reduction pairs *adjacent* elements and keeps the leftmost element
+/// leftmost in every round, so for operations that are associative and
+/// take their output "orientation" from the left operand (relation union
+/// and intersection: the left schema's attribute order wins, tuples are a
+/// set), the result is identical to the sequential left fold it replaces.
+/// An odd trailing element is carried into the next round unmerged. Errors
+/// surface as soon as a round completes; which pair reports a given
+/// incompatibility may differ from the fold, the set of possible errors
+/// does not.
+///
+/// Returns `Ok(None)` for an empty input.
+pub fn par_reduce<T, E>(
+    mut items: Vec<T>,
+    merge: impl Fn(&T, &T) -> std::result::Result<T, E> + Sync,
+) -> std::result::Result<Option<T>, E>
+where
+    T: Send + Sync,
+    E: Send,
+{
+    if !parallelize(items.len(), PAR_MIN_REDUCE) {
+        // Narrow reduction (or one worker): the exact sequential fold.
+        let mut it = items.into_iter();
+        let Some(first) = it.next() else {
+            return Ok(None);
+        };
+        let mut acc = first;
+        for x in it {
+            acc = merge(&acc, &x)?;
+        }
+        return Ok(Some(acc));
+    }
+    while items.len() > 1 {
+        let tail = if items.len() % 2 == 1 {
+            items.pop()
+        } else {
+            None
+        };
+        let pairs: Vec<&[T]> = items.chunks(2).collect();
+        let mut next: Vec<T> = par_map(&pairs, |p| merge(&p[0], &p[1]))
+            .into_iter()
+            .collect::<std::result::Result<_, E>>()?;
+        if let Some(t) = tail {
+            next.push(t);
+        }
+        items = next;
+    }
+    Ok(items.pop())
 }
 
 /// Sort + dedup `v`, splitting the sort across workers.
@@ -242,6 +298,46 @@ mod tests {
         let expect: Vec<usize> = items.iter().flat_map(|&i| vec![i, i]).collect();
         let out = with_threads(4, || par_flat_map(&items, |&i| vec![i, i]));
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_reduce_matches_left_fold() {
+        // Concatenation is associative but not commutative: the tree
+        // reduction must agree with the sequential left fold exactly.
+        let items: Vec<String> = (0..37).map(|i| format!("{i:02},")).collect();
+        let expect: String = items.concat();
+        for nt in [1usize, 2, 4, 8] {
+            let out = with_threads(nt, || {
+                par_reduce(items.clone(), |a: &String, b: &String| {
+                    Ok::<_, ()>(format!("{a}{b}"))
+                })
+            })
+            .unwrap()
+            .unwrap();
+            assert_eq!(out, expect, "nt={nt}");
+        }
+        assert!(par_reduce(Vec::<i64>::new(), |a, b| Ok::<_, ()>(a + b))
+            .unwrap()
+            .is_none());
+        let single = par_reduce(vec![41i64], |a, b| Ok::<_, ()>(a + b)).unwrap();
+        assert_eq!(single, Some(41));
+    }
+
+    #[test]
+    fn par_reduce_surfaces_errors() {
+        // Wide enough (≥ PAR_MIN_REDUCE) to take the tree path; the pair
+        // (6, 7) errors in the first round.
+        let items: Vec<i64> = (0..64).collect();
+        let out = with_threads(4, || {
+            par_reduce(items, |a, b| {
+                if a + b == 13 {
+                    Err("unlucky")
+                } else {
+                    Ok(a + b)
+                }
+            })
+        });
+        assert_eq!(out, Err("unlucky"));
     }
 
     #[test]

@@ -103,7 +103,10 @@ impl ResolvedOperand {
 
 /// A selection condition over a single tuple: comparisons combined with
 /// boolean connectives. This is the `φ` of `σ_φ` in the paper.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// The `Ord` instance is purely structural; it exists so that conjunct
+/// lists can be sorted into a canonical order ([`crate::canon`]).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Pred {
     /// Always true (`σ_true` is the identity).
     True,
@@ -171,6 +174,23 @@ impl Pred {
     pub fn attrs(&self) -> BTreeSet<Attr> {
         let mut out = BTreeSet::new();
         self.collect_attrs(&mut out);
+        out
+    }
+
+    /// The top-level conjuncts of this predicate, flattened left to right
+    /// (`p` itself when it is not a conjunction).
+    pub fn conjuncts(&self) -> Vec<Pred> {
+        fn walk(p: &Pred, out: &mut Vec<Pred>) {
+            match p {
+                Pred::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                other => out.push(other.clone()),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
         out
     }
 

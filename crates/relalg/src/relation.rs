@@ -1,7 +1,66 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::{Attr, CmpOp, Operand, Pred, RelalgError, Result, Schema, Tuple, Value};
+
+/// A fast non-cryptographic hasher (the FxHash construction) for the
+/// engine-internal hash maps on the join/partition hot paths, where the
+/// keys are short tuples of already-interned values and SipHash's
+/// per-lookup cost is the dominant constant. Never used for anything
+/// attacker-controlled or iteration-order-observable.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
+pub(crate) type FxHashMap<K, V> = HashMap<K, V, FxBuild>;
+pub(crate) type FxHashSet<K> = HashSet<K, FxBuild>;
 
 /// A set-semantics relation: a schema plus a **sorted, deduplicated vector**
 /// of tuples.
@@ -585,7 +644,7 @@ impl Relation {
             .iter()
             .map(|a| other.schema.index_of(a).unwrap())
             .collect();
-        let keys: HashSet<Vec<&Value>> = other
+        let keys: FxHashSet<Vec<&Value>> = other
             .tuples
             .iter()
             .map(|t| r_idx.iter().map(|&i| &t[i]).collect())
@@ -707,33 +766,64 @@ impl Relation {
     }
 
     /// Partition the relation by the values of `attrs`: one sub-relation
-    /// per distinct key, in the key's sorted order. Keys are extracted in
-    /// one pass and the (key, tuple) pairs sorted **stably** by key, so
-    /// each partition inherits the relation's sorted tuple order and is
-    /// assembled without re-sorting or intermediate per-key sets.
+    /// per distinct key, in the key's sorted order. One hash-bucketing scan
+    /// assigns every tuple to its group — each bucket, being a subsequence
+    /// of the sorted tuple vector, is born sorted — and only the distinct
+    /// *keys* are sorted afterwards (`O(N + K log K)`, not the `O(N log N)`
+    /// full-relation key sort this replaces: partitioning is the inner loop
+    /// of both `choice-of` splitting and inlined-representation decoding).
     pub fn partition_by(&self, attrs: &[Attr]) -> Result<Vec<(Tuple, Relation)>> {
         let idx = self.positions(attrs)?;
-        let mut pairs: Vec<(Tuple, &Tuple)> = self
-            .tuples
-            .iter()
-            .map(|t| (idx.iter().map(|&i| t[i]).collect(), t))
+        let mut out: Vec<(Tuple, Relation)> = group_rows(&self.tuples, &idx, Tuple::clone)
+            .into_iter()
+            .map(|(key, tuples)| (key, Relation::from_sorted_vec(self.schema.clone(), tuples)))
             .collect();
-        // Stable: tuples with equal keys keep their (sorted) relative order.
-        pairs.sort_by(|x, y| x.0.cmp(&y.0));
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
 
-        let mut out: Vec<(Tuple, Relation)> = Vec::new();
-        let mut run = 0;
-        while run < pairs.len() {
-            let key = pairs[run].0.clone();
-            let mut end = run;
-            let mut tuples: Vec<Tuple> = Vec::new();
-            while end < pairs.len() && pairs[end].0 == key {
-                tuples.push(pairs[end].1.clone());
-                end += 1;
-            }
-            out.push((key, Relation::from_sorted_vec(self.schema.clone(), tuples)));
-            run = end;
+    /// [`Relation::partition_by`] fused with a projection of each part to
+    /// `keep` — the decode loop of the inlined representation
+    /// (`rep(T) = {π_U(σ_{V=w}(Rᵀ)) | w ∈ W}`) in one pass.
+    ///
+    /// When `keep` is exactly the leading columns in schema order and the
+    /// key covers all remaining columns (the layout the Figure-6
+    /// translation produces: value attributes first, world ids appended),
+    /// every bucket has a constant key suffix, so its projected prefixes
+    /// are strictly sorted already: the parts are assembled without any
+    /// sort, dedup, or second projection pass. Any other layout falls back
+    /// to `partition_by` + `project`.
+    pub fn partition_by_project(
+        &self,
+        key: &[Attr],
+        keep: &[Attr],
+    ) -> Result<Vec<(Tuple, Relation)>> {
+        let key_idx = self.positions(key)?;
+        let keep_idx = self.positions(keep)?;
+        let vlen = keep.len();
+        let fast = keep_idx.iter().enumerate().all(|(i, &p)| i == p)
+            && key_idx.iter().all(|&p| p >= vlen)
+            && key_idx.len() + vlen == self.schema.arity();
+        if !fast {
+            return self
+                .partition_by(key)?
+                .into_iter()
+                .map(|(k, part)| Ok((k, part.project(keep)?)))
+                .collect();
         }
+        let out_schema =
+            Schema::try_new(keep.to_vec()).ok_or_else(|| RelalgError::DuplicateAttr {
+                attr: keep.first().cloned().unwrap_or_else(|| Attr::new("?")),
+            })?;
+        let mut out: Vec<(Tuple, Relation)> = group_rows(&self.tuples, &key_idx, |t| {
+            let mut v = Tuple::with_capacity(vlen);
+            v.extend_from_slice(&t[..vlen]);
+            v
+        })
+        .into_iter()
+        .map(|(k, tuples)| (k, Relation::from_sorted_vec(out_schema.clone(), tuples)))
+        .collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         Ok(out)
     }
 
@@ -772,6 +862,37 @@ impl Relation {
         }
         out
     }
+}
+
+/// Group `tuples` by the values at `key_idx`, emitting `emit(t)` into each
+/// group's bucket in scan order (so buckets over sorted input stay sorted).
+///
+/// Sorted inputs whose key columns correlate with the sort order arrive in
+/// *runs* of equal keys; the previous row's group is re-used with a plain
+/// value comparison, and the hash map is only consulted on run boundaries.
+fn group_rows(
+    tuples: &[Tuple],
+    key_idx: &[usize],
+    emit: impl Fn(&Tuple) -> Tuple,
+) -> Vec<(Tuple, Vec<Tuple>)> {
+    let mut groups: Vec<(Tuple, Vec<Tuple>)> = Vec::new();
+    let mut index: FxHashMap<Tuple, usize> = FxHashMap::default();
+    let mut last = usize::MAX;
+    for t in tuples {
+        let in_run = last != usize::MAX && {
+            let k = &groups[last].0;
+            key_idx.iter().enumerate().all(|(j, &i)| t[i] == k[j])
+        };
+        if !in_run {
+            let key: Tuple = key_idx.iter().map(|&i| t[i]).collect();
+            last = *index.entry(key.clone()).or_insert_with(|| {
+                groups.push((key, Vec::new()));
+                groups.len() - 1
+            });
+        }
+        groups[last].1.push(emit(t));
+    }
+    groups
 }
 
 /// Linear merge of two strictly sorted tuple vectors: union.
@@ -843,8 +964,9 @@ fn merge_difference(a: &[Tuple], b: &[Tuple]) -> Vec<Tuple> {
 fn hash_index<'a>(
     tuples: &'a [Tuple],
     key_cols: &[usize],
-) -> HashMap<Vec<&'a Value>, Vec<&'a Tuple>> {
-    let mut index: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::with_capacity(tuples.len());
+) -> FxHashMap<Vec<&'a Value>, Vec<&'a Tuple>> {
+    let mut index: FxHashMap<Vec<&Value>, Vec<&Tuple>> =
+        FxHashMap::with_capacity_and_hasher(tuples.len(), FxBuild::default());
     for t in tuples {
         let key: Vec<&Value> = key_cols.iter().map(|&i| &t[i]).collect();
         index.entry(key).or_default().push(t);
@@ -857,8 +979,9 @@ fn hash_index<'a>(
 fn hash_index_refs<'a>(
     tuples: &[&'a Tuple],
     key_cols: &[usize],
-) -> HashMap<Vec<&'a Value>, Vec<&'a Tuple>> {
-    let mut index: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::with_capacity(tuples.len());
+) -> FxHashMap<Vec<&'a Value>, Vec<&'a Tuple>> {
+    let mut index: FxHashMap<Vec<&Value>, Vec<&Tuple>> =
+        FxHashMap::with_capacity_and_hasher(tuples.len(), FxBuild::default());
     for &t in tuples {
         let key: Vec<&Value> = key_cols.iter().map(|&i| &t[i]).collect();
         index.entry(key).or_default().push(t);
@@ -958,7 +1081,7 @@ where
         // its shard by the same key hash.
         let nshards = pool::num_threads() * 4;
         let build_parts = partition_by_key_hash(build, build_keys, nshards);
-        let shard_indexes: Vec<HashMap<Vec<&Value>, Vec<&Tuple>>> =
+        let shard_indexes: Vec<FxHashMap<Vec<&Value>, Vec<&Tuple>>> =
             pool::par_map(&build_parts, |part| hash_index_refs(part, build_keys));
         let chunk_len = probe.len().div_ceil(nshards).max(1);
         let chunks: Vec<&[Tuple]> = probe.chunks(chunk_len).collect();
@@ -1311,6 +1434,36 @@ mod tests {
                 .collect::<Vec<_>>()
                 .windows(2)
                 .all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn partition_by_project_matches_partition_then_project() {
+        // Fast path (value prefix + id suffix) and fallback (key first)
+        // must both agree with the two-step decomposition.
+        let t = Relation::table(
+            &["A", "B", "V"],
+            &[
+                &[1i64, 2, 9],
+                &[1, 3, 8],
+                &[2, 2, 9],
+                &[2, 2, 8],
+                &[5, 5, 7],
+            ],
+        );
+        for (key, keep) in [
+            (attrs(&["V"]), attrs(&["A", "B"])), // fast path
+            (attrs(&["A"]), attrs(&["B", "V"])), // fallback (key leads)
+            (attrs(&["B", "V"]), attrs(&["A"])), // fallback (scattered)
+        ] {
+            let fused = t.partition_by_project(&key, &keep).unwrap();
+            let twostep: Vec<(Tuple, Relation)> = t
+                .partition_by(&key)
+                .unwrap()
+                .into_iter()
+                .map(|(k, p)| (k, p.project(&keep).unwrap()))
+                .collect();
+            assert_eq!(fused, twostep, "key {key:?} keep {keep:?}");
         }
     }
 

@@ -171,9 +171,82 @@ fn rewrite_node(expr: &Expr, base: &dyn Fn(&str) -> Option<Schema>) -> Result<Ex
         }
     }
 
-    // Empty rename map disappears; rename of nothing-changed disappears.
+    // Projection over a renaming fuses: the projection re-sources its
+    // columns through the rename map. Sound only when the rename itself is
+    // valid — fusing must not turn an erroring plan into a succeeding one,
+    // so the rename's output schema is checked for duplicates first (a
+    // rename target colliding with an existing attribute, or a projected
+    // column renamed away, keeps the original erroring plan).
+    if let Some((l1, inner)) = as_projection(expr) {
+        if let ExprKind::Rename(map, e2) = inner.kind() {
+            let rename_is_valid = e2.infer_schema(base).is_ok_and(|s2| {
+                let renamed: Vec<Attr> = s2
+                    .attrs()
+                    .iter()
+                    .map(|a| {
+                        map.iter()
+                            .find(|(src, _)| src == a)
+                            .map(|(_, d)| d.clone())
+                            .unwrap_or_else(|| a.clone())
+                    })
+                    .collect();
+                Schema::try_new(renamed).is_some()
+            });
+            if rename_is_valid {
+                let fused: Option<Vec<(Attr, Attr)>> = l1
+                    .iter()
+                    .map(|(s, d)| {
+                        if let Some((orig, _)) = map.iter().find(|(_, md)| md == s) {
+                            Some((orig.clone(), d.clone()))
+                        } else if map.iter().any(|(ms, _)| ms == s) {
+                            None // `s` was renamed away; the projection is invalid.
+                        } else {
+                            Some((s.clone(), d.clone()))
+                        }
+                    })
+                    .collect();
+                if let Some(list) = fused {
+                    return Ok(projection_expr(list, e2.clone()));
+                }
+            }
+        }
+    }
+
+    // Renaming over a projection fuses into the projection's output names,
+    // when every renamed column is actually produced.
     if let ExprKind::Rename(map, e) = expr.kind() {
+        if let Some((l1, inner)) = as_projection(e) {
+            if map.iter().all(|(s, _)| l1.iter().any(|(_, d)| d == s)) {
+                let list: Vec<(Attr, Attr)> = l1
+                    .iter()
+                    .map(|(s, d)| {
+                        let nd = map
+                            .iter()
+                            .find(|(ms, _)| ms == d)
+                            .map(|(_, md)| md.clone())
+                            .unwrap_or_else(|| d.clone());
+                        (s.clone(), nd)
+                    })
+                    .collect();
+                return Ok(projection_expr(list, inner));
+            }
+        }
+
+        // A renaming of quotient attributes pushes into the dividend:
+        // division groups on the divisor's attributes, which the rename
+        // must not touch (sources or targets) for the push to commute.
+        if let ExprKind::Divide(a, b) = e.kind() {
+            if let Ok(bs) = b.infer_schema(base) {
+                let clear = map.iter().all(|(s, d)| !bs.contains(s) && !bs.contains(d));
+                if clear {
+                    return Ok(a.rename(map.clone()).divide(b));
+                }
+            }
+        }
+
         if map.iter().all(|(s, d)| s == d) {
+            // Empty rename map disappears; rename of nothing-changed
+            // disappears.
             return Ok(e.clone());
         }
     }
@@ -251,6 +324,56 @@ mod tests {
             .divide(&hf.project(attrs(&["Dep"])));
         assert_eq!(s, target);
         assert_eq!(s.to_string(), "(π{Arr,Dep}(HFlights) ÷ π{Dep}(HFlights))");
+    }
+
+    #[test]
+    fn qualification_renames_collapse_to_the_paper_plan() {
+        // The I-SQL compiler qualifies columns (`δ{Dep→H.Dep,…}`) and
+        // renames the output back to bare names; the fusion rules must
+        // recover Example 5.8's clean division plan.
+        let hf = Expr::table("HFlights");
+        let q = hf.rename(vec![
+            (attr("Dep"), attr("H.Dep")),
+            (attr("Arr"), attr("H.Arr")),
+        ]);
+        let plan = q
+            .project(attrs(&["H.Arr", "H.Dep"]))
+            .divide(&q.project_as(vec![(attr("H.Dep"), attr("H.Dep"))]))
+            .rename(vec![(attr("H.Arr"), attr("Arr"))]);
+        let s = simplify(&plan, &base).unwrap();
+        assert_eq!(s.to_string(), "(π{Arr,Dep}(HFlights) ÷ π{Dep}(HFlights))");
+    }
+
+    #[test]
+    fn project_over_colliding_rename_keeps_erroring() {
+        // π{B}(δ{A→B}(HFlights-like R with columns A,B)): the rename target
+        // collides with the existing B, so the plan is invalid — fusion
+        // must not quietly produce the valid π{A as B}(R).
+        let base2 =
+            |name: &str| -> Option<Schema> { (name == "R").then(|| Schema::of(&["A", "B"])) };
+        let bad = Expr::table("R")
+            .rename(vec![(attr("A"), attr("B"))])
+            .project(attrs(&["B"]));
+        let s = simplify(&bad, &base2).unwrap();
+        let mut c = Catalog::new();
+        c.put("R", Relation::table(&["A", "B"], &[&[1i64, 2]]));
+        assert!(c.eval(&s).is_err());
+    }
+
+    #[test]
+    fn project_over_renamed_away_column_keeps_erroring() {
+        // π{Dep}(δ{Dep→X}(HFlights)) is invalid (Dep no longer exists);
+        // fusion must not quietly turn it into a valid plan.
+        let bad = Expr::table("HFlights")
+            .rename(vec![(attr("Dep"), attr("X"))])
+            .project(attrs(&["Dep"]));
+        let s = simplify(&bad, &base).unwrap();
+        let mut c = Catalog::new();
+        c.put(
+            "HFlights",
+            Relation::table(&["Dep", "Arr"], &[&["FRA", "BCN"]]),
+        );
+        assert!(c.eval(&s).is_err());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use wsa::Query;
 
-use crate::cost::cost;
+use crate::cost::cost_ctx;
 use crate::rules::{rule_set, Rule};
 
 pub use crate::rules::RewriteCtx;
@@ -40,13 +40,23 @@ impl Trace {
 const EXPLORATION_CAP: usize = 20_000;
 
 /// Optimize a query: the minimum-cost equivalent plan reachable through the
-/// rule set.
+/// rule set. The context decides the cost model: with base-table
+/// cardinalities ([`RewriteCtx::with_cards`]) the cardinality estimator
+/// ranks plans (and the cost-based rules fire); without them the original
+/// operator-weight model is used unchanged.
 pub fn optimize(q: &Query, ctx: &RewriteCtx) -> Query {
-    optimize_traced(q, ctx).0
+    optimize_capped(q, ctx, EXPLORATION_CAP).0
 }
 
 /// Optimize and return the derivation that leads to the optimum.
 pub fn optimize_traced(q: &Query, ctx: &RewriteCtx) -> (Query, Trace) {
+    optimize_capped(q, ctx, EXPLORATION_CAP)
+}
+
+/// [`optimize_traced`] with an explicit exploration budget. Hot callers
+/// that optimize per evaluation (the I-SQL per-world route) pass a small
+/// cap; `EXPLAIN` and the translation route use the default.
+pub fn optimize_capped(q: &Query, ctx: &RewriteCtx, cap: usize) -> (Query, Trace) {
     let rules = rule_set();
     let mut visited: HashSet<Query> = HashSet::new();
     let mut parent: HashMap<Query, (Query, &'static str, &'static str)> = HashMap::new();
@@ -56,9 +66,9 @@ pub fn optimize_traced(q: &Query, ctx: &RewriteCtx) -> (Query, Trace) {
 
     visited.insert(q.clone());
     states.push(q.clone());
-    heap.push((Reverse(cost(q)), Reverse(0)));
+    heap.push((Reverse(cost_ctx(q, ctx)), Reverse(0)));
     let mut best = q.clone();
-    let mut best_cost = cost(q);
+    let mut best_cost = cost_ctx(q, ctx);
 
     while let Some((Reverse(c), Reverse(idx))) = heap.pop() {
         let cur = states[idx].clone();
@@ -66,7 +76,7 @@ pub fn optimize_traced(q: &Query, ctx: &RewriteCtx) -> (Query, Trace) {
             best_cost = c;
             best = cur.clone();
         }
-        if visited.len() >= EXPLORATION_CAP {
+        if visited.len() >= cap {
             break;
         }
         for rule in &rules {
@@ -74,7 +84,7 @@ pub fn optimize_traced(q: &Query, ctx: &RewriteCtx) -> (Query, Trace) {
                 if visited.insert(next.clone()) {
                     parent.insert(next.clone(), (cur.clone(), rule.name, rule.paper_eq));
                     states.push(next.clone());
-                    heap.push((Reverse(cost(&next)), Reverse(states.len() - 1)));
+                    heap.push((Reverse(cost_ctx(&next, ctx)), Reverse(states.len() - 1)));
                 }
             }
         }
@@ -167,6 +177,7 @@ fn apply_everywhere(q: &Query, rule: &Rule, ctx: &RewriteCtx) -> Vec<Query> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::cost;
     use relalg::{attrs, Pred, Schema};
 
     fn base(name: &str) -> Option<Schema> {
@@ -179,7 +190,7 @@ mod tests {
     }
 
     fn ctx() -> RewriteCtx<'static> {
-        RewriteCtx { base: &base }
+        RewriteCtx::new(&base)
     }
 
     fn q1() -> Query {
@@ -233,6 +244,69 @@ mod tests {
         let q = Query::rel("R").select(Pred::eq_const("A", 1));
         let opt = optimize(&q, &ctx());
         assert_eq!(opt, q);
+    }
+
+    fn cards(name: &str) -> Option<u64> {
+        match name {
+            "HFlights" => Some(10_000),
+            "Hotels" => Some(20),
+            "R" => Some(5),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn cost_based_rules_push_selections_into_products() {
+        // σ_{Dep='FRA' ∧ Arr=City}(HFlights × Hotels): with cardinalities
+        // the single-side filter moves below the pairing; the cross-side
+        // conjunct stays on top (the hash-join form).
+        let q = Query::rel("HFlights")
+            .product(Query::rel("Hotels"))
+            .select(Pred::eq_const("Dep", "FRA").and(Pred::eq_attr("Arr", "City")))
+            .poss();
+        let ctx = RewriteCtx::new(&base).with_cards(&cards);
+        let (opt, trace) = optimize_traced(&q, &ctx);
+        assert!(
+            trace
+                .steps
+                .iter()
+                .any(|(name, _, _)| *name == "selection-before-product"),
+            "expected the pushdown to fire:\n{}",
+            trace.render(&q)
+        );
+        assert!(cost_ctx(&opt, &ctx) < cost_ctx(&q, &ctx));
+    }
+
+    #[test]
+    fn cost_based_rules_reassociate_products() {
+        // ((HFlights × Hotels) × R): the big×small intermediate is beaten
+        // by associating the two small relations first.
+        let q = Query::rel("HFlights")
+            .product(Query::rel("Hotels"))
+            .product(Query::rel("R"))
+            .poss();
+        let ctx = RewriteCtx::new(&base).with_cards(&cards);
+        let opt = optimize(&q, &ctx);
+        let expect = Query::rel("HFlights")
+            .product(Query::rel("Hotels").product(Query::rel("R")))
+            .poss();
+        assert_eq!(opt, expect);
+    }
+
+    #[test]
+    fn cost_based_rules_stay_off_without_cards() {
+        // Without cardinalities the new rules must not fire at all: the
+        // search space (and therefore every PR-2-era derivation) is
+        // unchanged.
+        let q = Query::rel("HFlights")
+            .product(Query::rel("Hotels"))
+            .select(Pred::eq_const("Dep", "FRA").and(Pred::eq_attr("Arr", "City")))
+            .poss();
+        let (_, trace) = optimize_traced(&q, &ctx());
+        assert!(trace
+            .steps
+            .iter()
+            .all(|(name, _, _)| !name.contains("product") || name.contains("choice")));
     }
 
     #[test]

@@ -31,6 +31,6 @@ pub mod cost;
 pub mod engine;
 pub mod rules;
 
-pub use cost::cost;
-pub use engine::{optimize, optimize_traced, RewriteCtx, Trace};
+pub use cost::{cost, cost_ctx, estimate, Estimate};
+pub use engine::{optimize, optimize_capped, optimize_traced, RewriteCtx, Trace};
 pub use rules::{rule_set, Rule};

@@ -7,17 +7,54 @@
 
 use std::collections::BTreeSet;
 
-use relalg::{Attr, Schema};
+use relalg::{Attr, Pred, Schema};
 use wsa::typing::{output_schema, world_type, Multiplicity};
 use wsa::Query;
 
-/// Context handed to rules: base-relation schemas for `Attrs(q)` queries.
+/// A base-relation cardinality lookup.
+pub type CardFn<'a> = &'a dyn Fn(&str) -> Option<u64>;
+
+/// Context handed to rules: base-relation schemas for `Attrs(q)` queries,
+/// optionally base-relation cardinalities (enabling the cost-based rules
+/// and the cardinality cost model), and the multiplicity of the input
+/// world-set (guarding the rules that are only sound over a complete
+/// database).
 pub struct RewriteCtx<'a> {
     /// Schema lookup for base relations.
     pub base: &'a dyn Fn(&str) -> Option<Schema>,
+    /// Cardinality lookup for base relations (`None` disables the
+    /// cost-based rules and falls back to the operator-weight cost model).
+    pub card: Option<CardFn<'a>>,
+    /// Multiplicity of the world-set the optimized query will run on.
+    /// Defaults to [`Multiplicity::One`] (a complete database — the
+    /// Section-6 setting); pass [`Multiplicity::Many`] when optimizing for
+    /// a world-set input so the uniformity-conditioned rules stay off.
+    pub multiplicity: Multiplicity,
 }
 
 impl<'a> RewriteCtx<'a> {
+    /// A context with schemas only (complete-database input, no
+    /// cardinalities).
+    pub fn new(base: &'a dyn Fn(&str) -> Option<Schema>) -> RewriteCtx<'a> {
+        RewriteCtx {
+            base,
+            card: None,
+            multiplicity: Multiplicity::One,
+        }
+    }
+
+    /// Enable the cardinality-driven cost model and the cost-based rules.
+    pub fn with_cards(mut self, card: CardFn<'a>) -> RewriteCtx<'a> {
+        self.card = Some(card);
+        self
+    }
+
+    /// Set the input world-set multiplicity.
+    pub fn with_multiplicity(mut self, m: Multiplicity) -> RewriteCtx<'a> {
+        self.multiplicity = m;
+        self
+    }
+
     /// The output attributes of a subquery, if it is well-typed.
     pub fn attrs_of(&self, q: &Query) -> Option<BTreeSet<Attr>> {
         output_schema(q, self.base)
@@ -26,10 +63,11 @@ impl<'a> RewriteCtx<'a> {
     }
 
     /// Whether `q`'s answer is guaranteed uniform across worlds when the
-    /// query is evaluated over a complete (one-world) database — the setting
-    /// of the paper's Section-6 examples.
+    /// query is evaluated over an input of this context's multiplicity —
+    /// over a complete (one-world) database this is the setting of the
+    /// paper's Section-6 examples.
     pub fn is_uniform(&self, q: &Query) -> bool {
-        world_type(q, Multiplicity::One).uniform
+        world_type(q, self.multiplicity).uniform
     }
 }
 
@@ -470,5 +508,187 @@ pub fn rule_set() -> Vec<Rule> {
                 _ => None,
             },
         },
+        // ---- Cost-based rules ----
+        //
+        // These fire only when the context carries base-table cardinalities
+        // (`RewriteCtx::with_cards`): without an estimate of intermediate
+        // sizes the rewrites are noise that widens the search space, with
+        // one the engine's best-first search ranks the generated orders by
+        // the cardinality cost model in `cost.rs`.
+        Rule {
+            // Single-side conjuncts of a selection over a product filter
+            // their operand *before* the pairing; cross-side conjuncts stay
+            // on top (the theta-join path turns them into a hash join).
+            name: "selection-before-product",
+            paper_eq: "cost",
+            apply: |q, ctx| {
+                ctx.card?;
+                let Query::Select(p, inner) = q else {
+                    return None;
+                };
+                let Query::Product(a, b) = inner.as_ref() else {
+                    return None;
+                };
+                let aa = ctx.attrs_of(a)?;
+                let bb = ctx.attrs_of(b)?;
+                let (mut la, mut lb, mut cross) = (Vec::new(), Vec::new(), Vec::new());
+                for c in p.conjuncts() {
+                    let attrs = c.attrs();
+                    if !attrs.is_empty() && attrs.iter().all(|x| aa.contains(x)) {
+                        la.push(c);
+                    } else if !attrs.is_empty() && attrs.iter().all(|x| bb.contains(x)) {
+                        lb.push(c);
+                    } else {
+                        cross.push(c);
+                    }
+                }
+                if la.is_empty() && lb.is_empty() {
+                    return None;
+                }
+                let wrap = |side: &Query, cs: Vec<Pred>| match conjoin_preds(cs) {
+                    None => side.clone(),
+                    Some(p) => Query::Select(p, Box::new(side.clone())),
+                };
+                let prod = Query::Product(Box::new(wrap(a, la)), Box::new(wrap(b, lb)));
+                Some(match conjoin_preds(cross) {
+                    None => prod,
+                    Some(p) => Query::Select(p, Box::new(prod)),
+                })
+            },
+        },
+        Rule {
+            // Eq (2) right-to-left: push a projection below `poss`, so the
+            // world-merging union moves less data.
+            name: "project-into-poss",
+            paper_eq: "(2←)",
+            apply: |q, ctx| {
+                ctx.card?;
+                let Query::Project(x, inner) = q else {
+                    return None;
+                };
+                let Query::Poss(body) = inner.as_ref() else {
+                    return None;
+                };
+                Some(Query::Poss(Box::new(Query::Project(
+                    x.clone(),
+                    body.clone(),
+                ))))
+            },
+        },
+        Rule {
+            // π distributes over ∪ under set semantics.
+            name: "project-past-union",
+            paper_eq: "cost",
+            apply: |q, ctx| {
+                ctx.card?;
+                let Query::Project(x, inner) = q else {
+                    return None;
+                };
+                let Query::Union(a, b) = inner.as_ref() else {
+                    return None;
+                };
+                Some(Query::Union(
+                    Box::new(Query::Project(x.clone(), a.clone())),
+                    Box::new(Query::Project(x.clone(), b.clone())),
+                ))
+            },
+        },
+        Rule {
+            // π splits across a product when each output attribute belongs
+            // to exactly one operand and the list keeps the operand order
+            // (so the output column order is unchanged).
+            name: "project-past-product",
+            paper_eq: "cost",
+            apply: |q, ctx| {
+                ctx.card?;
+                let Query::Project(x, inner) = q else {
+                    return None;
+                };
+                let Query::Product(a, b) = inner.as_ref() else {
+                    return None;
+                };
+                let aa = ctx.attrs_of(a)?;
+                let bb = ctx.attrs_of(b)?;
+                let split = x.iter().position(|at| !aa.contains(at))?;
+                let (xa, xb) = x.split_at(split);
+                if xa.is_empty()
+                    || xb.is_empty()
+                    || !xb.iter().all(|at| bb.contains(at) && !aa.contains(at))
+                {
+                    return None;
+                }
+                if xa.len() == aa.len() && xb.len() == bb.len() {
+                    // Both sides keep every column: the split is a no-op
+                    // pair of identity projections.
+                    return None;
+                }
+                Some(Query::Product(
+                    Box::new(Query::Project(xa.to_vec(), a.clone())),
+                    Box::new(Query::Project(xb.to_vec(), b.clone())),
+                ))
+            },
+        },
+        Rule {
+            // × is associative with unchanged column order in either
+            // direction; the cost model ranks the association orders by
+            // intermediate size.
+            name: "product-assoc-right",
+            paper_eq: "cost",
+            apply: |q, ctx| {
+                ctx.card?;
+                let Query::Product(ab, c) = q else {
+                    return None;
+                };
+                let Query::Product(a, b) = ab.as_ref() else {
+                    return None;
+                };
+                Some(Query::Product(
+                    a.clone(),
+                    Box::new(Query::Product(b.clone(), c.clone())),
+                ))
+            },
+        },
+        Rule {
+            name: "product-assoc-left",
+            paper_eq: "cost",
+            apply: |q, ctx| {
+                ctx.card?;
+                let Query::Product(a, bc) = q else {
+                    return None;
+                };
+                let Query::Product(b, c) = bc.as_ref() else {
+                    return None;
+                };
+                Some(Query::Product(
+                    Box::new(Query::Product(a.clone(), b.clone())),
+                    c.clone(),
+                ))
+            },
+        },
+        Rule {
+            // × commutes *under a projection*: the projection re-extracts
+            // columns by name, masking the swapped column order (anywhere
+            // else the swap would change the output schema).
+            name: "product-commute-under-project",
+            paper_eq: "cost",
+            apply: |q, ctx| {
+                ctx.card?;
+                let Query::Project(x, inner) = q else {
+                    return None;
+                };
+                let Query::Product(a, b) = inner.as_ref() else {
+                    return None;
+                };
+                Some(Query::Project(
+                    x.clone(),
+                    Box::new(Query::Product(b.clone(), a.clone())),
+                ))
+            },
+        },
     ]
+}
+
+/// Conjoin predicates back into one (`None` for the empty list).
+fn conjoin_preds(preds: Vec<Pred>) -> Option<Pred> {
+    preds.into_iter().reduce(|a, b| a.and(b))
 }

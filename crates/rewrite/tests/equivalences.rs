@@ -300,6 +300,83 @@ proptest! {
 
     // ---- The optimizer only produces equivalent plans ----
 
+    // End-to-end oracle: optimize() (with real cardinalities, so the
+    // cost-based rules fire) followed by the general translation route
+    // through `Catalog` must agree with the unrewritten direct Figure-3
+    // semantics — at both pool worker counts, with the plan/result caches
+    // on and off.
+    #[test]
+    fn optimize_then_translate_matches_unrewritten_oracle(seed in any::<u64>()) {
+        let ws = random_world_set(seed, &spec_single());
+        let world = ws.iter().next().expect("single world");
+        let rep = wsa_inlined::InlinedRep::single_world(vec![
+            ("R0", world.rel(0).clone()),
+            ("R1", world.rel(1).clone()),
+        ]);
+        let base = |n: &str| match n {
+            "R0" => Some(relalg::Schema::of(&["A", "B"])),
+            "R1" => Some(relalg::Schema::of(&["C", "D"])),
+            _ => None,
+        };
+        let cards = |n: &str| match n {
+            "R0" => Some(world.rel(0).len() as u64),
+            "R1" => Some(world.rel(1).len() as u64),
+            _ => None,
+        };
+        let ctx = wsa_rewrite::RewriteCtx::new(&base).with_cards(&cards);
+        let candidates = vec![
+            // Selection over a product with single-side and cross-side
+            // conjuncts (pushdown + join formation under cert).
+            Query::rel("R0")
+                .product(Query::rel("R1"))
+                .select(Pred::eq_const("A", 1).and(Pred::eq_attr("B", "C")))
+                .choice(attrs(&["A", "C"]))
+                .project(attrs(&["C"]))
+                .cert(),
+            // Projection through poss over a product chain (reassociation
+            // + projection pushdown).
+            Query::rel("R0")
+                .product(Query::rel("R1"))
+                .choice(attrs(&["A"]))
+                .project(attrs(&["B", "D"]))
+                .poss(),
+            // Grouping over choice (the uniformity-conditioned reductions).
+            Query::rel("R0")
+                .choice(attrs(&["A", "B"]))
+                .poss_group(attrs(&["A"]), attrs(&["A", "B"]))
+                .select(Pred::eq_const("A", 2))
+                .cert(),
+        ];
+        for q in candidates {
+            let oracle = eval_named(&q, &ws, "Ans").unwrap();
+            let opt = wsa_rewrite::optimize(&q, &ctx);
+            prop_assert_eq!(
+                &eval_named(&opt, &ws, "Ans").unwrap(),
+                &oracle,
+                "direct semantics diverge: {} vs {}",
+                q,
+                opt
+            );
+            for threads in [1usize, 4] {
+                relalg::pool::set_threads(threads);
+                for caches_on in [true, false] {
+                    relalg::plan_cache::set_enabled(Some(caches_on));
+                    let got = wsa_inlined::run_general(&q, &rep, "Ans").unwrap();
+                    relalg::plan_cache::set_enabled(None);
+                    prop_assert_eq!(
+                        &got,
+                        &oracle,
+                        "translation route diverges for {} (threads={}, caches={})",
+                        q,
+                        threads,
+                        caches_on
+                    );
+                }
+                relalg::pool::set_threads(0);
+            }
+        }
+    }
+
     #[test]
     fn optimizer_preserves_semantics(seed in any::<u64>()) {
         let ws = random_world_set(seed, &spec_single());
@@ -308,7 +385,7 @@ proptest! {
             "R1" => Some(relalg::Schema::of(&["C", "D"])),
             _ => None,
         };
-        let ctx = wsa_rewrite::RewriteCtx { base: &base };
+        let ctx = wsa_rewrite::RewriteCtx::new(&base);
         let candidates = vec![
             Query::rel("R0")
                 .product(Query::rel("R1"))

@@ -360,28 +360,33 @@ impl WorldSet {
 
     /// The union of the last relation over all worlds (the `poss` closure),
     /// or `None` if the world-set is empty.
+    ///
+    /// Runs as a pairwise tree reduction on the execution pool
+    /// (`relalg::pool::par_reduce`): union is associative and takes the
+    /// left operand's attribute order, and the reduction keeps the leftmost
+    /// world leftmost, so the result is identical to the sequential fold.
     pub fn union_of_last(&self) -> Result<Option<Relation>> {
-        let mut acc: Option<Relation> = None;
-        for w in &self.worlds {
-            acc = Some(match acc {
-                None => w.last().clone(),
-                Some(a) => a.union(w.last())?,
-            });
-        }
-        Ok(acc)
+        self.reduce_last(|a, b| a.union(b))
     }
 
     /// The intersection of the last relation over all worlds (the `cert`
-    /// closure), or `None` if the world-set is empty.
+    /// closure), or `None` if the world-set is empty. Tree-reduced like
+    /// [`WorldSet::union_of_last`].
     pub fn intersect_of_last(&self) -> Result<Option<Relation>> {
-        let mut acc: Option<Relation> = None;
-        for w in &self.worlds {
-            acc = Some(match acc {
-                None => w.last().clone(),
-                Some(a) => a.intersect(w.last())?,
-            });
-        }
-        Ok(acc)
+        self.reduce_last(|a, b| a.intersect(b))
+    }
+
+    fn reduce_last(
+        &self,
+        merge: impl Fn(&Relation, &Relation) -> Result<Relation> + Sync,
+    ) -> Result<Option<Relation>> {
+        let lasts: Vec<Arc<Relation>> = self
+            .worlds
+            .iter()
+            .map(|w| w.last_shared().clone())
+            .collect();
+        let merged = relalg::pool::par_reduce(lasts, |a, b| merge(a, b).map(Arc::new))?;
+        Ok(merged.map(Arc::unwrap_or_clone))
     }
 
     /// Pretty-print all worlds with their relation names.

@@ -78,7 +78,7 @@ fn main() {
         .select(Pred::eq_attr("Arr", "City"))
         .project(attrs(&["City"]))
         .cert();
-    let ctx = RewriteCtx { base: &base };
+    let ctx = RewriteCtx::new(&base);
     let (q1_prime, trace) = optimize_traced(&q1, &ctx);
     println!("\nExample 6.1 — q1 rewritten (Figure 8):");
     print!("{}", trace.render(&q1));
