@@ -451,8 +451,17 @@ impl ResultEntry {
             && self.answer_name == answer_name
             && self.names == rep.names
             && self.id_attrs == rep.id_attrs
-            && self.world_table == rep.world_table
-            && self.tables == rep.tables
+            // Table verification is O(1) per table on the hot path: the
+            // epoch tag decides (clones share their constructor's tag),
+            // and the content comparison inside `fast_eq` only runs for
+            // independently rebuilt, content-equal representations.
+            && self.world_table.fast_eq(&rep.world_table)
+            && self.tables.len() == rep.tables.len()
+            && self
+                .tables
+                .iter()
+                .zip(&rep.tables)
+                .all(|(cached, cur)| cached.fast_eq(cur))
     }
 }
 
@@ -527,6 +536,24 @@ fn run_general_uncached(
                 .position(|n| n == name)
                 .map(|i| rep.tables[i].len() as u64)
         };
+        // Measured per-column statistics of the inlined tables (restricted
+        // to the value attributes the WSA query can reference): the cost
+        // model ranks the cost-based rules on real cardinalities.
+        let stats = |name: &str| -> Option<wsa_rewrite::TableStats> {
+            let i = rep.names.iter().position(|n| n == name)?;
+            let table = &rep.tables[i];
+            let s = table.stats();
+            let distinct = table
+                .schema()
+                .minus(&rep.id_attrs)
+                .into_iter()
+                .filter_map(|a| s.distinct_of(table.schema(), &a).map(|d| (a, d)))
+                .collect();
+            Some(wsa_rewrite::TableStats {
+                rows: s.rows,
+                distinct,
+            })
+        };
         // The uniformity-conditioned rules assume a complete database;
         // over a representation encoding several worlds they stay off.
         let multiplicity = if rep.world_count() <= 1 {
@@ -536,6 +563,7 @@ fn run_general_uncached(
         };
         let ctx = wsa_rewrite::RewriteCtx::new(&base)
             .with_cards(&cards)
+            .with_stats(&stats)
             .with_multiplicity(multiplicity);
         optimized = wsa_rewrite::optimize(q, &ctx);
         &optimized
@@ -553,11 +581,15 @@ fn run_general_uncached(
     names.push(answer_name.to_string());
     // On the rewrite path, clean the translated plans up algebraically
     // before evaluation (projection-chain fusion, unit-table elimination —
-    // fewer intermediate materializations). Simplification is semantics-
-    // preserving; a plan it cannot handle evaluates in its raw form.
+    // fewer intermediate materializations), then let the statistics-driven
+    // Expr-level optimizer re-associate the pairing/join structure on the
+    // measured cardinalities of the catalog's tables. Both passes are
+    // semantics-preserving; a plan they cannot handle evaluates raw.
     let prepare = |e: &Expr| -> Expr {
         if rewrite {
-            relalg::simplify(e, &|n| catalog.schema_of(n)).unwrap_or_else(|_| e.clone())
+            let simplified =
+                relalg::simplify(e, &|n| catalog.schema_of(n)).unwrap_or_else(|_| e.clone());
+            relalg::opt::optimize_joins(&simplified, &catalog)
         } else {
             e.clone()
         }

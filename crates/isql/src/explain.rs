@@ -37,6 +37,10 @@ pub struct Explanation {
     /// or the rewrite path is off): node hits, canonical-CSE hits,
     /// process-level plan-cache hits, misses.
     pub cache: Option<relalg::EvalStats>,
+    /// Per-plan-node cardinalities: the statistics model's estimate next
+    /// to the actual row count of the trial evaluation (empty when there
+    /// is no relational plan or the rewrite path is off).
+    pub node_cards: Vec<relalg::opt::PlanCard>,
 }
 
 impl Explanation {
@@ -59,6 +63,18 @@ impl Explanation {
         ));
         if let Some(plan) = &self.relational_plan {
             out.push_str(&format!("relational: {plan}\n"));
+        }
+        if !self.node_cards.is_empty() {
+            out.push_str("cards:\n");
+            for c in &self.node_cards {
+                out.push_str(&format!(
+                    "            {}{}  est={} actual={}\n",
+                    "  ".repeat(c.depth),
+                    c.label,
+                    c.est_rows,
+                    c.actual_rows
+                ));
+            }
         }
         if let Some(stats) = &self.cache {
             out.push_str(&format!(
@@ -93,6 +109,25 @@ impl Session {
             let idx = ws.index_of(name)?;
             Some(ws.iter().next()?.rel(idx).len() as u64)
         };
+        // Measured statistics of the first world's relations (lazily
+        // computed, memoized on each relation): the cost model ranks the
+        // before/after plans on real cardinalities.
+        let stats = |name: &str| -> Option<wsa_rewrite::TableStats> {
+            let idx = ws.index_of(name)?;
+            let w = ws.iter().next()?;
+            let rel = w.rel(idx);
+            let s = rel.stats();
+            Some(wsa_rewrite::TableStats {
+                rows: s.rows,
+                distinct: rel
+                    .schema()
+                    .attrs()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| (a.clone(), s.cols[i].distinct))
+                    .collect(),
+            })
+        };
         let multiplicity = if ws.len() <= 1 {
             wsa::typing::Multiplicity::One
         } else {
@@ -101,6 +136,7 @@ impl Session {
         let algebra = compile_select(sel, &base)?;
         let ctx = wsa_rewrite::RewriteCtx::new(&base)
             .with_cards(&cards)
+            .with_stats(&stats)
             .with_multiplicity(multiplicity);
         let optimized = wsa_rewrite::optimize(&algebra, &ctx);
         let cost_before = wsa_rewrite::cost_ctx(&algebra, &ctx);
@@ -117,22 +153,29 @@ impl Session {
         };
         // Trial-evaluate the relational plan to report how the evaluator's
         // caches (node / canonical-CSE / process plan cache) would behave —
-        // the "EXPLAIN ANALYZE" corner of the paper's conclusion.
-        let cache = match (&relational_plan, relalg::plan_cache::rewrite_enabled()) {
-            (Some(plan), true) => {
-                let world = ws.iter().next();
-                world.and_then(|w| {
-                    let mut catalog = relalg::Catalog::new();
-                    for (idx, name) in ws.rel_names().iter().enumerate() {
-                        catalog.put(name, w.rel_shared(idx).clone());
-                    }
-                    let mut ec = relalg::EvalCache::new();
-                    catalog.eval_cached(plan, &mut ec).ok()?;
-                    Some(ec.stats())
-                })
+        // the "EXPLAIN ANALYZE" corner of the paper's conclusion — and to
+        // annotate every plan node with its estimated vs. actual rows
+        // (the statistics are free to read once computed).
+        let mut relational_plan = relational_plan;
+        let mut node_cards = Vec::new();
+        let mut cache = None;
+        if relalg::plan_cache::rewrite_enabled() {
+            if let (Some(plan), Some(w)) = (relational_plan.clone(), ws.iter().next()) {
+                let mut catalog = relalg::Catalog::new();
+                for (idx, name) in ws.rel_names().iter().enumerate() {
+                    catalog.put(name, w.rel_shared(idx).clone());
+                }
+                // What EXPLAIN shows is what would execute: the plan after
+                // the statistics-driven join reordering.
+                let plan = relalg::opt::optimize_joins(&plan, &catalog);
+                let mut ec = relalg::EvalCache::new();
+                if catalog.eval_cached(&plan, &mut ec).is_ok() {
+                    node_cards = relalg::opt::annotate_cards(&plan, &catalog).unwrap_or_default();
+                    cache = Some(ec.stats());
+                    relational_plan = Some(plan);
+                }
             }
-            _ => None,
-        };
+        }
         Ok(Explanation {
             algebra,
             optimized,
@@ -141,6 +184,7 @@ impl Session {
             complete_to_complete: complete,
             relational_plan,
             cache,
+            node_cards,
         })
     }
 }
@@ -261,6 +305,28 @@ mod tests {
         assert_eq!(
             lines.next().unwrap(),
             "relational: (π{Arr,Dep}(HFlights) ÷ π{Dep}(HFlights))"
+        );
+        // Estimated vs. actual rows, per plan node: the statistics model
+        // runs on the measured distinct counts (Dep: 3, Arr: 2 over the 5
+        // flights), so the division's answer is estimated at 5/3 = 1 row
+        // and every annotation below matches the trial evaluation exactly.
+        assert_eq!(lines.next().unwrap(), "cards:");
+        assert_eq!(lines.next().unwrap(), "            ÷  est=1 actual=1");
+        assert_eq!(
+            lines.next().unwrap(),
+            "              π{Arr,Dep}  est=5 actual=5"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "                table HFlights  est=5 actual=5"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "              π{Dep}  est=3 actual=3"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "                table HFlights  est=5 actual=5"
         );
         let cache_line = lines.next().unwrap();
         assert!(

@@ -63,24 +63,46 @@ pub fn eval_select_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Resul
     eval_select_ws_interp(stmt, ws, out_name)
 }
 
-/// One relation's contribution to the optimizer-memo key: name, schema
-/// (plans are schema-dependent — two sessions in one process may register
-/// different tables under one name), and cardinality (the cost model's
-/// input; DML changes it and thereby invalidates the memoized choice).
-type RelFingerprint = (String, Schema, u64);
+/// One relation's contribution to the optimizer-memo key: name plus
+/// **epoch tag** — an O(1) content identifier (equal tags imply identical
+/// schema, tuples, and therefore statistics), so DML or a differently
+/// laid-out session invalidates the memoized choice automatically. The
+/// statistics themselves are *not* part of the key: they are a pure
+/// function of the content the tag identifies, and are computed lazily —
+/// only for the relations the cost model actually asks about.
+type RelFingerprint = (String, u64);
+
+/// Measured statistics of one relation, in the shape the rewrite context
+/// consumes (computed lazily and memoized on the relation itself).
+fn table_stats_of(rel: &relalg::Relation) -> wsa_rewrite::TableStats {
+    let s = rel.stats();
+    wsa_rewrite::TableStats {
+        rows: s.rows,
+        distinct: rel
+            .schema()
+            .attrs()
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), s.cols[i].distinct))
+            .collect(),
+    }
+}
 
 /// Process-level memo for the optimizer search: re-running the same
 /// statement against unchanged relations must not pay the best-first
 /// search again (the search is the route's only fixed cost, and it dwarfs
 /// small-query execution). Keyed by the compiled algebra, the relation
-/// fingerprints, the input multiplicity and the search budget; the value
-/// is the optimized plan (`None` when rewriting found nothing).
+/// fingerprints (name + epoch), the input multiplicity and the search
+/// budget; the value is the optimized plan (`None` when rewriting found
+/// nothing). `stats` is consulted only on a miss, and only for the tables
+/// the cost model queries.
 type OptKey = (wsa::Query, Vec<RelFingerprint>, bool, usize);
 
 fn optimize_memoized(
     algebra: &wsa::Query,
     base: &dyn Fn(&str) -> Option<Schema>,
-    cards: Vec<RelFingerprint>,
+    fingerprints: Vec<RelFingerprint>,
+    stats: &dyn Fn(&str) -> Option<wsa_rewrite::TableStats>,
     many_worlds: bool,
     cap: usize,
 ) -> Option<wsa::Query> {
@@ -89,26 +111,20 @@ fn optimize_memoized(
     static MEMO: Mutex<Option<HashMap<OptKey, Option<wsa::Query>>>> = Mutex::new(None);
     const MEMO_CAP: usize = 256;
 
-    let key: OptKey = (algebra.clone(), cards, many_worlds, cap);
+    let key: OptKey = (algebra.clone(), fingerprints, many_worlds, cap);
     {
         let mut guard = MEMO.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(hit) = guard.get_or_insert_with(HashMap::new).get(&key) {
             return hit.clone();
         }
     }
-    let card_fn = |name: &str| -> Option<u64> {
-        key.1
-            .iter()
-            .find(|(n, _, _)| n == name)
-            .map(|(_, _, len)| *len)
-    };
     let multiplicity = if many_worlds {
         wsa::typing::Multiplicity::Many
     } else {
         wsa::typing::Multiplicity::One
     };
     let ctx = wsa_rewrite::RewriteCtx::new(base)
-        .with_cards(&card_fn)
+        .with_stats(stats)
         .with_multiplicity(multiplicity);
     let optimized = wsa_rewrite::optimize_capped(algebra, &ctx, cap).0;
     let result = if optimized == *algebra {
@@ -135,7 +151,7 @@ fn card_fingerprint(ws: &WorldSet) -> Vec<RelFingerprint> {
             .rel_names()
             .iter()
             .enumerate()
-            .map(|(i, n)| (n.clone(), w.rel(i).schema().clone(), w.rel(i).len() as u64))
+            .map(|(i, n)| (n.clone(), w.rel(i).epoch()))
             .collect(),
     }
 }
@@ -152,7 +168,18 @@ fn try_rewrite_route_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Opt
         Some(ws.iter().next()?.rel(idx).schema().clone())
     };
     let algebra = crate::compile::compile_select(stmt, &base).ok()?;
-    let optimized = optimize_memoized(&algebra, &base, card_fingerprint(ws), ws.len() > 1, 20_000)?;
+    let stats = |name: &str| -> Option<wsa_rewrite::TableStats> {
+        let idx = ws.index_of(name)?;
+        Some(table_stats_of(ws.iter().next()?.rel(idx)))
+    };
+    let optimized = optimize_memoized(
+        &algebra,
+        &base,
+        card_fingerprint(ws),
+        &stats,
+        ws.len() > 1,
+        20_000,
+    )?;
     wsa::eval_named(&optimized, ws, out_name).ok()
 }
 
@@ -867,61 +894,60 @@ fn try_rewrite_route_local(stmt: &SelectStmt, world: &World, names: &[String]) -
         Some(world.rel(idx).schema().clone())
     };
     let algebra = crate::compile::compile_select(stmt, &base).ok()?;
+    let fingerprints: Vec<RelFingerprint> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), world.rel(i).epoch()))
+        .collect();
+    let stats = |name: &str| -> Option<wsa_rewrite::TableStats> {
+        let idx = names.iter().position(|n| n == name)?;
+        Some(table_stats_of(world.rel(idx)))
+    };
     // Join ordering only matters with several from-items; single-table
     // statements skip the plan search entirely (this path runs per row for
     // `in`/`exists`/scalar subqueries). The search itself is memoized, so
     // a repeated subquery pays it once.
     let optimized = if stmt.from.len() > 1 {
-        let cards: Vec<RelFingerprint> = names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| {
-                (
-                    n.clone(),
-                    world.rel(i).schema().clone(),
-                    world.rel(i).len() as u64,
-                )
-            })
-            .collect();
-        optimize_memoized(&algebra, &base, cards, false, 400).unwrap_or(algebra)
+        optimize_memoized(&algebra, &base, fingerprints.clone(), &stats, false, 400)
+            .unwrap_or(algebra)
     } else {
         algebra
     };
-    let schemas: Vec<(String, Schema)> = names
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (n.clone(), world.rel(i).schema().clone()))
-        .collect();
-    let expr = translate_memoized(&optimized, &base, schemas)?;
     let mut catalog = relalg::Catalog::new();
     for (idx, name) in names.iter().enumerate() {
         catalog.put(name, world.rel_shared(idx).clone());
     }
+    let expr = translate_memoized(&optimized, &base, fingerprints, &catalog)?;
     catalog
         .eval(&expr)
         .ok()
         .map(std::sync::Arc::unwrap_or_clone)
 }
 
-/// Process-level memo for the translate + simplify stage of the local
-/// route: a subquery re-evaluated per row (or per world) reuses one
-/// relational plan instead of re-translating — and since the memoized
-/// `Expr` keeps its node identities, the canonicalization memo and plan
-/// cache hit on the same allocations every time. Keyed by the (optimized)
-/// algebra and the relation schemas it was translated against; `None`
-/// records "not translatable" so failures don't retry per row.
+/// Process-level memo for the translate + simplify + join-reorder stage
+/// of the local route: a subquery re-evaluated per row (or per world)
+/// reuses one relational plan instead of re-translating — and since the
+/// memoized `Expr` keeps its node identities, the canonicalization memo
+/// and plan cache hit on the same allocations every time. The plan is run
+/// through the statistics-driven `relalg::opt::optimize_joins` here, so
+/// what executes (and what `EXPLAIN` reports) is the reordered plan; the
+/// key therefore carries the relation **epoch fingerprints** (statistics
+/// are a pure function of the content the epoch identifies — schemas
+/// included). `None` records "not translatable" so failures don't retry
+/// per row.
 fn translate_memoized(
     q: &wsa::Query,
     base: &dyn Fn(&str) -> Option<Schema>,
-    schemas: Vec<(String, Schema)>,
+    fingerprints: Vec<RelFingerprint>,
+    catalog: &relalg::Catalog,
 ) -> Option<relalg::Expr> {
     use std::collections::HashMap;
     use std::sync::Mutex;
-    type Key = (wsa::Query, Vec<(String, Schema)>);
+    type Key = (wsa::Query, Vec<RelFingerprint>);
     static MEMO: Mutex<Option<HashMap<Key, Option<relalg::Expr>>>> = Mutex::new(None);
     const MEMO_CAP: usize = 256;
 
-    let key: Key = (q.clone(), schemas);
+    let key: Key = (q.clone(), fingerprints);
     {
         let mut guard = MEMO.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(hit) = guard.get_or_insert_with(HashMap::new).get(&key) {
@@ -930,7 +956,8 @@ fn translate_memoized(
     }
     let expr = wsa_inlined::translate_opt_complete(q, base)
         .ok()
-        .and_then(|e| relalg::simplify(&e, base).ok());
+        .and_then(|e| relalg::simplify(&e, base).ok())
+        .map(|e| relalg::opt::optimize_joins(&e, catalog));
     let mut guard = MEMO.lock().unwrap_or_else(|p| p.into_inner());
     let memo = guard.get_or_insert_with(HashMap::new);
     if memo.len() >= MEMO_CAP {

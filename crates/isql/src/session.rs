@@ -154,16 +154,20 @@ impl Session {
                     worlds: self.ws.len(),
                 })
             }
+            // DML builds new relations (fresh epoch tags), so stale cache
+            // entries can never verify; the *targeted* invalidation below
+            // is memory hygiene that evicts only the plans reading the
+            // mutated table — every unrelated cached plan survives the DML.
             Stmt::Insert { table, rows } => {
-                relalg::plan_cache::clear();
+                relalg::plan_cache::invalidate_tables(&[&table]);
                 self.insert(&table, rows)
             }
             Stmt::Delete { table, cond } => {
-                relalg::plan_cache::clear();
+                relalg::plan_cache::invalidate_tables(&[&table]);
                 self.delete(&table, cond)
             }
             Stmt::Update { table, sets, cond } => {
-                relalg::plan_cache::clear();
+                relalg::plan_cache::invalidate_tables(&[&table]);
                 self.update(&table, sets, cond)
             }
         }

@@ -35,7 +35,11 @@
 //!
 //! Canonicalization is memoized process-wide by node identity (the memo
 //! pins the nodes it has seen, so addresses cannot be reused while cached):
-//! re-evaluating a long-lived plan pays the canonicalization once.
+//! re-evaluating a long-lived plan pays the canonicalization once. The memo
+//! is **sharded 16 ways** by node address (the interner's scheme), and each
+//! node's lookup/insert takes only its own shard's lock for the duration of
+//! that one map operation — concurrent canonicalization from the execution
+//! pool's per-world fan-outs no longer serializes on a single mutex.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -56,50 +60,71 @@ pub struct CanonExpr {
     pub tables: std::sync::Arc<[String]>,
 }
 
-/// Process-wide canonicalization memo: raw node address → canonical form.
-/// Entries pin both the raw and the canonical expression.
-struct CanonMemo {
-    by_id: HashMap<usize, (Expr, CanonExpr)>,
+/// Number of memo shards (a power of two, selected by node address).
+const MEMO_SHARDS: usize = 16;
+
+/// Bound on each shard's memo; when exceeded the shard is rebuilt from
+/// scratch (plans are re-canonicalized lazily).
+const SHARD_MEMO_CAP: usize = (1 << 16) / MEMO_SHARDS;
+
+/// One memo shard: raw node address → (pinned node, canonical form).
+type MemoShard = Mutex<Option<HashMap<usize, (Expr, CanonExpr)>>>;
+
+/// Process-wide canonicalization memo: raw node address → canonical form,
+/// sharded by node address. Entries pin both the raw and the canonical
+/// expression (a pinned address can never be reused for another node).
+static MEMO: [MemoShard; MEMO_SHARDS] = [const { Mutex::new(None) }; MEMO_SHARDS];
+
+/// Shard index of a node address. Node ids are heap pointers: the low bits
+/// carry allocator alignment, so mix before selecting.
+fn memo_shard(id: usize) -> &'static MemoShard {
+    let mixed = (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+    &MEMO[(mixed as usize) % MEMO_SHARDS]
 }
 
-/// Bound on the process-wide memo; when exceeded the memo is rebuilt from
-/// scratch (plans are re-canonicalized lazily).
-const CANON_MEMO_CAP: usize = 1 << 16;
+fn memo_get(id: usize) -> Option<CanonExpr> {
+    let guard = memo_shard(id).lock().unwrap_or_else(|p| p.into_inner());
+    guard
+        .as_ref()
+        .and_then(|m| m.get(&id).map(|(_, c)| c.clone()))
+}
 
-static MEMO: Mutex<Option<CanonMemo>> = Mutex::new(None);
+fn memo_put(id: usize, raw: Expr, canon: CanonExpr) {
+    let mut guard = memo_shard(id).lock().unwrap_or_else(|p| p.into_inner());
+    let memo = guard.get_or_insert_with(HashMap::new);
+    if memo.len() > SHARD_MEMO_CAP {
+        memo.clear();
+    }
+    memo.insert(id, (raw, canon));
+}
 
 /// Canonicalize `e`, memoized process-wide by node identity.
 pub fn canonical(e: &Expr) -> CanonExpr {
-    let mut guard = MEMO.lock().unwrap_or_else(|p| p.into_inner());
-    let memo = guard.get_or_insert_with(|| CanonMemo {
-        by_id: HashMap::new(),
-    });
-    if memo.by_id.len() > CANON_MEMO_CAP {
-        memo.by_id.clear();
-    }
-    canon_rec(e, &mut memo.by_id)
+    canon_rec(e)
 }
 
 /// Drop the process-wide canonicalization memo (tests and memory-pressure
 /// hooks; correctness never depends on the memo's contents).
 pub fn clear_memo() {
-    let mut guard = MEMO.lock().unwrap_or_else(|p| p.into_inner());
-    *guard = None;
+    for shard in &MEMO {
+        let mut guard = shard.lock().unwrap_or_else(|p| p.into_inner());
+        *guard = None;
+    }
 }
 
-fn canon_rec(e: &Expr, memo: &mut HashMap<usize, (Expr, CanonExpr)>) -> CanonExpr {
-    if let Some((_, hit)) = memo.get(&e.id()) {
-        return hit.clone();
+fn canon_rec(e: &Expr) -> CanonExpr {
+    if let Some(hit) = memo_get(e.id()) {
+        return hit;
     }
-    let out = build_canon(e, memo);
+    let out = build_canon(e);
     // The canonical node maps to itself, so canonicalizing a canonical
     // expression is a lookup.
-    memo.insert(out.expr.id(), (out.expr.clone(), out.clone()));
-    memo.insert(e.id(), (e.clone(), out.clone()));
+    memo_put(out.expr.id(), out.expr.clone(), out.clone());
+    memo_put(e.id(), e.clone(), out.clone());
     out
 }
 
-fn build_canon(e: &Expr, memo: &mut HashMap<usize, (Expr, CanonExpr)>) -> CanonExpr {
+fn build_canon(e: &Expr) -> CanonExpr {
     match e.kind() {
         ExprKind::Table(name) => finish(e.clone(), vec![name.clone()], |h| {
             0u8.hash(h);
@@ -115,7 +140,7 @@ fn build_canon(e: &Expr, memo: &mut HashMap<usize, (Expr, CanonExpr)>) -> CanonE
         }),
 
         ExprKind::Select(p, inner) => {
-            let c = canon_rec(inner, memo);
+            let c = canon_rec(inner);
             // Fuse through an inner canonical selection, flatten + sort the
             // conjuncts (σ never changes the schema; ∧ is commutative).
             let (base, mut conjuncts) = match c.expr.kind() {
@@ -128,13 +153,13 @@ fn build_canon(e: &Expr, memo: &mut HashMap<usize, (Expr, CanonExpr)>) -> CanonE
             conjuncts.dedup();
             if conjuncts.is_empty() {
                 // σ_true(e) = e.
-                return canon_rec(&base, memo);
+                return canon_rec(&base);
             }
             let fused = conjuncts
                 .into_iter()
                 .reduce(|a, b| a.and(b))
                 .expect("non-empty");
-            let cb = canon_rec(&base, memo);
+            let cb = canon_rec(&base);
             let expr = cb.expr.select(fused.clone());
             let tables = cb.tables.to_vec();
             finish(expr, tables, |h| {
@@ -146,12 +171,12 @@ fn build_canon(e: &Expr, memo: &mut HashMap<usize, (Expr, CanonExpr)>) -> CanonE
 
         ExprKind::Project(attrs, inner) => {
             let list: Vec<(Attr, Attr)> = attrs.iter().map(|a| (a.clone(), a.clone())).collect();
-            canon_projection(list, inner, memo)
+            canon_projection(list, inner)
         }
-        ExprKind::ProjectAs(list, inner) => canon_projection(list.clone(), inner, memo),
+        ExprKind::ProjectAs(list, inner) => canon_projection(list.clone(), inner),
 
         ExprKind::Rename(map, inner) => {
-            let c = canon_rec(inner, memo);
+            let c = canon_rec(inner);
             let map: Vec<(Attr, Attr)> = map.iter().filter(|(s, d)| s != d).cloned().collect();
             if map.is_empty() {
                 return c;
@@ -172,7 +197,7 @@ fn build_canon(e: &Expr, memo: &mut HashMap<usize, (Expr, CanonExpr)>) -> CanonE
             // canonical hash.
             let mut operands = Vec::new();
             flatten_setop(e, is_union, &mut operands);
-            let mut canons: Vec<CanonExpr> = operands.iter().map(|o| canon_rec(o, memo)).collect();
+            let mut canons: Vec<CanonExpr> = operands.iter().map(canon_rec).collect();
             let first = canons.remove(0);
             canons.sort_by_key(|c| c.hash);
             // Both operators are idempotent (e ∪ e = e ∩ e = e): duplicate
@@ -202,14 +227,14 @@ fn build_canon(e: &Expr, memo: &mut HashMap<usize, (Expr, CanonExpr)>) -> CanonE
             })
         }
 
-        ExprKind::Difference(a, b) => binary_canon(e, a, b, 6, memo),
-        ExprKind::Product(a, b) => binary_canon(e, a, b, 7, memo),
-        ExprKind::NaturalJoin(a, b) => binary_canon(e, a, b, 8, memo),
-        ExprKind::Divide(a, b) => binary_canon(e, a, b, 9, memo),
-        ExprKind::OuterPadJoin(a, b) => binary_canon(e, a, b, 10, memo),
+        ExprKind::Difference(a, b) => binary_canon(e, a, b, 6),
+        ExprKind::Product(a, b) => binary_canon(e, a, b, 7),
+        ExprKind::NaturalJoin(a, b) => binary_canon(e, a, b, 8),
+        ExprKind::Divide(a, b) => binary_canon(e, a, b, 9),
+        ExprKind::OuterPadJoin(a, b) => binary_canon(e, a, b, 10),
         ExprKind::ThetaJoin(p, a, b) => {
-            let ca = canon_rec(a, memo);
-            let cb = canon_rec(b, memo);
+            let ca = canon_rec(a);
+            let cb = canon_rec(b);
             // Sort the predicate's conjuncts (conjunction commutes).
             let mut conjuncts = p.conjuncts();
             conjuncts.retain(|x| *x != Pred::True);
@@ -234,12 +259,8 @@ fn build_canon(e: &Expr, memo: &mut HashMap<usize, (Expr, CanonExpr)>) -> CanonE
 
 /// Canonicalize a (generalized) projection, composing through an inner
 /// canonical projection when every source is produced by it.
-fn canon_projection(
-    list: Vec<(Attr, Attr)>,
-    inner: &Expr,
-    memo: &mut HashMap<usize, (Expr, CanonExpr)>,
-) -> CanonExpr {
-    let c = canon_rec(inner, memo);
+fn canon_projection(list: Vec<(Attr, Attr)>, inner: &Expr) -> CanonExpr {
+    let c = canon_rec(inner);
     let (list, base) = match c.expr.kind() {
         ExprKind::ProjectAs(inner_list, inner_base) => {
             let composed: Option<Vec<(Attr, Attr)>> = list
@@ -258,7 +279,7 @@ fn canon_projection(
         }
         _ => (list, c.expr.clone()),
     };
-    let cb = canon_rec(&base, memo);
+    let cb = canon_rec(&base);
     // Canonical representation: always `ProjectAs` (a plain `Project` is
     // the all-identity special case).
     let expr = cb.expr.project_as(list.clone());
@@ -270,15 +291,9 @@ fn canon_projection(
     })
 }
 
-fn binary_canon(
-    e: &Expr,
-    a: &Expr,
-    b: &Expr,
-    tag: u8,
-    memo: &mut HashMap<usize, (Expr, CanonExpr)>,
-) -> CanonExpr {
-    let ca = canon_rec(a, memo);
-    let cb = canon_rec(b, memo);
+fn binary_canon(e: &Expr, a: &Expr, b: &Expr, tag: u8) -> CanonExpr {
+    let ca = canon_rec(a);
+    let cb = canon_rec(b);
     let expr = match e.kind() {
         ExprKind::Difference(_, _) => ca.expr.difference(&cb.expr),
         ExprKind::Product(_, _) => ca.expr.product(&cb.expr),

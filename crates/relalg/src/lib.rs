@@ -23,12 +23,14 @@ mod csv;
 mod error;
 mod eval;
 mod expr;
+pub mod opt;
 pub mod plan_cache;
 pub mod pool;
 mod pred;
 mod relation;
 mod schema;
 mod simplify;
+mod stats;
 mod tuple;
 mod value;
 
@@ -37,9 +39,10 @@ pub use error::{RelalgError, Result};
 pub use eval::{Catalog, EvalCache, EvalStats};
 pub use expr::{Expr, ExprKind};
 pub use pred::{CmpOp, Operand, Pred};
-pub use relation::{Relation, RelationBuilder};
+pub use relation::{columnar_enabled, set_columnar_enabled, Relation, RelationBuilder};
 pub use schema::{Attr, Schema};
 pub use simplify::simplify;
+pub use stats::{ColStats, RelStats};
 pub use tuple::{Tuple, INLINE_TUPLE_CAP};
 pub use value::{Sym, Value};
 

@@ -9,10 +9,19 @@
 //!
 //! **Soundness is content-addressed, not invalidation-addressed**: a hit is
 //! returned only after verifying that every base table the cached plan read
-//! is equal (pointer-equal, or else value-equal) to the table currently
-//! registered under that name. Stale entries therefore can never serve
-//! wrong data; explicit invalidation ([`clear`], called by I-SQL DML) only
-//! bounds memory and keeps dead entries from occupying the cache.
+//! is still the table currently registered under that name. Verification is
+//! **O(1) on the hot path**: pointer equality, then the relation's
+//! [`crate::Relation::epoch`] tag (equal tags imply equal content — clones
+//! share their constructor's tag), with the full content comparison kept
+//! only as a fallback for content-equal tables built independently (rebuilt
+//! catalogs). Stale entries therefore can never serve wrong data; explicit
+//! invalidation ([`clear`], or the targeted [`invalidate_tables`] used by
+//! I-SQL DML) only bounds memory and keeps dead entries from occupying the
+//! cache.
+//!
+//! The cache is **sharded 16 ways** by canonical-plan hash (the same scheme
+//! as the interner sharding), so per-world fan-outs on the execution pool
+//! do not serialize on a single mutex when the rewrite path is on.
 //!
 //! The cache — like the whole rewrite path — can be switched off with the
 //! `WSDB_NO_REWRITE` environment variable (any non-empty value) for A/B
@@ -39,12 +48,20 @@ struct Inner {
     entries: usize,
 }
 
-/// Maximum number of cached plans; exceeding it clears the cache (simple
-/// and predictable — a workload that overflows this is not re-evaluating
-/// the same plans anyway).
-const CAP: usize = 1024;
+/// Number of independent cache shards, selected by canonical-plan hash.
+const SHARDS: usize = 16;
 
-static CACHE: Mutex<Option<Inner>> = Mutex::new(None);
+/// Maximum number of cached plans per shard; exceeding it clears the shard
+/// (simple and predictable — a workload that overflows this is not
+/// re-evaluating the same plans anyway).
+const SHARD_CAP: usize = 1024 / SHARDS;
+
+static CACHE: [Mutex<Option<Inner>>; SHARDS] = [const { Mutex::new(None) }; SHARDS];
+
+fn shard(hash: u64) -> &'static Mutex<Option<Inner>> {
+    &CACHE[(hash as usize) % SHARDS]
+}
+
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
@@ -81,12 +98,37 @@ pub fn set_enabled(on: Option<bool>) {
     );
 }
 
-/// Drop every cached plan (DML invalidation; also bounds stats drift in
-/// tests). Content verification makes this a memory measure, not a
-/// correctness measure.
+/// Drop every cached plan (also bounds stats drift in tests). Content
+/// verification makes this a memory measure, not a correctness measure.
 pub fn clear() {
-    let mut guard = CACHE.lock().unwrap_or_else(|p| p.into_inner());
-    *guard = None;
+    for shard in &CACHE {
+        let mut guard = shard.lock().unwrap_or_else(|p| p.into_inner());
+        *guard = None;
+    }
+}
+
+/// Drop the cached plans that read any of the named tables — the targeted
+/// DML invalidation: a `Session::insert` into one relation evicts only the
+/// plans over that relation, and every unrelated cached plan survives.
+/// Like [`clear`], this is memory hygiene: soundness always rests on the
+/// per-hit input verification (epoch tag, then content).
+pub fn invalidate_tables(names: &[&str]) {
+    for shard in &CACHE {
+        let mut guard = shard.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(inner) = guard.as_mut() else {
+            continue;
+        };
+        let mut removed = 0usize;
+        inner.map.retain(|_, bucket| {
+            bucket.retain(|e| {
+                let dead = e.inputs.iter().any(|(n, _)| names.contains(&n.as_str()));
+                removed += usize::from(dead);
+                !dead
+            });
+            !bucket.is_empty()
+        });
+        inner.entries -= removed;
+    }
 }
 
 /// `(hits, misses)` since process start (or the last [`reset_stats`]).
@@ -118,7 +160,7 @@ fn resolve_inputs(canon: &CanonExpr, catalog: &Catalog) -> Option<Vec<(String, A
 /// Look up a cached result for `canon` evaluated against `catalog`.
 pub(crate) fn lookup(canon: &CanonExpr, catalog: &Catalog) -> Option<Arc<Relation>> {
     let inputs = resolve_inputs(canon, catalog)?;
-    let guard = CACHE.lock().unwrap_or_else(|p| p.into_inner());
+    let guard = shard(canon.hash).lock().unwrap_or_else(|p| p.into_inner());
     let inner = guard.as_ref()?;
     let bucket = inner.map.get(&canon.hash)?;
     for entry in bucket {
@@ -136,9 +178,9 @@ pub(crate) fn insert(canon: &CanonExpr, catalog: &Catalog, result: &Arc<Relation
     let Some(inputs) = resolve_inputs(canon, catalog) else {
         return;
     };
-    let mut guard = CACHE.lock().unwrap_or_else(|p| p.into_inner());
+    let mut guard = shard(canon.hash).lock().unwrap_or_else(|p| p.into_inner());
     let inner = guard.get_or_insert_with(Inner::default);
-    if inner.entries >= CAP {
+    if inner.entries >= SHARD_CAP {
         inner.map.clear();
         inner.entries = 0;
     }
@@ -158,14 +200,15 @@ pub(crate) fn insert(canon: &CanonExpr, catalog: &Catalog, result: &Arc<Relation
 }
 
 /// Whether the cached inputs are the same relations the catalog holds now:
-/// pointer equality first (same allocation), full value comparison as the
-/// fallback (rebuilt catalogs with equal contents still hit).
+/// pointer equality, then the O(1) epoch tag (equal tags ⇒ equal content),
+/// with the full value comparison only as the fallback for content-equal
+/// tables built independently (rebuilt catalogs still hit).
 fn inputs_match(cached: &[(String, Arc<Relation>)], current: &[(String, Arc<Relation>)]) -> bool {
     cached.len() == current.len()
         && cached
             .iter()
             .zip(current)
-            .all(|((cn, cr), (xn, xr))| cn == xn && (Arc::ptr_eq(cr, xr) || cr == xr))
+            .all(|((cn, cr), (xn, xr))| cn == xn && (Arc::ptr_eq(cr, xr) || cr.fast_eq(xr)))
 }
 
 /// Serializes tests (across this crate's modules) that toggle the process
@@ -221,6 +264,59 @@ mod tests {
         let r2 = c2.eval(&e).unwrap();
         assert!(!Arc::ptr_eq(&r1, &r2));
         assert_eq!(r1, r2);
+        set_enabled(None);
+        clear();
+    }
+
+    #[test]
+    fn epoch_tag_fast_path_hits_for_clones() {
+        let _g = test_lock();
+        clear();
+        set_enabled(Some(true));
+        let e = Expr::table("R").select(Pred::eq_const("A", 1));
+        let c1 = catalog(&[&[1, 2], &[3, 4]]);
+        let r1 = c1.eval(&e).unwrap();
+        // A catalog holding a *clone* of the same relation (fresh Arc, same
+        // epoch): the hit verifies on the tag, not the tuple data.
+        let mut c2 = Catalog::new();
+        c2.put("R", c1.get("R").unwrap().clone());
+        assert!(!Arc::ptr_eq(
+            c1.get_shared("R").unwrap(),
+            c2.get_shared("R").unwrap()
+        ));
+        assert_eq!(
+            c1.get("R").unwrap().epoch(),
+            c2.get("R").unwrap().epoch(),
+            "clones share the construction epoch"
+        );
+        let r2 = c2.eval(&e).unwrap();
+        assert!(Arc::ptr_eq(&r1, &r2), "clone catalog must hit");
+        set_enabled(None);
+        clear();
+    }
+
+    #[test]
+    fn invalidate_tables_is_targeted() {
+        let _g = test_lock();
+        clear();
+        set_enabled(Some(true));
+        let mut c = Catalog::new();
+        c.put("R", Relation::table(&["A", "B"], &[&[1i64, 2]]));
+        c.put("S", Relation::table(&["C", "D"], &[&[5i64, 6]]));
+        let er = Expr::table("R").select(Pred::eq_const("A", 1));
+        let es = Expr::table("S").select(Pred::eq_const("C", 5));
+        let r1 = c.eval(&er).unwrap();
+        let s1 = c.eval(&es).unwrap();
+        reset_stats();
+        invalidate_tables(&["R"]);
+        // The S-plan survives (hit); the R-plan was evicted (miss).
+        let s2 = c.eval(&es).unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2));
+        let r2 = c.eval(&er).unwrap();
+        assert!(!Arc::ptr_eq(&r1, &r2));
+        assert_eq!(*r1, *r2);
+        let (hits, misses) = stats();
+        assert!(hits >= 1, "S plan should hit: {hits}/{misses}");
         set_enabled(None);
         clear();
     }

@@ -1,7 +1,10 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
+use crate::stats::RelStats;
 use crate::{Attr, CmpOp, Operand, Pred, RelalgError, Result, Schema, Tuple, Value};
 
 /// A fast non-cryptographic hasher (the FxHash construction) for the
@@ -62,6 +65,45 @@ pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
 pub(crate) type FxHashMap<K, V> = HashMap<K, V, FxBuild>;
 pub(crate) type FxHashSet<K> = HashSet<K, FxBuild>;
 
+/// Minimum rows before the columnar wide-scan path pays for itself (below
+/// this the row loop wins on setup cost).
+const COLUMNAR_MIN_ROWS: usize = 64;
+
+/// Runtime enable state of the columnar projection path: 0 = resolve from
+/// the environment, 1 = forced on, 2 = forced off.
+static COLUMNAR: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether wide projections take the columnar path. `WSDB_NO_COLUMNAR`
+/// (non-empty) turns it off; [`set_columnar_enabled`] overrides at runtime
+/// (benchmarks and the oracle suite A/B the two paths). The environment is
+/// read once — this sits on the projection hot path, and `env::var` takes
+/// a process-wide lock.
+pub fn columnar_enabled() -> bool {
+    static ENV_DISABLED: OnceLock<bool> = OnceLock::new();
+    match COLUMNAR.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => !*ENV_DISABLED.get_or_init(|| {
+            std::env::var("WSDB_NO_COLUMNAR")
+                .map(|v| !v.trim().is_empty())
+                .unwrap_or(false)
+        }),
+    }
+}
+
+/// Force the columnar projection path on/off for this process; `None`
+/// restores the environment-derived default.
+pub fn set_columnar_enabled(on: Option<bool>) {
+    COLUMNAR.store(
+        match on {
+            Some(true) => 1,
+            Some(false) => 2,
+            None => 0,
+        },
+        Ordering::SeqCst,
+    );
+}
+
 /// A set-semantics relation: a schema plus a **sorted, deduplicated vector**
 /// of tuples.
 ///
@@ -76,10 +118,85 @@ pub(crate) type FxHashSet<K> = HashSet<K, FxBuild>;
 /// All construction goes through [`RelationBuilder`] or one of the
 /// sorted-preserving fast paths; `tuples` is never mutated in a way that
 /// could break the invariant.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// # Versioning and statistics
+///
+/// Every relation carries a process-monotonic **epoch tag**, stamped by the
+/// constructing operation. Clones share the tag (a clone is the same
+/// content); the `&mut` entry points ([`Relation::insert`],
+/// [`Relation::remove`]) stamp a fresh one. Equal tags therefore imply
+/// equal content, which lets the plan/result caches verify hits in O(1)
+/// ([`Relation::fast_eq`]) with content comparison kept only as a fallback
+/// for content-equal relations built independently (rebuilt catalogs).
+///
+/// A relation also lazily computes and memoizes per-column statistics
+/// ([`Relation::stats`]: row count, per-column distinct count, min/max) —
+/// the cost model's cardinality inputs. Neither the tag nor the statistics
+/// participate in equality, ordering, or hashing: those remain purely
+/// structural (schema + tuples).
 pub struct Relation {
     schema: Schema,
     tuples: Vec<Tuple>,
+    /// Process-monotonic construction tag; equal tags ⇒ equal content.
+    epoch: u64,
+    /// Lazily computed statistics; never stale because the content under a
+    /// given epoch is immutable.
+    stats: OnceLock<Arc<RelStats>>,
+}
+
+/// Epoch source: every constructing operation takes the next value, so no
+/// two independently built relations ever share a tag.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn next_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Clone for Relation {
+    #[inline]
+    fn clone(&self) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            tuples: self.tuples.clone(),
+            // A clone is the same content: it keeps the epoch (O(1) cache
+            // verification treats it as identical) and any computed stats.
+            epoch: self.epoch,
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+impl PartialEq for Relation {
+    #[inline]
+    fn eq(&self, other: &Relation) -> bool {
+        self.schema == other.schema && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
+
+impl PartialOrd for Relation {
+    #[inline]
+    fn partial_cmp(&self, other: &Relation) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Relation {
+    #[inline]
+    fn cmp(&self, other: &Relation) -> std::cmp::Ordering {
+        self.schema
+            .cmp(&other.schema)
+            .then_with(|| self.tuples.cmp(&other.tuples))
+    }
+}
+
+impl std::hash::Hash for Relation {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.schema.hash(state);
+        self.tuples.hash(state);
+    }
 }
 
 /// An append-only builder for [`Relation`]: push tuples in any order (and
@@ -150,17 +267,25 @@ impl RelationBuilder {
     pub fn finish(self) -> Relation {
         let RelationBuilder { schema, tuples } = self;
         let tuples = crate::pool::par_sort_dedup(tuples);
-        Relation { schema, tuples }
+        Relation::sealed(schema, tuples)
     }
 }
 
 impl Relation {
-    /// An empty relation over the given schema.
-    pub fn empty(schema: Schema) -> Relation {
+    /// The one place a `Relation` comes into existence: seals the sorted
+    /// tuple vector and stamps a fresh epoch tag.
+    fn sealed(schema: Schema, tuples: Vec<Tuple>) -> Relation {
         Relation {
             schema,
-            tuples: Vec::new(),
+            tuples,
+            epoch: next_epoch(),
+            stats: OnceLock::new(),
         }
+    }
+
+    /// An empty relation over the given schema.
+    pub fn empty(schema: Schema) -> Relation {
+        Relation::sealed(schema, Vec::new())
     }
 
     /// Internal constructor for tuple vectors that are already strictly
@@ -171,7 +296,7 @@ impl Relation {
             tuples.windows(2).all(|w| w[0] < w[1]),
             "from_sorted_vec requires strictly sorted tuples"
         );
-        Relation { schema, tuples }
+        Relation::sealed(schema, tuples)
     }
 
     /// Build a relation from rows, validating arity.
@@ -201,10 +326,7 @@ impl Relation {
     /// This is the initial world table `W` of a one-world database
     /// (Example 5.6, step 1).
     pub fn unit() -> Relation {
-        Relation {
-            schema: Schema::nullary(),
-            tuples: vec![Tuple::new()],
-        }
+        Relation::sealed(Schema::nullary(), vec![Tuple::new()])
     }
 
     /// The nullary relation with no tuples (the empty world-set encoding).
@@ -215,6 +337,29 @@ impl Relation {
     /// The relation schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// The epoch tag: a process-monotonic identifier of this relation's
+    /// construction. Equal tags imply equal content (clones share the tag;
+    /// every constructing or mutating operation stamps a fresh one), so
+    /// caches verify "is this still the same relation?" in O(1).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// O(1)-first content equality: epoch-tag comparison, with the full
+    /// structural comparison as the fallback for content-equal relations
+    /// built independently (e.g. a rebuilt catalog).
+    pub fn fast_eq(&self, other: &Relation) -> bool {
+        self.epoch == other.epoch || self == other
+    }
+
+    /// Per-column statistics (row count, distinct count, min/max), computed
+    /// lazily on first call and memoized for the relation's lifetime.
+    /// Clones share already-computed statistics.
+    pub fn stats(&self) -> &RelStats {
+        self.stats
+            .get_or_init(|| Arc::new(RelStats::compute(&self.schema, &self.tuples)))
     }
 
     /// Number of tuples.
@@ -255,8 +400,16 @@ impl Relation {
         }
         if let Err(pos) = self.tuples.binary_search(&t) {
             self.tuples.insert(pos, t);
+            self.content_changed();
         }
         Ok(())
+    }
+
+    /// In-place mutation: the content under the old epoch no longer exists,
+    /// so stamp a fresh tag and drop any memoized statistics.
+    fn content_changed(&mut self) {
+        self.epoch = next_epoch();
+        self.stats = OnceLock::new();
     }
 
     /// Insert a batch of rows in one pass: the batch is sorted and deduped
@@ -284,6 +437,7 @@ impl Relation {
         {
             Ok(pos) => {
                 self.tuples.remove(pos);
+                self.content_changed();
                 true
             }
             Err(_) => false,
@@ -328,13 +482,85 @@ impl Relation {
         // A prefix projection (keeping the leading columns in order) cannot
         // disturb the sort order and cannot be re-deduplicated into a
         // *different* order, but it can merge tuples — only the identity
-        // column selection is guaranteed dedup-free, so go through the
-        // builder in general.
+        // column selection is guaranteed dedup-free, so go through a
+        // sort+dedup pass in general. Relations wider than the inline tuple
+        // capacity take the columnar path: the touched columns are
+        // extracted into transient narrow vectors (in parallel chunks) and
+        // the sort runs over those, never walking the full heap tuples
+        // again.
+        if columnar_enabled()
+            && self.schema.arity() > crate::INLINE_TUPLE_CAP
+            && idx.len() < self.schema.arity()
+            && self.tuples.len() >= COLUMNAR_MIN_ROWS
+        {
+            return Ok(self.project_columnar(&idx, out_schema));
+        }
         let mut b = RelationBuilder::with_capacity(out_schema, self.tuples.len());
         for t in &self.tuples {
             b.push(idx.iter().map(|&i| t[i]).collect());
         }
         Ok(b.finish())
+    }
+
+    /// The columnar wide-scan path of [`Relation::project_as`]: one chunked
+    /// pass over the (heap-spilled) source tuples extracts only the touched
+    /// columns — a single transient column vector of [`Value`]s for
+    /// single-column scans, narrow inline tuples otherwise — and the
+    /// canonical sort+dedup then operates on the narrow data. Chunk
+    /// extraction fans out over the pool ([`crate::pool::par_map`]) and the
+    /// output is byte-identical to the row path at any thread count
+    /// (`par_sort_dedup` is canonical).
+    fn project_columnar(&self, idx: &[usize], out_schema: Schema) -> Relation {
+        let parallel = crate::pool::parallelize(self.tuples.len(), crate::pool::PAR_MIN_TUPLES);
+        let chunk_len = self
+            .tuples
+            .len()
+            .div_ceil(crate::pool::num_threads() * 4)
+            .max(1);
+        if let [col] = idx {
+            // Single column: a true column vector — sort/dedup runs over
+            // plain `Value`s (16 bytes each), not tuples.
+            let col = *col;
+            let values: Vec<Value> = if parallel {
+                let chunks: Vec<&[Tuple]> = self.tuples.chunks(chunk_len).collect();
+                crate::pool::par_map(&chunks, |chunk| {
+                    chunk.iter().map(|t| t[col]).collect::<Vec<Value>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
+                self.tuples.iter().map(|t| t[col]).collect()
+            };
+            let values = crate::pool::par_sort_dedup(values);
+            let tuples: Vec<Tuple> = values
+                .into_iter()
+                .map(|v| [v].into_iter().collect())
+                .collect();
+            return Relation::from_sorted_vec(out_schema, tuples);
+        }
+        // Multiple columns: the narrow tuples themselves are the transient
+        // column data. Chunk the extraction only when the pool will
+        // actually fan it out — the chunked concat is pure overhead on one
+        // worker.
+        let narrow: Vec<Tuple> = if parallel {
+            let chunks: Vec<&[Tuple]> = self.tuples.chunks(chunk_len).collect();
+            crate::pool::par_map(&chunks, |chunk| {
+                chunk
+                    .iter()
+                    .map(|t| idx.iter().map(|&i| t[i]).collect::<Tuple>())
+                    .collect::<Vec<Tuple>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            self.tuples
+                .iter()
+                .map(|t| idx.iter().map(|&i| t[i]).collect())
+                .collect()
+        };
+        Relation::from_sorted_vec(out_schema, crate::pool::par_sort_dedup(narrow))
     }
 
     /// Selection `σ_φ`. Filtering preserves sortedness, so the output is
@@ -380,10 +606,7 @@ impl Relation {
                     .cloned()
                     .unwrap_or_else(|| Attr::new("?")),
             })?;
-        Ok(Relation {
-            schema,
-            tuples: self.tuples.clone(),
-        })
+        Ok(Relation::sealed(schema, self.tuples.clone()))
     }
 
     /// Cartesian product `×` over disjoint schemas. The left-major nested

@@ -1,0 +1,276 @@
+//! Oracle suite for the versioned, statistics-carrying storage layer:
+//!
+//! * the **columnar projection path** (wide relations extract only the
+//!   touched columns) is pinned against the row path and a
+//!   `BTreeSet<Vec<Value>>` oracle, at 1 and 4 pool threads;
+//! * **per-column statistics** are pinned against per-column set oracles;
+//! * the **epoch tag** semantics (clones share, constructors stamp fresh,
+//!   in-place mutation bumps) and the O(1) cache verification built on it
+//!   are exercised with the rewrite path on and off.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use relalg::{
+    attr, attrs, plan_cache, pool, set_columnar_enabled, Catalog, Expr, Pred, Relation, Schema,
+    Tuple, Value,
+};
+
+/// Serializes tests that flip process-wide toggles (worker count, columnar
+/// path, rewrite enable).
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn at_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    pool::set_threads(n);
+    let out = f();
+    pool::set_threads(0);
+    out
+}
+
+/// A deterministic wide relation: `width` columns, per-column domains of
+/// different sizes so distinct counts differ per column.
+fn wide_rel(seed: i64, rows: usize, width: usize) -> Relation {
+    let names: Vec<String> = (0..width).map(|c| format!("C{c}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    Relation::from_rows(
+        Schema::of(&name_refs),
+        (0..rows as i64).map(|i| {
+            (0..width as i64)
+                .map(|c| Value::Int((i * (seed + c * 7) + c) % (3 + c * 5)))
+                .collect::<Tuple>()
+        }),
+    )
+    .unwrap()
+}
+
+/// The projection oracle: a raw row walk into a sorted set.
+fn o_project(rel: &Relation, cols: &[&str]) -> BTreeSet<Vec<Value>> {
+    let idx: Vec<usize> = cols
+        .iter()
+        .map(|c| rel.schema().index_of(&attr(c)).unwrap())
+        .collect();
+    rel.iter()
+        .map(|t| idx.iter().map(|&i| t[i]).collect())
+        .collect()
+}
+
+fn assert_is(rel: &Relation, oracle: &BTreeSet<Vec<Value>>, what: &str) {
+    let got: Vec<Vec<Value>> = rel.iter().map(|t| t.to_vec()).collect();
+    let want: Vec<Vec<Value>> = oracle.iter().cloned().collect();
+    assert_eq!(got, want, "{what}: content or order diverged from oracle");
+    assert!(
+        rel.tuples().windows(2).all(|w| w[0] < w[1]),
+        "{what}: not strictly sorted"
+    );
+}
+
+#[test]
+fn columnar_projection_matches_row_path_and_oracle() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let inputs = [
+        datagen::lineitem_q6(7, 600, 3), // 5 columns, string + int
+        datagen::lineitem_q6(23, 64, 2), // exactly at the row threshold
+        wide_rel(11, 900, 8),            // 8 columns, skewed domains
+        wide_rel(3, 120, 6),             // small, heavy duplication
+    ];
+    let col_sets: [&[&str]; 3] = [&["C1"], &["C4", "C1"], &["C2", "C0", "C5"]];
+    for rel in &inputs {
+        let names: Vec<&str> = if rel.schema().contains(&attr("Product")) {
+            vec!["Year", "Product"]
+        } else {
+            vec![]
+        };
+        let projections: Vec<Vec<&str>> = if names.is_empty() {
+            col_sets.iter().map(|s| s.to_vec()).collect()
+        } else {
+            vec![vec!["Quantity"], names]
+        };
+        for cols in projections {
+            let a: Vec<relalg::Attr> = attrs(&cols);
+            let oracle = o_project(rel, &cols);
+            for threads in [1usize, 4] {
+                let (row, col) = at_threads(threads, || {
+                    set_columnar_enabled(Some(false));
+                    let row = rel.project(&a).unwrap();
+                    set_columnar_enabled(Some(true));
+                    let col = rel.project(&a).unwrap();
+                    set_columnar_enabled(None);
+                    (row, col)
+                });
+                assert_eq!(
+                    row, col,
+                    "row vs columnar diverged ({cols:?}, {threads} threads)"
+                );
+                assert_is(&col, &oracle, &format!("{cols:?} @ {threads} threads"));
+            }
+        }
+    }
+}
+
+#[test]
+fn distinct_values_take_the_columnar_path() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let rel = wide_rel(5, 500, 7);
+    let oracle = o_project(&rel, &["C3"]);
+    for threads in [1usize, 4] {
+        let vals = at_threads(threads, || {
+            set_columnar_enabled(Some(true));
+            let v = rel.distinct_values(&attrs(&["C3"])).unwrap();
+            set_columnar_enabled(None);
+            v
+        });
+        let got: Vec<Vec<Value>> = vals.iter().map(|t| t.to_vec()).collect();
+        let want: Vec<Vec<Value>> = oracle.iter().cloned().collect();
+        assert_eq!(got, want, "distinct_values @ {threads} threads");
+    }
+}
+
+#[test]
+fn stats_match_per_column_oracles() {
+    for rel in [
+        datagen::lineitem_q6(13, 400, 4),
+        wide_rel(9, 333, 6),
+        Relation::empty(Schema::of(&["A", "B"])),
+    ] {
+        let stats = rel.stats();
+        assert_eq!(stats.rows, rel.len() as u64);
+        assert_eq!(stats.cols.len(), rel.schema().arity());
+        for (i, col) in stats.cols.iter().enumerate() {
+            let oracle: BTreeSet<Value> = rel.iter().map(|t| t[i]).collect();
+            assert_eq!(col.distinct, oracle.len() as u64, "col {i} distinct");
+            assert_eq!(col.min, oracle.iter().next().copied(), "col {i} min");
+            assert_eq!(col.max, oracle.iter().next_back().copied(), "col {i} max");
+        }
+    }
+}
+
+#[test]
+fn epoch_tags_identify_content() {
+    let r = wide_rel(2, 100, 5);
+    // A clone is the same content: same tag, fast_eq without content walk.
+    let c = r.clone();
+    assert_eq!(r.epoch(), c.epoch());
+    assert!(r.fast_eq(&c));
+    // An independently built, content-equal relation: different tag, but
+    // fast_eq still true through the content fallback.
+    let rebuilt = wide_rel(2, 100, 5);
+    assert_ne!(r.epoch(), rebuilt.epoch());
+    assert_eq!(r, rebuilt);
+    assert!(r.fast_eq(&rebuilt));
+    // Every constructing operation stamps a fresh tag.
+    let proj = r.project(&attrs(&["C1"])).unwrap();
+    assert_ne!(proj.epoch(), r.epoch());
+    let merged = r.merge_rows(vec![vec![Value::Int(-1); 5]]).unwrap();
+    assert_ne!(merged.epoch(), r.epoch());
+    // In-place mutation bumps the tag (the old content is gone)…
+    let mut m = r.clone();
+    m.insert(vec![Value::Int(-7); 5]).unwrap();
+    assert_ne!(m.epoch(), r.epoch());
+    assert!(!m.fast_eq(&r));
+    // …but a no-op insert (duplicate) or remove (absent) keeps it.
+    let mut n = r.clone();
+    let first = n.iter().next().unwrap().to_vec();
+    n.insert(first.clone()).unwrap();
+    assert_eq!(n.epoch(), r.epoch());
+    assert!(!n.remove(&[Value::Int(12345); 5]));
+    assert_eq!(n.epoch(), r.epoch());
+}
+
+/// End-to-end cache verification: catalogs holding clones (same epoch) hit
+/// O(1); rebuilt catalogs (fresh epochs, equal content) hit through the
+/// content fallback; changed content never hits — at 1 and 4 threads, with
+/// the rewrite path pinned on, and no sharing at all with it off.
+#[test]
+fn epoch_cache_verification_across_catalogs() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = || {
+        Expr::table("L")
+            .select(Pred::eq_const("C0", 1))
+            .project(attrs(&["C2", "C1"]))
+    };
+    for threads in [1usize, 4] {
+        at_threads(threads, || {
+            plan_cache::set_enabled(Some(true));
+            plan_cache::clear();
+            let base = wide_rel(4, 300, 5);
+            let mut c1 = Catalog::new();
+            c1.put("L", base.clone());
+            let r1 = c1.eval(&plan()).unwrap();
+            // Clone catalog: epoch tags match, O(1) verified hit.
+            let mut c2 = Catalog::new();
+            c2.put("L", base.clone());
+            let r2 = c2.eval(&plan()).unwrap();
+            assert!(
+                std::sync::Arc::ptr_eq(&r1, &r2),
+                "clone catalog must hit ({threads} threads)"
+            );
+            // Rebuilt catalog: tags differ, the content fallback hits.
+            let mut c3 = Catalog::new();
+            c3.put("L", wide_rel(4, 300, 5));
+            let r3 = c3.eval(&plan()).unwrap();
+            assert!(
+                std::sync::Arc::ptr_eq(&r1, &r3),
+                "rebuilt catalog must hit via content fallback"
+            );
+            // Changed content: never served from the cache.
+            let mut c4 = Catalog::new();
+            c4.put("L", wide_rel(6, 300, 5));
+            let r4 = c4.eval(&plan()).unwrap();
+            assert!(!std::sync::Arc::ptr_eq(&r1, &r4));
+            // Rewrite off: no cross-catalog sharing of any kind.
+            plan_cache::set_enabled(Some(false));
+            let mut c5 = Catalog::new();
+            c5.put("L", base.clone());
+            let r5 = c5.eval(&plan()).unwrap();
+            assert!(!std::sync::Arc::ptr_eq(&r1, &r5));
+            assert_eq!(*r1, *r5);
+            plan_cache::set_enabled(None);
+            plan_cache::clear();
+        });
+    }
+}
+
+// ---- proptest: random wide inputs through both projection paths ----
+
+type WideRow = ((i64, i64), (i64, i64), (i64, i64));
+
+fn wide_rows() -> impl Strategy<Value = Vec<WideRow>> {
+    // Above the columnar row threshold, tiny domains for heavy dedup.
+    proptest::collection::vec(
+        ((0i64..4, 0i64..3), (0i64..4, 0i64..2), (0i64..5, 0i64..3)),
+        64..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn projection_paths_agree_on_random_wide_inputs(rows in wide_rows(), pick in 0usize..4) {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let rel = Relation::from_rows(
+            Schema::of(&["A", "B", "C", "D", "E", "F"]),
+            rows.iter().map(|&((a, b), (c, d), (e, f))| {
+                [a, b, c, d, e, f].into_iter().map(Value::Int).collect::<Tuple>()
+            }),
+        ).unwrap();
+        let cols: Vec<&str> = match pick {
+            0 => vec!["D"],
+            1 => vec!["F", "B"],
+            2 => vec!["E", "A", "C"],
+            _ => vec!["B", "A", "F", "D", "C"],
+        };
+        let a = attrs(&cols);
+        let oracle = o_project(&rel, &cols);
+        set_columnar_enabled(Some(false));
+        let row = rel.project(&a).unwrap();
+        set_columnar_enabled(Some(true));
+        let col = rel.project(&a).unwrap();
+        set_columnar_enabled(None);
+        prop_assert_eq!(&row, &col);
+        let got: Vec<Vec<Value>> = col.iter().map(|t| t.to_vec()).collect();
+        let want: Vec<Vec<Value>> = oracle.iter().cloned().collect();
+        prop_assert_eq!(got, want);
+    }
+}

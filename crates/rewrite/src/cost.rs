@@ -44,13 +44,15 @@ pub fn cost(q: &Query) -> u64 {
 }
 
 /// Context-aware cost: the operator-weight model when the context has no
-/// cardinalities (bit-for-bit the behavior [`cost`] always had — the
+/// cardinality source (bit-for-bit the behavior [`cost`] always had — the
 /// Figure-8/9 derivations and their tests are unchanged), the
-/// cardinality-estimated model when it does.
+/// cardinality-estimated model when it has row counts or full measured
+/// statistics ([`RewriteCtx::with_cards`] / [`RewriteCtx::with_stats`]).
 pub fn cost_ctx(q: &Query, ctx: &RewriteCtx) -> u64 {
-    match ctx.card {
-        None => cost(q),
-        Some(_) => estimate(q, ctx).cost,
+    if ctx.has_cards() {
+        estimate(q, ctx).cost
+    } else {
+        cost(q)
     }
 }
 
@@ -76,14 +78,11 @@ fn sat(a: u64, b: u64) -> u64 {
     a.saturating_add(b)
 }
 
-/// Estimate `q` bottom-up from the context's base-table cardinalities.
+/// Estimate `q` bottom-up from the context's base-table cardinalities
+/// (measured statistics when present, caller-supplied row counts
+/// otherwise).
 pub fn estimate(q: &Query, ctx: &RewriteCtx) -> Estimate {
-    let card = |name: &str| -> u64 {
-        ctx.card
-            .and_then(|f| f(name))
-            .unwrap_or(DEFAULT_CARD)
-            .max(1)
-    };
+    let card = |name: &str| -> u64 { ctx.rows_of(name).unwrap_or(DEFAULT_CARD).max(1) };
     match q {
         Query::Rel(name) => {
             let rows = card(name);
@@ -108,6 +107,11 @@ pub fn estimate(q: &Query, ctx: &RewriteCtx) -> Estimate {
                 let conjuncts = p.conjuncts();
                 let (aa, bb) = (ctx.attrs_of(a), ctx.attrs_of(b));
                 let mut has_cross = false;
+                // With measured statistics, an equi-join's output is
+                // estimated as |A|·|B| / max(d(x), d(y)) over the join
+                // columns' distinct counts; the divisor accumulates across
+                // cross conjuncts.
+                let mut join_divisor: u64 = 1;
                 let mut residual: u64 = 0;
                 for c in &conjuncts {
                     let attrs = c.attrs();
@@ -120,17 +124,39 @@ pub fn estimate(q: &Query, ctx: &RewriteCtx) -> Estimate {
                     };
                     if is_cross {
                         has_cross = true;
+                        let d = attrs
+                            .iter()
+                            .filter_map(|x| {
+                                ctx.distinct_of_attr(a, x)
+                                    .or_else(|| ctx.distinct_of_attr(b, x))
+                            })
+                            .max()
+                            .unwrap_or(0);
+                        join_divisor = join_divisor.saturating_mul(d.max(1));
                     } else {
                         residual += 1;
                     }
                 }
+                let cross_rows = ia.rows.saturating_mul(ib.rows);
                 let paired = if has_cross {
-                    ia.rows.max(ib.rows)
+                    if join_divisor > 1 {
+                        (cross_rows / join_divisor).max(1)
+                    } else {
+                        ia.rows.max(ib.rows)
+                    }
                 } else {
-                    ia.rows.saturating_mul(ib.rows)
+                    cross_rows
                 };
                 let filter_scans = paired.saturating_mul(residual.min(4));
-                let rows = (paired >> conjuncts.len().min(8) as u32).max(1);
+                // `paired` already accounts for the equi-conjuncts when the
+                // distinct-count divisor applied; discount only the residual
+                // conjuncts then, the whole conjunction otherwise.
+                let shift = if join_divisor > 1 {
+                    residual.min(8) as u32
+                } else {
+                    conjuncts.len().min(8) as u32
+                };
+                let rows = (paired >> shift).max(1);
                 return Estimate {
                     rows,
                     worlds,
@@ -142,8 +168,27 @@ pub fn estimate(q: &Query, ctx: &RewriteCtx) -> Estimate {
                 };
             }
             let i = estimate(inner, ctx);
+            // With statistics, an equality against a constant keeps
+            // ~rows/distinct; everything else halves (the classic default).
+            let mut rows = i.rows;
+            for c in p.conjuncts() {
+                let d = match &c {
+                    relalg::Pred::Cmp(
+                        relalg::Operand::Attr(x),
+                        relalg::CmpOp::Eq,
+                        relalg::Operand::Const(_),
+                    )
+                    | relalg::Pred::Cmp(
+                        relalg::Operand::Const(_),
+                        relalg::CmpOp::Eq,
+                        relalg::Operand::Attr(x),
+                    ) => ctx.distinct_of_attr(inner, x).unwrap_or(2),
+                    _ => 2,
+                };
+                rows /= d.max(1);
+            }
             Estimate {
-                rows: (i.rows / 2).max(1),
+                rows: rows.max(1),
                 worlds: i.worlds,
                 cost: sat(i.cost, i.worlds.saturating_mul(i.rows)),
             }

@@ -33,4 +33,4 @@ pub mod rules;
 
 pub use cost::{cost, cost_ctx, estimate, Estimate};
 pub use engine::{optimize, optimize_capped, optimize_traced, RewriteCtx, Trace};
-pub use rules::{rule_set, Rule};
+pub use rules::{rule_set, CardFn, Rule, StatsFn, TableStats};

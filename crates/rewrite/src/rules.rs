@@ -14,17 +14,35 @@ use wsa::Query;
 /// A base-relation cardinality lookup.
 pub type CardFn<'a> = &'a dyn Fn(&str) -> Option<u64>;
 
+/// Measured statistics of one base relation, as fed to the cost model by
+/// the storage layer (`relalg::Relation::stats` — computed lazily from the
+/// actual tuples, memoized on the relation).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TableStats {
+    /// Row count.
+    pub rows: u64,
+    /// Per-attribute distinct counts (attribute, distinct values).
+    pub distinct: Vec<(Attr, u64)>,
+}
+
+/// A base-relation statistics lookup.
+pub type StatsFn<'a> = &'a dyn Fn(&str) -> Option<TableStats>;
+
 /// Context handed to rules: base-relation schemas for `Attrs(q)` queries,
-/// optionally base-relation cardinalities (enabling the cost-based rules
-/// and the cardinality cost model), and the multiplicity of the input
-/// world-set (guarding the rules that are only sound over a complete
-/// database).
+/// optionally base-relation cardinalities or full per-column statistics
+/// (enabling the cost-based rules and the cardinality cost model), and the
+/// multiplicity of the input world-set (guarding the rules that are only
+/// sound over a complete database).
 pub struct RewriteCtx<'a> {
     /// Schema lookup for base relations.
     pub base: &'a dyn Fn(&str) -> Option<Schema>,
-    /// Cardinality lookup for base relations (`None` disables the
-    /// cost-based rules and falls back to the operator-weight cost model).
+    /// Cardinality lookup for base relations (row counts only; superseded
+    /// by `stats` when both are present).
     pub card: Option<CardFn<'a>>,
+    /// Measured per-column statistics for base relations: row counts plus
+    /// per-attribute distinct counts, refining the selectivity estimates
+    /// of equality predicates and joins.
+    pub stats: Option<StatsFn<'a>>,
     /// Multiplicity of the world-set the optimized query will run on.
     /// Defaults to [`Multiplicity::One`] (a complete database — the
     /// Section-6 setting); pass [`Multiplicity::Many`] when optimizing for
@@ -39,6 +57,7 @@ impl<'a> RewriteCtx<'a> {
         RewriteCtx {
             base,
             card: None,
+            stats: None,
             multiplicity: Multiplicity::One,
         }
     }
@@ -49,10 +68,51 @@ impl<'a> RewriteCtx<'a> {
         self
     }
 
+    /// Enable the cost model on full measured statistics (row counts *and*
+    /// per-attribute distinct counts). Implies everything
+    /// [`RewriteCtx::with_cards`] enables.
+    pub fn with_stats(mut self, stats: StatsFn<'a>) -> RewriteCtx<'a> {
+        self.stats = Some(stats);
+        self
+    }
+
     /// Set the input world-set multiplicity.
     pub fn with_multiplicity(mut self, m: Multiplicity) -> RewriteCtx<'a> {
         self.multiplicity = m;
         self
+    }
+
+    /// Whether any cardinality source is available (cost-based rules fire
+    /// and the cardinality cost model ranks plans).
+    pub fn has_cards(&self) -> bool {
+        self.card.is_some() || self.stats.is_some()
+    }
+
+    /// Row count of a base relation, preferring measured statistics.
+    pub fn rows_of(&self, name: &str) -> Option<u64> {
+        if let Some(stats) = self.stats {
+            if let Some(ts) = stats(name) {
+                return Some(ts.rows);
+            }
+        }
+        self.card.and_then(|f| f(name))
+    }
+
+    /// Distinct count of `attr` within the base relations referenced by
+    /// `q` (the first base table whose statistics carry the attribute
+    /// wins; `None` without statistics).
+    pub fn distinct_of_attr(&self, q: &Query, attr: &Attr) -> Option<u64> {
+        let stats = self.stats?;
+        let mut names = Vec::new();
+        collect_rel_names(q, &mut names);
+        for name in names {
+            if let Some(ts) = stats(&name) {
+                if let Some((_, d)) = ts.distinct.iter().find(|(a, _)| a == attr) {
+                    return Some(*d);
+                }
+            }
+        }
+        None
     }
 
     /// The output attributes of a subquery, if it is well-typed.
@@ -80,6 +140,30 @@ pub struct Rule {
     pub paper_eq: &'static str,
     /// Attempt to rewrite the root of `q`.
     pub apply: fn(&Query, &RewriteCtx) -> Option<Query>,
+}
+
+/// All base-relation names referenced by `q`.
+fn collect_rel_names(q: &Query, out: &mut Vec<String>) {
+    match q {
+        Query::Rel(name) => out.push(name.clone()),
+        Query::Select(_, inner)
+        | Query::Project(_, inner)
+        | Query::Rename(_, inner)
+        | Query::Choice(_, inner)
+        | Query::Poss(inner)
+        | Query::Cert(inner)
+        | Query::RepairKey(_, inner) => collect_rel_names(inner, out),
+        Query::PossGroup { input, .. } | Query::CertGroup { input, .. } => {
+            collect_rel_names(input, out)
+        }
+        Query::Product(a, b)
+        | Query::Union(a, b)
+        | Query::Intersect(a, b)
+        | Query::Difference(a, b) => {
+            collect_rel_names(a, out);
+            collect_rel_names(b, out);
+        }
+    }
 }
 
 fn subset(a: &[Attr], b: &BTreeSet<Attr>) -> bool {
@@ -522,7 +606,9 @@ pub fn rule_set() -> Vec<Rule> {
             name: "selection-before-product",
             paper_eq: "cost",
             apply: |q, ctx| {
-                ctx.card?;
+                if !ctx.has_cards() {
+                    return None;
+                }
                 let Query::Select(p, inner) = q else {
                     return None;
                 };
@@ -562,7 +648,9 @@ pub fn rule_set() -> Vec<Rule> {
             name: "project-into-poss",
             paper_eq: "(2←)",
             apply: |q, ctx| {
-                ctx.card?;
+                if !ctx.has_cards() {
+                    return None;
+                }
                 let Query::Project(x, inner) = q else {
                     return None;
                 };
@@ -580,7 +668,9 @@ pub fn rule_set() -> Vec<Rule> {
             name: "project-past-union",
             paper_eq: "cost",
             apply: |q, ctx| {
-                ctx.card?;
+                if !ctx.has_cards() {
+                    return None;
+                }
                 let Query::Project(x, inner) = q else {
                     return None;
                 };
@@ -600,7 +690,9 @@ pub fn rule_set() -> Vec<Rule> {
             name: "project-past-product",
             paper_eq: "cost",
             apply: |q, ctx| {
-                ctx.card?;
+                if !ctx.has_cards() {
+                    return None;
+                }
                 let Query::Project(x, inner) = q else {
                     return None;
                 };
@@ -635,7 +727,9 @@ pub fn rule_set() -> Vec<Rule> {
             name: "product-assoc-right",
             paper_eq: "cost",
             apply: |q, ctx| {
-                ctx.card?;
+                if !ctx.has_cards() {
+                    return None;
+                }
                 let Query::Product(ab, c) = q else {
                     return None;
                 };
@@ -652,7 +746,9 @@ pub fn rule_set() -> Vec<Rule> {
             name: "product-assoc-left",
             paper_eq: "cost",
             apply: |q, ctx| {
-                ctx.card?;
+                if !ctx.has_cards() {
+                    return None;
+                }
                 let Query::Product(a, bc) = q else {
                     return None;
                 };
@@ -672,7 +768,9 @@ pub fn rule_set() -> Vec<Rule> {
             name: "product-commute-under-project",
             paper_eq: "cost",
             apply: |q, ctx| {
-                ctx.card?;
+                if !ctx.has_cards() {
+                    return None;
+                }
                 let Query::Project(x, inner) = q else {
                     return None;
                 };
