@@ -429,10 +429,25 @@ struct ResultEntry {
     out: WorldSet,
 }
 
-static RESULT_CACHE: std::sync::Mutex<Vec<ResultEntry>> = std::sync::Mutex::new(Vec::new());
+/// The cache is sharded 16 ways (the same scheme as the value interner and
+/// `relalg::plan_cache`) so concurrent world-set pipelines hitting
+/// different queries don't serialize on one mutex; a query's shard is the
+/// hash of `(query, answer_name)`.
+const RESULT_CACHE_SHARDS: usize = 16;
 
-/// Maximum number of cached translation-route results.
-const RESULT_CACHE_CAP: usize = 32;
+static RESULT_CACHE: [std::sync::Mutex<Vec<ResultEntry>>; RESULT_CACHE_SHARDS] =
+    [const { std::sync::Mutex::new(Vec::new()) }; RESULT_CACHE_SHARDS];
+
+/// Maximum number of cached translation-route results per shard.
+const RESULT_CACHE_SHARD_CAP: usize = 4;
+
+fn result_cache_shard(q: &Query, answer_name: &str) -> &'static std::sync::Mutex<Vec<ResultEntry>> {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    q.hash(&mut h);
+    answer_name.hash(&mut h);
+    &RESULT_CACHE[h.finish() as usize % RESULT_CACHE_SHARDS]
+}
 
 /// Largest representation (total input tuples) worth pinning in the result
 /// cache — entries own a copy of their inputs for content verification, so
@@ -486,15 +501,19 @@ pub fn run_general(q: &Query, rep: &InlinedRep, answer_name: &str) -> Result<Wor
     let rewrite = relalg::plan_cache::rewrite_enabled();
     let cacheable = rewrite && rep_tuples(rep) <= RESULT_CACHE_MAX_TUPLES;
     if cacheable {
-        let cache = RESULT_CACHE.lock().unwrap_or_else(|p| p.into_inner());
+        let cache = result_cache_shard(q, answer_name)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         if let Some(e) = cache.iter().find(|e| e.matches(q, rep, answer_name)) {
             return Ok(e.out.clone());
         }
     }
     let out = run_general_uncached(q, rep, answer_name, rewrite)?;
     if cacheable {
-        let mut cache = RESULT_CACHE.lock().unwrap_or_else(|p| p.into_inner());
-        if cache.len() >= RESULT_CACHE_CAP {
+        let mut cache = result_cache_shard(q, answer_name)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        if cache.len() >= RESULT_CACHE_SHARD_CAP {
             cache.clear();
         }
         cache.push(ResultEntry {

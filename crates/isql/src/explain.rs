@@ -38,8 +38,9 @@ pub struct Explanation {
     /// process-level plan-cache hits, misses.
     pub cache: Option<relalg::EvalStats>,
     /// Per-plan-node cardinalities: the statistics model's estimate next
-    /// to the actual row count of the trial evaluation (empty when there
-    /// is no relational plan or the rewrite path is off).
+    /// to the actual row count of the trial evaluation, plus the chosen
+    /// physical path (row vs. columnar) (empty when there is no
+    /// relational plan or the rewrite path is off).
     pub node_cards: Vec<relalg::opt::PlanCard>,
 }
 
@@ -68,11 +69,12 @@ impl Explanation {
             out.push_str("cards:\n");
             for c in &self.node_cards {
                 out.push_str(&format!(
-                    "            {}{}  est={} actual={}\n",
+                    "            {}{}  est={} actual={} phys={}\n",
                     "  ".repeat(c.depth),
                     c.label,
                     c.est_rows,
-                    c.actual_rows
+                    c.actual_rows,
+                    c.phys.label()
                 ));
             }
         }
@@ -310,23 +312,28 @@ mod tests {
         // runs on the measured distinct counts (Dep: 3, Arr: 2 over the 5
         // flights), so the division's answer is estimated at 5/3 = 1 row
         // and every annotation below matches the trial evaluation exactly.
+        // HFlights is two columns wide and five rows tall — every operator
+        // stays on the row path.
         assert_eq!(lines.next().unwrap(), "cards:");
-        assert_eq!(lines.next().unwrap(), "            ÷  est=1 actual=1");
         assert_eq!(
             lines.next().unwrap(),
-            "              π{Arr,Dep}  est=5 actual=5"
+            "            ÷  est=1 actual=1 phys=row"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "                table HFlights  est=5 actual=5"
+            "              π{Arr,Dep}  est=5 actual=5 phys=row"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "              π{Dep}  est=3 actual=3"
+            "                table HFlights  est=5 actual=5 phys=row"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "                table HFlights  est=5 actual=5"
+            "              π{Dep}  est=3 actual=3 phys=row"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "                table HFlights  est=5 actual=5 phys=row"
         );
         let cache_line = lines.next().unwrap();
         assert!(

@@ -828,6 +828,9 @@ pub struct PlanCard {
     pub est_rows: u64,
     /// Actual rows of a trial evaluation.
     pub actual_rows: u64,
+    /// Physical path ([`crate::PhysPath`]) the operator takes on its
+    /// actual inputs.
+    pub phys: crate::PhysPath,
 }
 
 fn node_label(e: &Expr) -> String {
@@ -872,9 +875,94 @@ fn node_label(e: &Expr) -> String {
     }
 }
 
+/// The physical path ([`crate::PhysPath`]) the operator at `e`'s root
+/// takes given its children's **actual** (trial-evaluated, memoized)
+/// inputs — the same per-node decision the execution layer makes, mirrored
+/// here so EXPLAIN can print it.
+fn node_phys(e: &Expr, catalog: &Catalog, cache: &mut crate::EvalCache) -> Result<crate::PhysPath> {
+    use crate::physical::{self, PhysPath};
+    let path = match e.kind() {
+        // Vectorized selection engages when the input is wide/large and at
+        // least one conjunct is a comparison (residual-only predicates
+        // fall back to the compiled row filter).
+        ExprKind::Select(p, c) => {
+            let r = catalog.eval_cached(c, cache)?;
+            if p.conjuncts()
+                .iter()
+                .any(|cj| matches!(cj, Pred::Cmp(_, _, _)))
+            {
+                physical::choose(r.schema().arity(), r.len())
+            } else {
+                PhysPath::Row
+            }
+        }
+        // Narrowing projections extract the kept columns.
+        ExprKind::Project(attrs, c) => {
+            let r = catalog.eval_cached(c, cache)?;
+            if attrs.len() < r.schema().arity() {
+                physical::choose(r.schema().arity(), r.len())
+            } else {
+                PhysPath::Row
+            }
+        }
+        ExprKind::ProjectAs(list, c) => {
+            let r = catalog.eval_cached(c, cache)?;
+            if list.len() < r.schema().arity() {
+                physical::choose(r.schema().arity(), r.len())
+            } else {
+                PhysPath::Row
+            }
+        }
+        // Hash joins extract build/probe keys as column groups.
+        ExprKind::NaturalJoin(a, b) => {
+            let (ra, rb) = (
+                catalog.eval_cached(a, cache)?,
+                catalog.eval_cached(b, cache)?,
+            );
+            let common = ra.schema().common(rb.schema());
+            let width = ra.schema().arity().max(rb.schema().arity());
+            if !common.is_empty()
+                && physical::columnar_keys(width, ra.len().max(rb.len()), common.len())
+            {
+                PhysPath::Columnar
+            } else {
+                PhysPath::Row
+            }
+        }
+        ExprKind::ThetaJoin(p, a, b) => {
+            let (ra, rb) = (
+                catalog.eval_cached(a, cache)?,
+                catalog.eval_cached(b, cache)?,
+            );
+            let (keys, _) = crate::relation::split_equi_conjuncts(p, ra.schema(), rb.schema());
+            let width = ra.schema().arity().max(rb.schema().arity());
+            if !keys.is_empty()
+                && physical::columnar_keys(width, ra.len().max(rb.len()), keys.len())
+            {
+                PhysPath::Columnar
+            } else {
+                PhysPath::Row
+            }
+        }
+        // Division extracts the (A-part, B-part) pair columns, but only
+        // when the pool fans the extraction out (mirrors the runtime gate).
+        ExprKind::Divide(a, _) => {
+            let ra = catalog.eval_cached(a, cache)?;
+            if crate::pool::parallelize(ra.len(), crate::pool::par_min_tuples()) {
+                physical::choose(ra.schema().arity(), ra.len())
+            } else {
+                PhysPath::Row
+            }
+        }
+        _ => PhysPath::Row,
+    };
+    Ok(path)
+}
+
 /// Annotate every node of `e` (pre-order) with its estimated and actual
-/// cardinality. The trial evaluation shares one [`crate::EvalCache`], so
-/// the whole tree evaluates once; per-node "actual" reads are memo hits.
+/// cardinality plus the chosen physical path. The trial evaluation shares
+/// one [`crate::EvalCache`], so the whole tree evaluates once; per-node
+/// "actual" reads are memo hits.
 pub fn annotate_cards(e: &Expr, catalog: &Catalog) -> Result<Vec<PlanCard>> {
     let mut est_memo = HashMap::new();
     let mut cache = crate::EvalCache::new();
@@ -889,11 +977,13 @@ pub fn annotate_cards(e: &Expr, catalog: &Catalog) -> Result<Vec<PlanCard>> {
     ) -> Result<()> {
         let est = estimate_memo(e, catalog, est_memo).rows;
         let actual = catalog.eval_cached(e, cache)?.len() as u64;
+        let phys = node_phys(e, catalog, cache)?;
         out.push(PlanCard {
             depth,
             label: node_label(e),
             est_rows: est,
             actual_rows: actual,
+            phys,
         });
         match e.kind() {
             ExprKind::Table(_) | ExprKind::Lit(_) => {}
@@ -1051,6 +1141,53 @@ mod tests {
         assert_eq!(cards[1].est_rows, 1000);
         assert_eq!(cards[0].actual_rows, 20);
         assert!(cards[0].est_rows > 0);
+        // "Big" is 2 columns wide: every node stays on the row path.
+        assert!(cards.iter().all(|c| c.phys == crate::PhysPath::Row));
+    }
+
+    #[test]
+    fn annotate_cards_reports_columnar_phys_on_wide_inputs() {
+        let _g = crate::COLUMNAR_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut c = Catalog::new();
+        let schema = Schema::of(&["C0", "C1", "C2", "C3", "C4", "C5"]);
+        let rel = Relation::from_rows(
+            schema,
+            (0..300).map(|i| {
+                (0..6)
+                    .map(|j| {
+                        // Column 5 is the row id: keeps all 300 rows distinct.
+                        crate::Value::Int(if j == 5 { i } else { (i * (3 + j) + j) % 17 })
+                    })
+                    .collect::<crate::Tuple>()
+            }),
+        )
+        .unwrap();
+        c.put("W", rel);
+        // C2 ≥ 3 keeps most rows, so the projection's input is still wide
+        // and large enough for the columnar path.
+        let e = Expr::table("W")
+            .select(Pred::cmp(
+                Operand::Attr("C2".into()),
+                crate::CmpOp::Ge,
+                Operand::Const(crate::Value::Int(3)),
+            ))
+            .project(attrs(&["C0", "C5"]));
+        // Pin the toggle: the assertions must hold under WSDB_NO_COLUMNAR=1.
+        crate::set_columnar_enabled(Some(true));
+        let cards = annotate_cards(&e, &c).unwrap();
+        assert_eq!(cards.len(), 3);
+        // π narrows a 6-wide input and σ has a comparison conjunct over a
+        // 6-wide input: both pick the columnar path; the table scan is row.
+        assert_eq!(cards[0].phys, crate::PhysPath::Columnar, "{:?}", cards[0]);
+        assert_eq!(cards[1].phys, crate::PhysPath::Columnar, "{:?}", cards[1]);
+        assert_eq!(cards[2].phys, crate::PhysPath::Row, "{:?}", cards[2]);
+        // Disabling columnar flips every node back to row.
+        crate::set_columnar_enabled(Some(false));
+        let cards = annotate_cards(&e, &c).unwrap();
+        assert!(cards.iter().all(|x| x.phys == crate::PhysPath::Row));
+        crate::set_columnar_enabled(None);
     }
 
     #[test]

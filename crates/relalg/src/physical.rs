@@ -1,0 +1,513 @@
+//! The physical-operator layer: per-node row-vs-columnar path choice and
+//! the columnar execution kernels.
+//!
+//! The logical algebra ([`crate::Expr`], the direct [`crate::Relation`]
+//! methods) says *what* each node computes; this module decides *how*. A
+//! relation wider than the inline tuple capacity spills every tuple to the
+//! heap, so operators that touch only a few of its columns pay a pointer
+//! chase per access — PR 5's columnar projection path fixed that for
+//! `project`/`project_as`/`distinct_values` by extracting the touched
+//! columns into transient narrow vectors. This module generalizes the idea
+//! into three reusable kernels behind one central chooser:
+//!
+//! * **Vectorized selection** ([`filter_tuples`]): the predicate's simple
+//!   comparison conjuncts are evaluated into a per-chunk selection bitmap,
+//!   cheapest (most selective) conjunct first; later conjuncts and any
+//!   residual predicate only run on still-set bits, and surviving tuples
+//!   are materialized late, in one pass. Columns shared by several
+//!   conjuncts are extracted into transient column vectors at first use.
+//! * **Columnar join keys** ([`key_hashes`]): hash-join and semijoin key
+//!   hashes are combined column-wise — one pass per key column, resuming
+//!   each row's hash state — feeding a chain hash table whose collisions
+//!   resolve by direct column comparison. No per-row key is materialized
+//!   at all, replacing the row path's `Vec<&Value>` allocation per row.
+//! * **Columnar grouping keys** ([`extract_keys`]): grouping and division
+//!   keys are extracted column-wise into narrow inline tuples, one chunked
+//!   pass over the pool — engaged when the pool actually fans out, where
+//!   the extraction passes split across workers.
+//!
+//! Every kernel chunks its input with the pool's morsel gate
+//! ([`crate::pool::parallelize`] / [`crate::pool::par_min_tuples`]), each
+//! worker owning a contiguous row range; chunk outputs concatenate in
+//! order, so filters stay strictly sorted and key vectors stay positionally
+//! aligned — the output is byte-identical to the row path at any thread
+//! count (pinned by `tests/columnar_oracle.rs`).
+//!
+//! The chooser ([`choose`]) is the same rule the PR 5 cost pass applies:
+//! columnar when the path is enabled ([`crate::columnar_enabled`]), the
+//! relation is wider than [`crate::INLINE_TUPLE_CAP`], and it has at least
+//! [`columnar_min_rows`] rows (below that, kernel setup dominates).
+//! `EXPLAIN` reports the chosen path per plan node
+//! ([`crate::opt::PlanCard::phys`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pred::CompiledPred;
+use crate::{CmpOp, Operand, Pred, RelalgError, Result, Schema, Tuple, Value};
+
+/// Default minimum rows before a columnar kernel pays for itself.
+const COLUMNAR_MIN_ROWS_DEFAULT: usize = 64;
+
+/// Runtime override of the columnar row threshold; `0` means "no override".
+static COLUMNAR_MIN_ROWS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The effective columnar row threshold: the runtime override if set, else
+/// `WSDB_COLUMNAR_MIN_ROWS` from the environment (read once), else 64.
+/// Benchmarks sweep it to locate the row/columnar crossover.
+pub fn columnar_min_rows() -> usize {
+    let v = COLUMNAR_MIN_ROWS_OVERRIDE.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    static ENV: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("WSDB_COLUMNAR_MIN_ROWS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(COLUMNAR_MIN_ROWS_DEFAULT)
+    })
+}
+
+/// Override the columnar row threshold for this process (minimum 1);
+/// `None` restores the environment-derived default.
+pub fn set_columnar_min_rows(n: Option<usize>) {
+    COLUMNAR_MIN_ROWS_OVERRIDE.store(n.map(|x| x.max(1)).unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The physical execution path chosen for one operator instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PhysPath {
+    /// Walk full tuples row by row.
+    Row,
+    /// Extract the touched columns into transient narrow vectors first.
+    Columnar,
+}
+
+impl PhysPath {
+    /// The label `EXPLAIN` prints for this path.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhysPath::Row => "row",
+            PhysPath::Columnar => "columnar",
+        }
+    }
+}
+
+/// The central row-vs-columnar rule: columnar when the path is enabled,
+/// the input is wider than the inline tuple capacity (its tuples live on
+/// the heap), and there are enough rows to amortize kernel setup.
+pub fn choose(width: usize, rows: usize) -> PhysPath {
+    if crate::columnar_enabled() && width > crate::INLINE_TUPLE_CAP && rows >= columnar_min_rows() {
+        PhysPath::Columnar
+    } else {
+        PhysPath::Row
+    }
+}
+
+/// [`choose`] for key-extraction kernels (join build/probe, grouping):
+/// additionally requires the key to be a *strict* subset of the columns —
+/// extracting every column just rebuilds the tuple.
+pub(crate) fn columnar_keys(width: usize, rows: usize, key_len: usize) -> bool {
+    key_len < width && choose(width, rows) == PhysPath::Columnar
+}
+
+/// Extract the `key_idx` columns of every tuple into narrow key tuples,
+/// positionally aligned with the input. Large inputs extract in contiguous
+/// chunks over the pool; chunk outputs concatenate in order, so alignment
+/// is exact at any thread count.
+pub(crate) fn extract_keys(tuples: &[Tuple], key_idx: &[usize]) -> Vec<Tuple> {
+    let extract = |t: &Tuple| key_idx.iter().map(|&i| t[i]).collect::<Tuple>();
+    if crate::pool::parallelize(tuples.len(), crate::pool::par_min_tuples()) {
+        let chunk_len = tuples.len().div_ceil(crate::pool::num_threads() * 4).max(1);
+        let chunks: Vec<&[Tuple]> = tuples.chunks(chunk_len).collect();
+        crate::pool::par_map(&chunks, |chunk| {
+            chunk.iter().map(extract).collect::<Vec<Tuple>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    } else {
+        tuples.iter().map(extract).collect()
+    }
+}
+
+/// Per-row hash of the `key_idx` columns, combined column-wise: one pass
+/// per key column over the tuple vector, resuming each row's
+/// [`crate::relation::FxHasher`] state from the previous column — no
+/// per-row key tuple is ever materialized. Equal keys get equal hashes,
+/// and chunk outputs concatenate in row order, so the vector is
+/// positionally aligned with the input at any thread count. Hash
+/// collisions are resolved by callers with direct column comparisons
+/// (see the chain table in [`crate::relation`]).
+pub(crate) fn key_hashes(tuples: &[Tuple], key_idx: &[usize]) -> Vec<u64> {
+    use std::hash::{Hash as _, Hasher as _};
+    let hash_range = |range: &[Tuple]| {
+        let mut hashes = vec![0u64; range.len()];
+        for &c in key_idx {
+            for (h, t) in hashes.iter_mut().zip(range) {
+                let mut f = crate::relation::FxHasher::seeded(*h);
+                t[c].hash(&mut f);
+                *h = f.finish();
+            }
+        }
+        hashes
+    };
+    if crate::pool::parallelize(tuples.len(), crate::pool::par_min_tuples()) {
+        let chunk_len = tuples.len().div_ceil(crate::pool::num_threads() * 4).max(1);
+        let chunks: Vec<&[Tuple]> = tuples.chunks(chunk_len).collect();
+        crate::pool::par_map(&chunks, |chunk| hash_range(chunk))
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        hash_range(tuples)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized selection.
+// ---------------------------------------------------------------------------
+
+/// One side of a vectorizable comparison, resolved against the schema.
+enum VOperand {
+    Col(usize),
+    Const(Value),
+}
+
+impl VOperand {
+    #[inline]
+    fn get(&self, cols: &[Option<Vec<Value>>], tuples: &[Tuple], i: usize) -> Value {
+        match self {
+            VOperand::Col(c) => match &cols[*c] {
+                Some(v) => v[i],
+                None => tuples[i][*c],
+            },
+            VOperand::Const(v) => *v,
+        }
+    }
+}
+
+/// A vectorizable conjunct: a simple comparison over columns/constants.
+struct VConjunct {
+    l: VOperand,
+    op: CmpOp,
+    r: VOperand,
+}
+
+fn resolve(o: &Operand, schema: &Schema) -> Result<VOperand> {
+    match o {
+        Operand::Attr(a) => {
+            schema
+                .index_of(a)
+                .map(VOperand::Col)
+                .ok_or_else(|| RelalgError::UnknownAttr {
+                    attr: a.clone(),
+                    schema: schema.clone(),
+                })
+        }
+        Operand::Const(v) => Ok(VOperand::Const(*v)),
+    }
+}
+
+/// Estimated selectivity of one conjunct (fraction of rows kept), used
+/// only to order the conjunct evaluation — most selective first, so later
+/// conjuncts run over the fewest set bits. Distinct counts come from the
+/// relation's statistics **only if already computed**
+/// ([`crate::Relation::stats_if_computed`]): forcing the lazy per-column
+/// stats pass could cost more than the selection itself. Reordering is
+/// sound — conjunction is commutative and comparisons have no effects —
+/// so this never changes the output, only the work.
+fn estimated_selectivity(c: &VConjunct, distinct_of: impl Fn(usize) -> Option<u64>) -> f64 {
+    let col_distinct = |o: &VOperand| match o {
+        VOperand::Col(i) => distinct_of(*i),
+        VOperand::Const(_) => None,
+    };
+    match c.op {
+        CmpOp::Eq => match (col_distinct(&c.l), col_distinct(&c.r)) {
+            (Some(d), None) | (None, Some(d)) => 1.0 / d.max(1) as f64,
+            (Some(da), Some(db)) => 1.0 / da.max(db).max(1) as f64,
+            // No stats: a constant equality is still the best static bet.
+            (None, None) => 0.1,
+        },
+        CmpOp::Ne => 0.9,
+        // Range comparisons: the classic 1/2.
+        _ => 0.5,
+    }
+}
+
+/// Vectorized selection over `tuples`: returns the surviving tuples in
+/// input order, or `None` when the predicate has no vectorizable conjunct
+/// (the caller falls back to the row path).
+///
+/// The predicate's top-level conjuncts split into simple comparisons
+/// (vectorized) and a residual (everything else, re-conjoined and compiled
+/// once). Per chunk, the touched columns are extracted into transient
+/// column vectors at first use; the first comparison scans the full chunk
+/// into a selection bitmap, each later one — ordered by estimated
+/// selectivity — only tests still-set bits, the residual runs row-wise on
+/// the survivors, and set bits late-materialize into output clones.
+/// Filtering preserves order, so chunk outputs concatenate into a strictly
+/// sorted vector.
+pub(crate) fn filter_tuples(
+    schema: &Schema,
+    tuples: &[Tuple],
+    pred: &Pred,
+    distinct_of: impl Fn(usize) -> Option<u64>,
+) -> Result<Option<Vec<Tuple>>> {
+    let mut vecs: Vec<VConjunct> = Vec::new();
+    let mut residual = Pred::True;
+    for c in pred.conjuncts() {
+        match c {
+            Pred::Cmp(l, op, r) => vecs.push(VConjunct {
+                l: resolve(&l, schema)?,
+                op,
+                r: resolve(&r, schema)?,
+            }),
+            other => residual = residual.and(other),
+        }
+    }
+    if vecs.is_empty() {
+        return Ok(None);
+    }
+    // Most selective first; f64 ranks are finite positive, stable sort
+    // keeps the split order deterministic on ties.
+    let mut ranked: Vec<(f64, VConjunct)> = vecs
+        .into_iter()
+        .map(|c| (estimated_selectivity(&c, &distinct_of), c))
+        .collect();
+    ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let vecs: Vec<VConjunct> = ranked.into_iter().map(|(_, c)| c).collect();
+    let residual = match residual {
+        Pred::True => None,
+        p => Some(p.compile(schema)?),
+    };
+
+    let out = if crate::pool::parallelize(tuples.len(), crate::pool::par_min_tuples()) {
+        let chunk_len = tuples.len().div_ceil(crate::pool::num_threads() * 4).max(1);
+        let chunks: Vec<&[Tuple]> = tuples.chunks(chunk_len).collect();
+        crate::pool::par_map(&chunks, |chunk| {
+            filter_chunk(chunk, &vecs, residual.as_ref())
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    } else {
+        filter_chunk(tuples, &vecs, residual.as_ref())
+    };
+    Ok(Some(out))
+}
+
+/// One morsel of the vectorized filter: bitmap evaluation over extracted
+/// column vectors, then late materialization of the set bits.
+fn filter_chunk(
+    tuples: &[Tuple],
+    conjs: &[VConjunct],
+    residual: Option<&CompiledPred>,
+) -> Vec<Tuple> {
+    let n = tuples.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let words = n.div_ceil(64);
+    let mut bits = vec![u64::MAX; words];
+    if !n.is_multiple_of(64) {
+        bits[words - 1] = (1u64 << (n % 64)) - 1;
+    }
+    // Transient column vectors for columns referenced by more than one
+    // conjunct, extracted at first use (one linear copy each — every later
+    // access is contiguous). A single-use column reads straight from the
+    // tuples: extracting it would copy each value exactly once in order to
+    // read it exactly once.
+    let col_of = |o: &VOperand| match o {
+        VOperand::Col(c) => Some(*c),
+        VOperand::Const(_) => None,
+    };
+    let mut uses: Vec<(usize, u32)> = Vec::new();
+    for c in conjs {
+        for col in [col_of(&c.l), col_of(&c.r)].into_iter().flatten() {
+            match uses.iter_mut().find(|(i, _)| *i == col) {
+                Some((_, n)) => *n += 1,
+                None => uses.push((col, 1)),
+            }
+        }
+    }
+    let ncols = uses.iter().map(|&(i, _)| i + 1).max().unwrap_or(0);
+    let mut cols: Vec<Option<Vec<Value>>> = Vec::new();
+    cols.resize_with(ncols, || None);
+    let extract = |o: &VOperand, cols: &mut Vec<Option<Vec<Value>>>| {
+        if let VOperand::Col(c) = o {
+            let shared = uses.iter().any(|&(i, n)| i == *c && n >= 2);
+            if shared && cols[*c].is_none() {
+                cols[*c] = Some(tuples.iter().map(|t| t[*c]).collect());
+            }
+        }
+    };
+    for (ci, c) in conjs.iter().enumerate() {
+        if bits.iter().all(|&w| w == 0) {
+            return Vec::new();
+        }
+        extract(&c.l, &mut cols);
+        extract(&c.r, &mut cols);
+        if ci == 0 {
+            for (i, word) in bits.iter_mut().enumerate() {
+                let base = i << 6;
+                let lanes = (n - base).min(64);
+                let mut w = *word;
+                for b in 0..lanes {
+                    let row = base + b;
+                    if !c
+                        .op
+                        .apply(&c.l.get(&cols, tuples, row), &c.r.get(&cols, tuples, row))
+                    {
+                        w &= !(1u64 << b);
+                    }
+                }
+                *word = w;
+            }
+        } else {
+            // Short-circuit: only still-set bits are tested.
+            for (i, word) in bits.iter_mut().enumerate() {
+                let mut m = *word;
+                while m != 0 {
+                    let b = m.trailing_zeros() as usize;
+                    let row = (i << 6) | b;
+                    if !c
+                        .op
+                        .apply(&c.l.get(&cols, tuples, row), &c.r.get(&cols, tuples, row))
+                    {
+                        *word &= !(1u64 << b);
+                    }
+                    m &= m - 1;
+                }
+            }
+        }
+    }
+    if let Some(res) = residual {
+        for (i, word) in bits.iter_mut().enumerate() {
+            let mut m = *word;
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                if !res.eval(&tuples[(i << 6) | b]) {
+                    *word &= !(1u64 << b);
+                }
+                m &= m - 1;
+            }
+        }
+    }
+    let survivors: usize = bits.iter().map(|w| w.count_ones() as usize).sum();
+    let mut out = Vec::with_capacity(survivors);
+    for (i, word) in bits.iter().enumerate() {
+        let mut m = *word;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            out.push(tuples[(i << 6) | b].clone());
+            m &= m - 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Relation, Schema};
+
+    fn rel(rows: usize) -> Relation {
+        let names: Vec<String> = (0..6).map(|c| format!("C{c}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        Relation::from_rows(
+            Schema::of(&refs),
+            (0..rows as i64).map(|i| {
+                (0..6i64)
+                    .map(|c| Value::Int((i * (3 + c) + c) % (4 + c * 3)))
+                    .collect::<Tuple>()
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chooser_respects_width_rows_and_toggle() {
+        let _g = crate::COLUMNAR_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::set_columnar_enabled(Some(true));
+        assert_eq!(choose(6, 1000), PhysPath::Columnar);
+        assert_eq!(choose(4, 1000), PhysPath::Row, "inline-width stays row");
+        assert_eq!(choose(6, 3), PhysPath::Row, "tiny inputs stay row");
+        crate::set_columnar_enabled(Some(false));
+        assert_eq!(choose(6, 1000), PhysPath::Row);
+        crate::set_columnar_enabled(None);
+    }
+
+    #[test]
+    fn min_rows_override_moves_the_crossover() {
+        let _g = crate::COLUMNAR_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::set_columnar_enabled(Some(true));
+        set_columnar_min_rows(Some(10));
+        assert_eq!(choose(6, 10), PhysPath::Columnar);
+        set_columnar_min_rows(Some(1000));
+        assert_eq!(choose(6, 10), PhysPath::Row);
+        set_columnar_min_rows(None);
+        crate::set_columnar_enabled(None);
+        assert!(columnar_min_rows() >= 1);
+    }
+
+    #[test]
+    fn filter_matches_compiled_pred_with_and_without_residual() {
+        let r = rel(500);
+        // Two vectorizable conjuncts + one residual disjunction.
+        let pred = Pred::eq_const("C1", 2)
+            .and(Pred::cmp(
+                Operand::Attr("C3".into()),
+                CmpOp::Ge,
+                Operand::Const(Value::Int(3)),
+            ))
+            .and(Pred::eq_const("C0", 1).or(Pred::eq_const("C2", 0)));
+        let compiled = pred.compile(r.schema()).unwrap();
+        let want: Vec<Tuple> = r.iter().filter(|t| compiled.eval(t)).cloned().collect();
+        let got = filter_tuples(r.schema(), r.tuples(), &pred, |_| None)
+            .unwrap()
+            .expect("has vectorizable conjuncts");
+        assert_eq!(got, want);
+        // Stats-ranked ordering changes the work, never the output.
+        let stats = r.stats().clone();
+        let got2 = filter_tuples(r.schema(), r.tuples(), &pred, |i| {
+            stats.col(i).map(|c| c.distinct)
+        })
+        .unwrap()
+        .unwrap();
+        assert_eq!(got2, want);
+    }
+
+    #[test]
+    fn filter_without_vectorizable_conjunct_falls_back() {
+        let r = rel(100);
+        let pred = Pred::eq_const("C0", 1).or(Pred::eq_const("C1", 2));
+        assert!(filter_tuples(r.schema(), r.tuples(), &pred, |_| None)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn filter_unknown_attr_errors_like_the_row_path() {
+        let r = rel(100);
+        let pred = Pred::eq_const("Z", 1);
+        assert!(filter_tuples(r.schema(), r.tuples(), &pred, |_| None).is_err());
+        let pred = Pred::eq_const("C0", 1).and(Pred::eq_const("Z", 1).not());
+        assert!(filter_tuples(r.schema(), r.tuples(), &pred, |_| None).is_err());
+    }
+
+    #[test]
+    fn extract_keys_aligns_positionally() {
+        let r = rel(300);
+        let keys = extract_keys(r.tuples(), &[4, 1]);
+        assert_eq!(keys.len(), r.len());
+        for (t, k) in r.iter().zip(&keys) {
+            assert_eq!(k.as_slice(), &[t[4], t[1]]);
+        }
+    }
+}

@@ -48,8 +48,38 @@ fn enter_worker<R>(f: impl FnOnce() -> R) -> R {
 pub const PAR_MIN_ITEMS: usize = 4;
 
 /// Below this many tuples [`par_sort_dedup`] and the partitioned join paths
-/// stay sequential.
+/// stay sequential (the default of [`par_min_tuples`]).
 pub const PAR_MIN_TUPLES: usize = 8192;
+
+/// Runtime override of the tuple-count parallelization threshold; `0`
+/// means "no override" (fall back to the environment / default).
+static PAR_MIN_TUPLES_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The effective tuple-count threshold for the parallel tuple paths
+/// (chunked sort, partitioned joins, columnar extraction): the runtime
+/// override if one is set, else `WSDB_PAR_MIN_TUPLES` from the environment
+/// (read once), else [`PAR_MIN_TUPLES`]. Benchmarks sweep it to locate the
+/// sequential/parallel crossover instead of hardcoding it.
+pub fn par_min_tuples() -> usize {
+    let v = PAR_MIN_TUPLES_OVERRIDE.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    static ENV: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("WSDB_PAR_MIN_TUPLES")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(PAR_MIN_TUPLES)
+    })
+}
+
+/// Override the tuple-count parallelization threshold for this process
+/// (minimum 1); `None` restores the environment-derived default.
+pub fn set_par_min_tuples(n: Option<usize>) {
+    PAR_MIN_TUPLES_OVERRIDE.store(n.map(|x| x.max(1)).unwrap_or(0), Ordering::SeqCst);
+}
 
 /// Below this many items [`par_reduce`] runs as a plain sequential left
 /// fold — per-round thread spawns only amortize over wide reductions.
@@ -376,6 +406,17 @@ mod tests {
         let nested_flags = par_map(&items, |_| parallelize(100, 1));
         assert!(nested_flags.iter().all(|f| !f));
         set_threads(0);
+    }
+
+    #[test]
+    fn par_min_tuples_override_and_reset() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_par_min_tuples(Some(16));
+        assert_eq!(par_min_tuples(), 16);
+        set_par_min_tuples(Some(0)); // clamped to the minimum
+        assert_eq!(par_min_tuples(), 1);
+        set_par_min_tuples(None);
+        assert!(par_min_tuples() >= 1);
     }
 
     #[test]

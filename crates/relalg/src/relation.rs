@@ -24,6 +24,14 @@ impl FxHasher {
     fn add(&mut self, word: u64) {
         self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::K);
     }
+
+    /// A hasher resuming from a previous state, so a multi-column key hash
+    /// can be built one column at a time (see
+    /// [`crate::physical::key_hashes`]).
+    #[inline]
+    pub(crate) fn seeded(hash: u64) -> FxHasher {
+        FxHasher { hash }
+    }
 }
 
 impl Hasher for FxHasher {
@@ -65,19 +73,17 @@ pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
 pub(crate) type FxHashMap<K, V> = HashMap<K, V, FxBuild>;
 pub(crate) type FxHashSet<K> = HashSet<K, FxBuild>;
 
-/// Minimum rows before the columnar wide-scan path pays for itself (below
-/// this the row loop wins on setup cost).
-const COLUMNAR_MIN_ROWS: usize = 64;
-
-/// Runtime enable state of the columnar projection path: 0 = resolve from
+/// Runtime enable state of the columnar execution paths: 0 = resolve from
 /// the environment, 1 = forced on, 2 = forced off.
 static COLUMNAR: AtomicUsize = AtomicUsize::new(0);
 
-/// Whether wide projections take the columnar path. `WSDB_NO_COLUMNAR`
-/// (non-empty) turns it off; [`set_columnar_enabled`] overrides at runtime
-/// (benchmarks and the oracle suite A/B the two paths). The environment is
-/// read once — this sits on the projection hot path, and `env::var` takes
-/// a process-wide lock.
+/// Whether wide operators take the columnar paths (projection, vectorized
+/// selection, join-key and grouping-key extraction — see
+/// [`crate::physical`]). `WSDB_NO_COLUMNAR` (non-empty) turns them off;
+/// [`set_columnar_enabled`] overrides at runtime (benchmarks and the
+/// oracle suite A/B the two paths). The environment is read once — this
+/// sits on the operator hot paths, and `env::var` takes a process-wide
+/// lock.
 pub fn columnar_enabled() -> bool {
     static ENV_DISABLED: OnceLock<bool> = OnceLock::new();
     match COLUMNAR.load(Ordering::Relaxed) {
@@ -91,7 +97,7 @@ pub fn columnar_enabled() -> bool {
     }
 }
 
-/// Force the columnar projection path on/off for this process; `None`
+/// Force the columnar execution paths on/off for this process; `None`
 /// restores the environment-derived default.
 pub fn set_columnar_enabled(on: Option<bool>) {
     COLUMNAR.store(
@@ -362,6 +368,14 @@ impl Relation {
             .get_or_init(|| Arc::new(RelStats::compute(&self.schema, &self.tuples)))
     }
 
+    /// The memoized statistics **only if already computed** — `None`
+    /// otherwise. The vectorized-selection conjunct ordering consults this
+    /// instead of [`Relation::stats`]: forcing the lazy per-column pass on
+    /// an intermediate relation could cost more than the selection itself.
+    pub fn stats_if_computed(&self) -> Option<&RelStats> {
+        self.stats.get().map(Arc::as_ref)
+    }
+
     /// Number of tuples.
     pub fn len(&self) -> usize {
         self.tuples.len()
@@ -488,10 +502,9 @@ impl Relation {
         // extracted into transient narrow vectors (in parallel chunks) and
         // the sort runs over those, never walking the full heap tuples
         // again.
-        if columnar_enabled()
-            && self.schema.arity() > crate::INLINE_TUPLE_CAP
-            && idx.len() < self.schema.arity()
-            && self.tuples.len() >= COLUMNAR_MIN_ROWS
+        if idx.len() < self.schema.arity()
+            && crate::physical::choose(self.schema.arity(), self.tuples.len())
+                == crate::physical::PhysPath::Columnar
         {
             return Ok(self.project_columnar(&idx, out_schema));
         }
@@ -511,7 +524,7 @@ impl Relation {
     /// output is byte-identical to the row path at any thread count
     /// (`par_sort_dedup` is canonical).
     fn project_columnar(&self, idx: &[usize], out_schema: Schema) -> Relation {
-        let parallel = crate::pool::parallelize(self.tuples.len(), crate::pool::PAR_MIN_TUPLES);
+        let parallel = crate::pool::parallelize(self.tuples.len(), crate::pool::par_min_tuples());
         let chunk_len = self
             .tuples
             .len()
@@ -565,7 +578,25 @@ impl Relation {
 
     /// Selection `σ_φ`. Filtering preserves sortedness, so the output is
     /// assembled without a sort pass.
+    ///
+    /// Wide relations with enough rows take the vectorized path
+    /// ([`crate::physical::filter_tuples`]): comparison conjuncts evaluate
+    /// over extracted column vectors into a selection bitmap (most
+    /// selective first, using statistics if already computed) and
+    /// survivors materialize late. The output is identical to the row
+    /// path; predicates without any vectorizable conjunct fall back to it.
     pub fn select(&self, pred: &Pred) -> Result<Relation> {
+        if crate::physical::choose(self.schema.arity(), self.tuples.len())
+            == crate::physical::PhysPath::Columnar
+        {
+            let stats = self.stats_if_computed();
+            let distinct_of = |i: usize| stats.and_then(|s| s.col(i)).map(|c| c.distinct);
+            if let Some(tuples) =
+                crate::physical::filter_tuples(&self.schema, &self.tuples, pred, distinct_of)?
+            {
+                return Ok(Relation::from_sorted_vec(self.schema.clone(), tuples));
+            }
+        }
         let compiled = pred.compile(&self.schema)?;
         let tuples: Vec<Tuple> = self
             .tuples
@@ -629,7 +660,7 @@ impl Relation {
         // so the pool's in-order concatenation stays strictly sorted.
         let tuples = if crate::pool::parallelize(
             self.len().saturating_mul(other.len()),
-            crate::pool::PAR_MIN_TUPLES,
+            crate::pool::par_min_tuples(),
         ) {
             par_left_chunks(&self.tuples, |chunk, out| {
                 out.reserve(chunk.len() * other.tuples.len());
@@ -801,7 +832,7 @@ impl Relation {
             // so the in-order concatenation is still strictly sorted.
             let tuples = if crate::pool::parallelize(
                 self.len().saturating_mul(other.len()),
-                crate::pool::PAR_MIN_TUPLES,
+                crate::pool::par_min_tuples(),
             ) {
                 par_left_chunks(&self.tuples, |chunk, out| {
                     let mut scratch = Tuple::new();
@@ -867,6 +898,60 @@ impl Relation {
             .iter()
             .map(|a| other.schema.index_of(a).unwrap())
             .collect();
+        // Wide/large inputs hash the common columns column-wise into a
+        // chain table over `other`'s rows ([`crate::physical::key_hashes`],
+        // [`hash_chain`]); `self` probes by hash and confirms by direct
+        // column equality — no `Vec<&Value>` key allocation per row, no
+        // materialized key tuples. Filtering keeps `self`'s order, and a
+        // large probe side fans out over the pool in contiguous chunks.
+        let width = self.schema.arity().max(other.schema.arity());
+        if crate::physical::columnar_keys(width, self.len().max(other.len()), common.len())
+            && other.len() < u32::MAX as usize
+        {
+            use crate::pool;
+            let oh = crate::physical::key_hashes(&other.tuples, &r_idx);
+            let sh = crate::physical::key_hashes(&self.tuples, &l_idx);
+            let (head, next) = hash_chain(&oh);
+            let keep = |si: usize| -> bool {
+                let Some(&first) = head.get(&sh[si]) else {
+                    return false;
+                };
+                let mut cur = first;
+                while cur != u32::MAX {
+                    let oi = cur as usize;
+                    if l_idx
+                        .iter()
+                        .zip(&r_idx)
+                        .all(|(&lc, &rc)| self.tuples[si][lc] == other.tuples[oi][rc])
+                    {
+                        return true;
+                    }
+                    cur = next[oi];
+                }
+                false
+            };
+            let probe_range = |lo: usize, hi: usize| {
+                (lo..hi)
+                    .filter(|&si| keep(si))
+                    .map(|si| self.tuples[si].clone())
+                    .collect::<Vec<Tuple>>()
+            };
+            let n = self.tuples.len();
+            let tuples: Vec<Tuple> = if pool::parallelize(n, pool::par_min_tuples()) {
+                let chunk_len = n.div_ceil(pool::num_threads() * 4).max(1);
+                let ranges: Vec<(usize, usize)> = (0..n)
+                    .step_by(chunk_len)
+                    .map(|lo| (lo, (lo + chunk_len).min(n)))
+                    .collect();
+                pool::par_map(&ranges, |&(lo, hi)| probe_range(lo, hi))
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            } else {
+                probe_range(0, n)
+            };
+            return Relation::from_sorted_vec(self.schema.clone(), tuples);
+        }
         let keys: FxHashSet<Vec<&Value>> = other
             .tuples
             .iter()
@@ -909,17 +994,29 @@ impl Relation {
         let b_idx: Vec<usize> = b.iter().map(|x| self.schema.index_of(x).unwrap()).collect();
 
         // Decompose each tuple into (A-part, B-part) and sort once; equal
-        // A-parts become contiguous runs with sorted B-parts.
-        let mut pairs: Vec<(Tuple, Tuple)> = self
-            .tuples
-            .iter()
-            .map(|t| {
-                (
-                    a_idx.iter().map(|&i| t[i]).collect(),
-                    b_idx.iter().map(|&i| t[i]).collect(),
-                )
-            })
-            .collect();
+        // A-parts become contiguous runs with sorted B-parts. Wide inputs
+        // extract the two parts as column groups chunked over the pool —
+        // but only when the pool actually fans out: the columnar win here
+        // is splitting the extraction passes across workers, while a lone
+        // worker does better with the fused per-row build.
+        let columnar = crate::physical::choose(self.schema.arity(), self.tuples.len())
+            == crate::physical::PhysPath::Columnar
+            && crate::pool::parallelize(self.tuples.len(), crate::pool::par_min_tuples());
+        let mut pairs: Vec<(Tuple, Tuple)> = if columnar {
+            let a_parts = crate::physical::extract_keys(&self.tuples, &a_idx);
+            let b_parts = crate::physical::extract_keys(&self.tuples, &b_idx);
+            a_parts.into_iter().zip(b_parts).collect()
+        } else {
+            self.tuples
+                .iter()
+                .map(|t| {
+                    (
+                        a_idx.iter().map(|&i| t[i]).collect(),
+                        b_idx.iter().map(|&i| t[i]).collect(),
+                    )
+                })
+                .collect()
+        };
         pairs.sort_unstable();
 
         let needed = &divisor.tuples;
@@ -997,7 +1094,18 @@ impl Relation {
     /// of both `choice-of` splitting and inlined-representation decoding).
     pub fn partition_by(&self, attrs: &[Attr]) -> Result<Vec<(Tuple, Relation)>> {
         let idx = self.positions(attrs)?;
-        let mut out: Vec<(Tuple, Relation)> = group_rows(&self.tuples, &idx, Tuple::clone)
+        // Columnar grouping keys pay when the extraction pass splits over
+        // the pool; a lone worker keeps the fused hash-bucketing scan.
+        let grouped =
+            if crate::physical::columnar_keys(self.schema.arity(), self.tuples.len(), idx.len())
+                && crate::pool::parallelize(self.tuples.len(), crate::pool::par_min_tuples())
+            {
+                let keys = crate::physical::extract_keys(&self.tuples, &idx);
+                group_rows_keys(&self.tuples, &keys, Tuple::clone)
+            } else {
+                group_rows(&self.tuples, &idx, Tuple::clone)
+            };
+        let mut out: Vec<(Tuple, Relation)> = grouped
             .into_iter()
             .map(|(key, tuples)| (key, Relation::from_sorted_vec(self.schema.clone(), tuples)))
             .collect();
@@ -1038,14 +1146,28 @@ impl Relation {
             Schema::try_new(keep.to_vec()).ok_or_else(|| RelalgError::DuplicateAttr {
                 attr: keep.first().cloned().unwrap_or_else(|| Attr::new("?")),
             })?;
-        let mut out: Vec<(Tuple, Relation)> = group_rows(&self.tuples, &key_idx, |t| {
+        let emit = |t: &Tuple| {
             let mut v = Tuple::with_capacity(vlen);
             v.extend_from_slice(&t[..vlen]);
             v
-        })
-        .into_iter()
-        .map(|(k, tuples)| (k, Relation::from_sorted_vec(out_schema.clone(), tuples)))
-        .collect();
+        };
+        let grouped = if crate::physical::columnar_keys(
+            self.schema.arity(),
+            self.tuples.len(),
+            key_idx.len(),
+        ) && crate::pool::parallelize(
+            self.tuples.len(),
+            crate::pool::par_min_tuples(),
+        ) {
+            let keys = crate::physical::extract_keys(&self.tuples, &key_idx);
+            group_rows_keys(&self.tuples, &keys, emit)
+        } else {
+            group_rows(&self.tuples, &key_idx, emit)
+        };
+        let mut out: Vec<(Tuple, Relation)> = grouped
+            .into_iter()
+            .map(|(k, tuples)| (k, Relation::from_sorted_vec(out_schema.clone(), tuples)))
+            .collect();
         out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         Ok(out)
     }
@@ -1118,6 +1240,32 @@ fn group_rows(
     groups
 }
 
+/// [`group_rows`] over pre-extracted keys: `keys[i]` is the (narrow,
+/// inline) grouping key of `tuples[i]`, produced by a chunked column
+/// extraction pass. Group discovery order — and therefore the output —
+/// matches `group_rows` exactly; only the per-row key gather differs.
+fn group_rows_keys(
+    tuples: &[Tuple],
+    keys: &[Tuple],
+    emit: impl Fn(&Tuple) -> Tuple,
+) -> Vec<(Tuple, Vec<Tuple>)> {
+    debug_assert_eq!(tuples.len(), keys.len());
+    let mut groups: Vec<(Tuple, Vec<Tuple>)> = Vec::new();
+    let mut index: FxHashMap<Tuple, usize> = FxHashMap::default();
+    let mut last = usize::MAX;
+    for (t, key) in tuples.iter().zip(keys) {
+        let in_run = last != usize::MAX && &groups[last].0 == key;
+        if !in_run {
+            last = *index.entry(key.clone()).or_insert_with(|| {
+                groups.push((key.clone(), Vec::new()));
+                groups.len() - 1
+            });
+        }
+        groups[last].1.push(emit(t));
+    }
+    groups
+}
+
 /// Linear merge of two strictly sorted tuple vectors: union.
 fn merge_union(a: &[Tuple], b: &[Tuple]) -> Vec<Tuple> {
     let mut out = Vec::with_capacity(a.len() + b.len());
@@ -1181,6 +1329,28 @@ fn merge_difference(a: &[Tuple], b: &[Tuple]) -> Vec<Tuple> {
     }
     out.extend_from_slice(&a[i..]);
     out
+}
+
+/// A chain hash table over precomputed per-row key hashes (see
+/// [`crate::physical::key_hashes`]): `head` maps a key hash to the *first*
+/// row index bearing it, `next[i]` links row `i` to the next row with the
+/// same hash (`u32::MAX` terminates the chain) — built by a reverse scan,
+/// so walking a chain visits rows in ascending index order, exactly the
+/// emit order of the row path's index (its per-key match lists push in
+/// scan order). Collisions are resolved by the caller with direct column
+/// comparisons against the original tuples — no per-row key is ever
+/// materialized.
+fn hash_chain(hashes: &[u64]) -> (FxHashMap<u64, u32>, Vec<u32>) {
+    debug_assert!(hashes.len() < u32::MAX as usize);
+    let mut head: FxHashMap<u64, u32> =
+        FxHashMap::with_capacity_and_hasher(hashes.len(), FxBuild::default());
+    let mut next: Vec<u32> = vec![u32::MAX; hashes.len()];
+    for (i, &h) in hashes.iter().enumerate().rev() {
+        if let Some(later) = head.insert(h, i as u32) {
+            next[i] = later;
+        }
+    }
+    (head, next)
 }
 
 /// Build a hash index over `tuples`, keyed by the values at `key_cols`.
@@ -1279,7 +1449,7 @@ fn key_hash(t: &Tuple, key_cols: &[usize]) -> usize {
 /// `emit(build_tuple, probe_tuple, scratch, out)` appends the output rows
 /// for one key-matching pair (zero rows when a residual predicate rejects
 /// it). With more than one pool worker and a probe side of at least
-/// [`crate::pool::PAR_MIN_TUPLES`], the probe is chunk-partitioned across
+/// [`crate::pool::par_min_tuples`], the probe is chunk-partitioned across
 /// the pool: each worker probes with one contiguous chunk and emits into a
 /// local buffer, and a large build side is additionally hash-partitioned
 /// into per-shard indexes built in parallel (a small build side — the
@@ -1297,8 +1467,22 @@ where
     F: Fn(&Tuple, &Tuple, &mut Tuple, &mut Vec<Tuple>) + Sync,
 {
     use crate::pool;
-    let parallel = pool::parallelize(probe.len(), pool::PAR_MIN_TUPLES);
-    if parallel && build.len() >= pool::PAR_MIN_TUPLES {
+    // Wide inputs hash their key columns column-wise ([`crate::physical`])
+    // into a chain table instead of allocating a `Vec<&Value>` key per row
+    // over heap-spilled tuples. (The chain stores row indices as `u32`;
+    // larger build sides — far beyond anything the engine materializes —
+    // stay on the row path.)
+    let width = build
+        .first()
+        .map_or(0, |t| t.len())
+        .max(probe.first().map_or(0, |t| t.len()));
+    if crate::physical::columnar_keys(width, build.len().max(probe.len()), build_keys.len())
+        && build.len() < u32::MAX as usize
+    {
+        return hash_join_collect_columnar(build, build_keys, probe, probe_keys, emit);
+    }
+    let parallel = pool::parallelize(probe.len(), pool::par_min_tuples());
+    if parallel && build.len() >= pool::par_min_tuples() {
         // Large build side: partition it by key hash and build the
         // per-shard indexes in parallel; probe chunks route each tuple to
         // its shard by the same key hash.
@@ -1362,6 +1546,73 @@ where
     }
 }
 
+/// The columnar-key variant of [`hash_join_collect`]: both sides' key
+/// hashes are combined column-wise (one pass per key column — see
+/// [`crate::physical::key_hashes`]) and the build side becomes a chain
+/// hash table over row indices ([`hash_chain`]); probe rows walk the chain
+/// for their hash, confirming matches by direct column equality against
+/// the build tuples. No per-row key — neither a `Vec<&Value>` nor an
+/// inline key tuple — is ever materialized. Chains walk in ascending
+/// build-row order, so matches emit exactly as the row path's index emits
+/// them (this keeps the pre-sort output just as presorted, which the
+/// caller's final sort exploits); the caller's sort+dedup then
+/// canonicalizes the output, so the result is byte-identical to the row
+/// path at any thread count. The chain build is one sequential pass over
+/// the hash vector (cheap even for large build sides); the hash passes
+/// and the probe fan out over the pool.
+fn hash_join_collect_columnar<F>(
+    build: &[Tuple],
+    build_keys: &[usize],
+    probe: &[Tuple],
+    probe_keys: &[usize],
+    emit: F,
+) -> Vec<Tuple>
+where
+    F: Fn(&Tuple, &Tuple, &mut Tuple, &mut Vec<Tuple>) + Sync,
+{
+    use crate::pool;
+    let bh = crate::physical::key_hashes(build, build_keys);
+    let ph = crate::physical::key_hashes(probe, probe_keys);
+    let (head, next) = hash_chain(&bh);
+    let keys_eq = |bi: usize, pi: usize| {
+        build_keys
+            .iter()
+            .zip(probe_keys)
+            .all(|(&bc, &pc)| build[bi][bc] == probe[pi][pc])
+    };
+    let probe_range = |lo: usize, hi: usize| {
+        let mut out = Vec::new();
+        let mut scratch = Tuple::new();
+        for pi in lo..hi {
+            let Some(&first) = head.get(&ph[pi]) else {
+                continue;
+            };
+            let mut cur = first;
+            while cur != u32::MAX {
+                let bi = cur as usize;
+                if keys_eq(bi, pi) {
+                    emit(&build[bi], &probe[pi], &mut scratch, &mut out);
+                }
+                cur = next[bi];
+            }
+        }
+        out
+    };
+    if pool::parallelize(probe.len(), pool::par_min_tuples()) {
+        let chunk_len = probe.len().div_ceil(pool::num_threads() * 4).max(1);
+        let ranges: Vec<(usize, usize)> = (0..probe.len())
+            .step_by(chunk_len)
+            .map(|lo| (lo, (lo + chunk_len).min(probe.len())))
+            .collect();
+        pool::par_map(&ranges, |&(lo, hi)| probe_range(lo, hi))
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        probe_range(0, probe.len())
+    }
+}
+
 /// Split `pred` into hash-joinable equi-conjuncts and a residual predicate.
 ///
 /// An equi-conjunct is a top-level conjunct `a = b` with one attribute from
@@ -1370,7 +1621,11 @@ where
 /// Every other conjunct — non-equality comparisons, disjunctions, negations,
 /// single-side equalities — stays in the residual, which callers apply to
 /// the concatenated tuple.
-fn split_equi_conjuncts(pred: &Pred, left: &Schema, right: &Schema) -> (Vec<(usize, usize)>, Pred) {
+pub(crate) fn split_equi_conjuncts(
+    pred: &Pred,
+    left: &Schema,
+    right: &Schema,
+) -> (Vec<(usize, usize)>, Pred) {
     fn walk(p: &Pred, left: &Schema, right: &Schema, keys: &mut Vec<(usize, usize)>) -> Pred {
         match p {
             Pred::And(a, b) => {

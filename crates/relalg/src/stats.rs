@@ -66,7 +66,7 @@ impl RelStats {
         }
         let idx: Vec<usize> = (0..arity).collect();
         let work = tuples.len().saturating_mul(arity);
-        let cols = if crate::pool::parallelize(work, crate::pool::PAR_MIN_TUPLES) {
+        let cols = if crate::pool::parallelize(work, crate::pool::par_min_tuples()) {
             crate::pool::par_map(&idx, |&i| col_stats(tuples, i))
         } else {
             idx.iter().map(|&i| col_stats(tuples, i)).collect()

@@ -1,8 +1,14 @@
-//! Oracle suite for the versioned, statistics-carrying storage layer:
+//! Oracle suite for the versioned, statistics-carrying storage layer and
+//! the physical-operator layer built on it:
 //!
 //! * the **columnar projection path** (wide relations extract only the
 //!   touched columns) is pinned against the row path and a
 //!   `BTreeSet<Vec<Value>>` oracle, at 1 and 4 pool threads;
+//! * the **vectorized selection**, **columnar join-key extraction**
+//!   (natural/theta/semijoin) and **columnar grouping** (`partition_by`,
+//!   `partition_by_project`, `divide`) paths are pinned the same way —
+//!   row vs. columnar vs. independent semantic oracles, across thread
+//!   counts and the `WSDB_NO_COLUMNAR` toggle;
 //! * **per-column statistics** are pinned against per-column set oracles;
 //! * the **epoch tag** semantics (clones share, constructors stamp fresh,
 //!   in-place mutation bumps) and the O(1) cache verification built on it
@@ -13,8 +19,8 @@ use std::sync::Mutex;
 
 use proptest::prelude::*;
 use relalg::{
-    attr, attrs, plan_cache, pool, set_columnar_enabled, Catalog, Expr, Pred, Relation, Schema,
-    Tuple, Value,
+    attr, attrs, plan_cache, pool, set_columnar_enabled, Catalog, CmpOp, Expr, Operand, Pred,
+    Relation, Schema, Tuple, Value,
 };
 
 /// Serializes tests that flip process-wide toggles (worker count, columnar
@@ -231,6 +237,273 @@ fn epoch_cache_verification_across_catalogs() {
     }
 }
 
+/// Run `f` twice — columnar forced off, then on — restoring the
+/// environment default afterwards. Both runs happen under the same thread
+/// count; callers wrap with [`at_threads`].
+fn row_vs_columnar<R>(f: impl Fn() -> R) -> (R, R) {
+    set_columnar_enabled(Some(false));
+    let row = f();
+    set_columnar_enabled(Some(true));
+    let col = f();
+    set_columnar_enabled(None);
+    (row, col)
+}
+
+/// A selection oracle evaluated directly in Rust (no `Pred` machinery).
+fn o_select(rel: &Relation, keep: impl Fn(&Tuple) -> bool) -> BTreeSet<Vec<Value>> {
+    rel.iter().filter(|t| keep(t)).map(|t| t.to_vec()).collect()
+}
+
+#[test]
+fn vectorized_filter_matches_row_path_and_oracle() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let ge = |c: &str, k: i64| {
+        Pred::cmp(
+            Operand::Attr(attr(c)),
+            CmpOp::Ge,
+            Operand::Const(Value::Int(k)),
+        )
+    };
+    // (pred, semantic oracle) pairs: pure conjunctions, mixed
+    // vectorizable + residual disjunction, attribute-to-attribute
+    // comparison, and an all-residual predicate (columnar falls back).
+    type Keep = Box<dyn Fn(&Tuple) -> bool>;
+    let cases: Vec<(Pred, Keep)> = vec![
+        (
+            Pred::eq_const("C1", 2).and(ge("C3", 5)),
+            Box::new(|t: &Tuple| t[1] == Value::Int(2) && t[3] >= Value::Int(5)),
+        ),
+        (
+            ge("C2", 3)
+                .and(Pred::eq_const("C0", 1).or(Pred::eq_const("C4", 0)))
+                .and(Pred::eq_const("C5", 4)),
+            Box::new(|t: &Tuple| {
+                t[2] >= Value::Int(3)
+                    && (t[0] == Value::Int(1) || t[4] == Value::Int(0))
+                    && t[5] == Value::Int(4)
+            }),
+        ),
+        (
+            Pred::cmp(
+                Operand::Attr(attr("C0")),
+                CmpOp::Lt,
+                Operand::Attr(attr("C3")),
+            ),
+            Box::new(|t: &Tuple| t[0] < t[3]),
+        ),
+        (
+            Pred::eq_const("C1", 1).or(Pred::eq_const("C2", 2)),
+            Box::new(|t: &Tuple| t[1] == Value::Int(1) || t[2] == Value::Int(2)),
+        ),
+    ];
+    for rel in [wide_rel(7, 700, 6), wide_rel(13, 64, 8)] {
+        // Force stats on one input so the selectivity-ordered route runs.
+        let _ = rel.stats();
+        for (pred, keep) in &cases {
+            let oracle = o_select(&rel, keep);
+            for threads in [1usize, 4] {
+                let (row, col) = at_threads(threads, || row_vs_columnar(|| rel.select(pred)));
+                let (row, col) = (row.unwrap(), col.unwrap());
+                assert_eq!(
+                    row, col,
+                    "row vs columnar diverged ({pred}, {threads} threads)"
+                );
+                assert_is(&col, &oracle, &format!("σ[{pred}] @ {threads} threads"));
+            }
+        }
+    }
+    // Error parity: an unknown attribute fails identically on both paths.
+    let rel = wide_rel(7, 100, 6);
+    let bad = Pred::eq_const("Nope", 1).and(Pred::eq_const("C0", 0));
+    let (row, col) = row_vs_columnar(|| rel.select(&bad));
+    assert!(row.is_err() && col.is_err());
+}
+
+/// The natural-join oracle: a nested-loop walk matching common attributes.
+fn o_natural_join(l: &Relation, r: &Relation) -> BTreeSet<Vec<Value>> {
+    let common = l.schema().common(r.schema());
+    let l_idx: Vec<usize> = common
+        .iter()
+        .map(|a| l.schema().index_of(a).unwrap())
+        .collect();
+    let r_idx: Vec<usize> = common
+        .iter()
+        .map(|a| r.schema().index_of(a).unwrap())
+        .collect();
+    let r_private: Vec<usize> = (0..r.schema().arity())
+        .filter(|i| !r_idx.contains(i))
+        .collect();
+    let mut out = BTreeSet::new();
+    for lt in l.iter() {
+        for rt in r.iter() {
+            if l_idx.iter().zip(&r_idx).all(|(&li, &ri)| lt[li] == rt[ri]) {
+                let mut row: Vec<Value> = lt.to_vec();
+                row.extend(r_private.iter().map(|&i| rt[i]));
+                out.insert(row);
+            }
+        }
+    }
+    out
+}
+
+/// Two wide relations sharing the columns `C2`,`C3` (domains kept small so
+/// joins actually match).
+fn join_inputs(rows: usize) -> (Relation, Relation) {
+    let l = wide_rel(7, rows, 6);
+    let names = ["C2", "C3", "D0", "D1", "D2"];
+    let r = Relation::from_rows(
+        Schema::of(&names),
+        (0..rows as i64).map(|i| {
+            [
+                Value::Int((i * 21 + 2) % 13), // C2's domain
+                Value::Int((i * 28 + 3) % 18), // C3's domain
+                Value::Int(i % 7),
+                Value::Int((i * 3) % 5),
+                Value::Int((i * 5 + 1) % 9),
+            ]
+            .into_iter()
+            .collect::<Tuple>()
+        }),
+    )
+    .unwrap();
+    (l, r)
+}
+
+#[test]
+fn columnar_join_keys_match_row_path_and_oracle() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for rows in [80usize, 600] {
+        let (l, r) = join_inputs(rows);
+        let nj_oracle = o_natural_join(&l, &r);
+        for threads in [1usize, 4] {
+            // Natural join: common-attribute hash keys.
+            let (row, col) = at_threads(threads, || row_vs_columnar(|| l.natural_join(&r)));
+            assert_eq!(row, col, "⋈ row vs columnar ({rows} rows, {threads} thr)");
+            assert_is(&col, &nj_oracle, &format!("⋈ {rows} rows @ {threads} thr"));
+
+            // Semijoin: key-set membership from extracted columns.
+            let (row, col) = at_threads(threads, || row_vs_columnar(|| l.semijoin(&r)));
+            assert_eq!(row, col, "⋉ row vs columnar ({rows} rows, {threads} thr)");
+            let sj_oracle: BTreeSet<Vec<Value>> = nj_oracle
+                .iter()
+                .map(|t| t[..l.schema().arity()].to_vec())
+                .collect();
+            assert_is(&col, &sj_oracle, &format!("⋉ {rows} rows @ {threads} thr"));
+
+            // Theta join: extracted equi-keys plus a residual conjunct.
+            let rr = r
+                .rename(&[
+                    ("C2".into(), "E2".into()),
+                    ("C3".into(), "E3".into()),
+                    ("D0".into(), "E0".into()),
+                    ("D1".into(), "E1".into()),
+                    ("D2".into(), "E4".into()),
+                ])
+                .unwrap();
+            let pred = Pred::eq_attr("C2", "E2").and(Pred::cmp(
+                Operand::Attr(attr("C4")),
+                CmpOp::Ge,
+                Operand::Attr(attr("E0")),
+            ));
+            let (row, col) = at_threads(threads, || row_vs_columnar(|| l.theta_join(&rr, &pred)));
+            let (row, col) = (row.unwrap(), col.unwrap());
+            assert_eq!(
+                row, col,
+                "⋈[θ] row vs columnar ({rows} rows, {threads} thr)"
+            );
+            let tj_oracle: BTreeSet<Vec<Value>> = l
+                .iter()
+                .flat_map(|lt| {
+                    rr.iter()
+                        .filter(move |rt| lt[2] == rt[0] && lt[4] >= rt[2])
+                        .map(move |rt| {
+                            let mut row = lt.to_vec();
+                            row.extend(rt.iter().copied());
+                            row
+                        })
+                })
+                .collect();
+            assert_is(
+                &col,
+                &tj_oracle,
+                &format!("⋈[θ] {rows} rows @ {threads} thr"),
+            );
+        }
+    }
+}
+
+#[test]
+fn columnar_grouping_matches_row_path_and_oracle() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Columnar grouping/division only engages when the pool fans out, so
+    // drop the morsel gate to cover these inputs at 4 threads.
+    pool::set_par_min_tuples(Some(1));
+    for rel in [wide_rel(5, 500, 7), wide_rel(11, 64, 6)] {
+        let key = attrs(&["C1", "C2"]);
+        // partition_by: group membership oracle.
+        let mut oracle: std::collections::BTreeMap<Vec<Value>, BTreeSet<Vec<Value>>> =
+            Default::default();
+        for t in rel.iter() {
+            oracle
+                .entry(vec![t[1], t[2]])
+                .or_default()
+                .insert(t.to_vec());
+        }
+        for threads in [1usize, 4] {
+            let (row, col) = at_threads(threads, || {
+                row_vs_columnar(|| rel.partition_by(&key).unwrap())
+            });
+            assert_eq!(row, col, "χ row vs columnar @ {threads} thr");
+            assert_eq!(col.len(), oracle.len());
+            for ((k, part), (ok, op)) in col.iter().zip(&oracle) {
+                assert_eq!(&k.to_vec(), ok, "partition key order");
+                assert_is(part, op, "partition content");
+            }
+
+            // partition_by_project, fast layout (keep = leading columns,
+            // key = the rest) and a fallback layout.
+            let arity = rel.schema().arity();
+            let keep: Vec<relalg::Attr> = rel.schema().attrs()[..2].to_vec();
+            let pkey: Vec<relalg::Attr> = rel.schema().attrs()[2..arity].to_vec();
+            let (row, col) = at_threads(threads, || {
+                row_vs_columnar(|| rel.partition_by_project(&pkey, &keep).unwrap())
+            });
+            assert_eq!(row, col, "χπ fast row vs columnar @ {threads} thr");
+            let (row, col) = at_threads(threads, || {
+                row_vs_columnar(|| rel.partition_by_project(&key, &keep).unwrap())
+            });
+            assert_eq!(row, col, "χπ fallback row vs columnar @ {threads} thr");
+
+            // divide: against the classical RA definition built from
+            // independently checked operators.
+            let divisor = rel
+                .project(&attrs(&["C5"]))
+                .unwrap()
+                .select(&Pred::cmp(
+                    Operand::Attr(attr("C5")),
+                    CmpOp::Ge,
+                    Operand::Const(Value::Int(1)),
+                ))
+                .unwrap();
+            let (row, col) = at_threads(threads, || {
+                row_vs_columnar(|| rel.divide(&divisor).unwrap())
+            });
+            assert_eq!(row, col, "÷ row vs columnar @ {threads} thr");
+            let a: Vec<relalg::Attr> = rel.schema().minus(divisor.schema().attrs());
+            let pa = rel.project(&a).unwrap();
+            let all_pairs = pa.product(&divisor).unwrap();
+            let missing = all_pairs
+                .difference(&all_pairs.semijoin(&rel))
+                .unwrap()
+                .project(&a)
+                .unwrap();
+            let want = pa.difference(&missing).unwrap();
+            assert_eq!(col, want, "÷ classical-definition oracle @ {threads} thr");
+        }
+    }
+    pool::set_par_min_tuples(None);
+}
+
 // ---- proptest: random wide inputs through both projection paths ----
 
 type WideRow = ((i64, i64), (i64, i64), (i64, i64));
@@ -272,5 +545,48 @@ proptest! {
         let got: Vec<Vec<Value>> = col.iter().map(|t| t.to_vec()).collect();
         let want: Vec<Vec<Value>> = oracle.iter().cloned().collect();
         prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn filter_join_group_paths_agree_on_random_wide_inputs(
+        rows in wide_rows(),
+        k in 0i64..4,
+        threads_pick in 0usize..2,
+    ) {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let threads = if threads_pick == 0 { 1 } else { 4 };
+        // Let the pool-gated grouping/division kernels engage on these
+        // small inputs when threads > 1.
+        pool::set_par_min_tuples(Some(1));
+        let rel = Relation::from_rows(
+            Schema::of(&["A", "B", "C", "D", "E", "F"]),
+            rows.iter().map(|&((a, b), (c, d), (e, f))| {
+                [a, b, c, d, e, f].into_iter().map(Value::Int).collect::<Tuple>()
+            }),
+        ).unwrap();
+        let pred = Pred::eq_const("B", k).and(Pred::cmp(
+            Operand::Attr(attr("D")),
+            CmpOp::Ge,
+            Operand::Const(Value::Int(1)),
+        ));
+        let other = rel
+            .rename(&[
+                ("A".into(), "G".into()),
+                ("B".into(), "H".into()),
+                ("E".into(), "I".into()),
+                ("F".into(), "J".into()),
+            ])
+            .unwrap();
+        let (rowp, colp) = at_threads(threads, || row_vs_columnar(|| {
+            (
+                rel.select(&pred).unwrap(),
+                rel.natural_join(&other),
+                rel.semijoin(&other),
+                rel.partition_by(&attrs(&["C", "D"])).unwrap(),
+                rel.divide(&rel.project(&attrs(&["F"])).unwrap()).unwrap(),
+            )
+        }));
+        pool::set_par_min_tuples(None);
+        prop_assert_eq!(rowp, colp);
     }
 }
