@@ -1,0 +1,144 @@
+//! B12: factorized world-set execution — the algebra over the succinct
+//! [`FactoredSet`] representation vs. explicit possible-worlds
+//! enumeration, on an implicit-worlds axis (10² – 10⁶).
+//!
+//! The multiplicative shape is the union of two independent `choice of`
+//! branches closed by `cert`: `cert(χ_A(R) ∪ δ_{B→A}(χ_B(S)))` evaluates
+//! over `|A-groups| × |B-groups|` implicit worlds, while the data is only
+//! `|R| + |S|` rows. The enumerated path materializes every world pair
+//! before `cert` merges them — quadratic in the group counts — so its
+//! legs stop at 10⁴; the factorized path carries one choice variable per
+//! `χ` and a per-tuple lineage column, staying linear in the data, and
+//! runs the full axis to 10⁶ (where enumeration would need a million
+//! world pairs).
+//!
+//! The world-axis legs mirror B1/B8: a 16/64-world input (flights split
+//! by departure) under two query shapes. `pair_cert` unions two
+//! world-splitting operands — the enumerated evaluator pairs every left
+//! split with every right split per input world, so its cost grows
+//! ~worlds², while the factorized path conjoins two validity formulas
+//! (16w: ~4× win; 64w: ~18× win, growing with the world count).
+//! `merge_poss` is a deliberately *linear* control shape (one choice
+//! closed by `poss`, final world count = input world count) that
+//! documents the factorized representation's conversion overhead where
+//! enumeration is already cheap.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use relalg::{attrs, Relation, Schema, Value};
+use worldset::WorldSet;
+use wsa::{eval_factorized, eval_named, Query};
+
+/// A single-column relation with `d` distinct values offset by `base`
+/// (disjoint offsets keep the two union branches value-disjoint, so every
+/// world pair is a distinct database and dedup removes nothing).
+fn domain_rel(name: &str, d: i64, base: i64) -> Relation {
+    Relation::from_rows(
+        Schema::of(&[name]),
+        (0..d).map(|i| vec![Value::Int(base + i)]),
+    )
+    .unwrap()
+}
+
+/// `cert(χ_A(R) ∪ δ_{B→A}(χ_B(S)))` — `da × db` implicit worlds.
+fn union_query() -> Query {
+    Query::rel("R")
+        .choice(attrs(&["A"]))
+        .union(
+            Query::rel("S")
+                .choice(attrs(&["B"]))
+                .rename(vec![("B".into(), "A".into())]),
+        )
+        .cert()
+}
+
+fn union_input(da: i64, db: i64) -> WorldSet {
+    WorldSet::single(vec![
+        ("R", domain_rel("A", da, 0)),
+        ("S", domain_rel("B", db, 1_000_000)),
+    ])
+}
+
+fn bench_factorized_worlds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factorized_worlds");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    // ---- implicit-worlds axis ----
+    let q = union_query();
+    for &(tag, da, db) in &[
+        ("1e2", 10i64, 10i64),
+        ("1e3", 100, 10),
+        ("1e4", 100, 100),
+        ("1e5", 1_000, 100),
+        ("1e6", 1_000, 1_000),
+    ] {
+        let ws = union_input(da, db);
+        group.bench_with_input(BenchmarkId::new("factored", tag), &(), |b, _| {
+            b.iter(|| black_box(eval_factorized(&q, &ws, "Ans").unwrap()));
+        });
+        // The enumerated oracle materializes da×db worlds before `cert`:
+        // beyond 10⁴ it is out of benchmarking range (one-shot measured
+        // 1.1 s at 10⁵; see EXPERIMENTS.md for the recorded comparison).
+        if da * db <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("enum", tag), &(), |b, _| {
+                b.iter(|| black_box(eval_named(&q, &ws, "Ans").unwrap()));
+            });
+        }
+    }
+
+    // ---- B1/B8-style world axis: 16/64 input worlds ----
+    for &worlds in &[16usize, 64] {
+        let flights = datagen::flights(7, worlds, 12, 6);
+        let ws = WorldSet::single(vec![("F", flights)]);
+        let by_dep = eval_named(&Query::rel("F").choice(attrs(&["Dep"])), &ws, "ByDep")
+            .expect("split by departure");
+        assert_eq!(by_dep.len(), worlds);
+        let tag = format!("{worlds}w");
+
+        // Pairing shape: a union of two world-splitting operands. The
+        // enumerated evaluator pairs every left split with every right
+        // split per input world (the right operand's `χ_Dep(F)` splits
+        // each world `worlds` ways again), so its cost grows ~worlds²;
+        // the factorized path conjoins two validity formulas instead.
+        let pair = Query::rel("ByDep")
+            .choice(attrs(&["Arr"]))
+            .project(attrs(&["Arr"]))
+            .union(
+                Query::rel("F")
+                    .choice(attrs(&["Dep"]))
+                    .project(attrs(&["Arr"])),
+            )
+            .cert();
+        group.bench_with_input(BenchmarkId::new("pair_cert_factored", &tag), &(), |b, _| {
+            b.iter(|| black_box(eval_factorized(&pair, &by_dep, "Ans").unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("pair_cert_enum", &tag), &(), |b, _| {
+            b.iter(|| black_box(eval_named(&pair, &by_dep, "Ans").unwrap()));
+        });
+
+        // Merge shape: one further choice closed by `poss`. Here the
+        // enumerated intermediate is only worlds × arr-groups and the
+        // final world count matches the input — a *linear* shape, kept to
+        // document the factorized representation's conversion overhead
+        // where enumeration is already cheap.
+        let merge = Query::rel("ByDep").choice(attrs(&["Arr"])).poss();
+        group.bench_with_input(
+            BenchmarkId::new("merge_poss_factored", &tag),
+            &(),
+            |b, _| {
+                b.iter(|| black_box(eval_factorized(&merge, &by_dep, "Ans").unwrap()));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("merge_poss_enum", &tag), &(), |b, _| {
+            b.iter(|| black_box(eval_named(&merge, &by_dep, "Ans").unwrap()));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorized_worlds);
+criterion_main!(benches);

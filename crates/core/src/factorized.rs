@@ -1,0 +1,530 @@
+//! Factorized evaluation of World-set Algebra: the algebra runs over the
+//! succinct [`FactoredSet`] representation, and explicit worlds are only
+//! materialized at *decode boundaries*.
+//!
+//! The evaluator mirrors [`crate::semantics`] node for node, but carries a
+//! mixed representation ([`Rep`]): a branch is either **factored** — a
+//! lineage-carrying answer [`Relation`] plus a world-validity [`Dnf`] over
+//! the shared [`FactoredSet`] — or **enumerated**, the explicit world list
+//! of the reference semantics. Operators translate as follows:
+//!
+//! * `σ`/`π`/`δ` run directly on the factored answer (lineage rides along
+//!   as an ordinary column through the vectorized kernels);
+//! * `×`/`∪`/`∩`/`−` conjoin the operands' validity formulas — the
+//!   factorized analogue of the reference evaluator's prefix pairing —
+//!   and combine lineage per tuple, checking mutual exclusion at join
+//!   time;
+//! * `χ_U` allocates one fresh choice variable instead of materializing
+//!   one world per group: `n` chained choices multiply the implicit world
+//!   count while the representation grows by `n` variables;
+//! * `poss`/`cert` fold the lineage column back to certainty without
+//!   expanding;
+//! * `pγ`/`cγ` (grouping reads *answers across worlds* as first-class
+//!   values) and `repair-by-key` are decode boundaries: the branch is
+//!   expanded to explicit worlds and evaluation continues enumerated.
+//!
+//! [`eval_named_routed`] is the public entry: a cost-model-driven chooser
+//! ([`should_factorize`], using the [`Relation::stats`] cardinalities to
+//! estimate the implicit world count) decides factorized vs. enumerated
+//! per query, and *any* factorized error — a representation budget
+//! overflow or a genuine algebra error — falls back to the reference
+//! evaluator, whose result (or error) is authoritative. The strict entry
+//! [`eval_factorized`] is exposed for equivalence testing: modulo
+//! fallback, the two paths return byte-identical world-sets.
+
+use relalg::{config, Relation, Result};
+use uldb::factored::WORLDS_BUDGET;
+use uldb::{Dnf, FResult, FactorError, FactoredSet};
+use worldset::{World, WorldSet};
+
+use crate::semantics::{
+    apply_binary, apply_choice, apply_grouped, apply_repair, apply_unary, dedup_worlds,
+};
+use crate::Query;
+
+/// A branch of the evaluation: factored (answer relation + validity
+/// formula over the shared variable space) or enumerated (explicit
+/// worlds, exactly as in [`crate::semantics`]).
+enum Rep {
+    F { rel: Relation, w: Dnf },
+    E(Vec<World>),
+}
+
+struct Fx {
+    fs: FactoredSet,
+}
+
+impl Fx {
+    fn eval(&mut self, q: &Query) -> FResult<Rep> {
+        match q {
+            Query::Rel(name) => {
+                let rel = self
+                    .fs
+                    .table(name)
+                    .ok_or_else(|| relalg::RelalgError::UnknownTable { name: name.clone() })?
+                    .clone();
+                let w = self.fs.worlds().clone();
+                Ok(Rep::F { rel, w })
+            }
+
+            Query::Select(p, inner) => match self.eval(inner)? {
+                Rep::F { rel, w } => Ok(Rep::F {
+                    rel: self.fs.select(&rel, p)?,
+                    w,
+                }),
+                Rep::E(input) => Ok(Rep::E(dedup_worlds(apply_unary(&input, |r| r.select(p))?))),
+            },
+            Query::Project(attrs, inner) => match self.eval(inner)? {
+                Rep::F { rel, w } => Ok(Rep::F {
+                    rel: self.fs.project(&rel, attrs)?,
+                    w,
+                }),
+                Rep::E(input) => Ok(Rep::E(dedup_worlds(apply_unary(&input, |r| {
+                    r.project(attrs)
+                })?))),
+            },
+            Query::Rename(map, inner) => match self.eval(inner)? {
+                Rep::F { rel, w } => Ok(Rep::F {
+                    rel: self.fs.rename(&rel, map)?,
+                    w,
+                }),
+                Rep::E(input) => Ok(Rep::E(dedup_worlds(apply_unary(&input, |r| {
+                    r.rename(map)
+                })?))),
+            },
+
+            Query::Product(a, b) => self.binary(a, b, BinOp::Product),
+            Query::Union(a, b) => self.binary(a, b, BinOp::Union),
+            Query::Intersect(a, b) => self.binary(a, b, BinOp::Intersect),
+            Query::Difference(a, b) => self.binary(a, b, BinOp::Difference),
+
+            Query::Choice(attrs, inner) => match self.eval(inner)? {
+                Rep::F { rel, w } => {
+                    let (rel, w) = self.fs.choice(&rel, attrs, &w)?;
+                    Ok(Rep::F { rel, w })
+                }
+                Rep::E(input) => Ok(Rep::E(dedup_worlds(apply_choice(&input, attrs)?))),
+            },
+
+            Query::Poss(inner) => match self.eval(inner)? {
+                // The merged answer is certain (lineage ⊤) and every
+                // valid world keeps its prefix: `w` is unchanged.
+                Rep::F { rel, w } => Ok(Rep::F {
+                    rel: self.fs.poss(&rel, &w)?,
+                    w,
+                }),
+                Rep::E(input) => Ok(Rep::E(dedup_worlds(apply_grouped(
+                    &input, None, None, true,
+                )?))),
+            },
+            Query::Cert(inner) => match self.eval(inner)? {
+                Rep::F { rel, w } => Ok(Rep::F {
+                    rel: self.fs.cert(&rel, &w)?,
+                    w,
+                }),
+                Rep::E(input) => Ok(Rep::E(dedup_worlds(apply_grouped(
+                    &input, None, None, false,
+                )?))),
+            },
+
+            // Decode boundaries: grouping compares answer *sets* across
+            // worlds — expand and continue enumerated.
+            Query::PossGroup { group, proj, input } => {
+                let rep = self.eval(input)?;
+                let worlds = self.to_worlds(rep)?;
+                Ok(Rep::E(dedup_worlds(apply_grouped(
+                    &worlds,
+                    Some(group),
+                    Some(proj),
+                    true,
+                )?)))
+            }
+            Query::CertGroup { group, proj, input } => {
+                let rep = self.eval(input)?;
+                let worlds = self.to_worlds(rep)?;
+                Ok(Rep::E(dedup_worlds(apply_grouped(
+                    &worlds,
+                    Some(group),
+                    Some(proj),
+                    false,
+                )?)))
+            }
+            Query::RepairKey(key, inner) => {
+                let rep = self.eval(inner)?;
+                let worlds = self.to_worlds(rep)?;
+                Ok(Rep::E(dedup_worlds(apply_repair(&worlds, key)?)))
+            }
+        }
+    }
+
+    fn binary(&mut self, a: &Query, b: &Query, op: BinOp) -> FResult<Rep> {
+        let ra = self.eval(a)?;
+        let rb = self.eval(b)?;
+        match (ra, rb) {
+            (Rep::F { rel: la, w: wa }, Rep::F { rel: lb, w: wb }) => {
+                // Validity product = the reference evaluator's pairing of
+                // operand worlds over the shared prefix: operand-private
+                // choice variables stay independent, shared base
+                // variables must agree.
+                let w = wa
+                    .and_dnf(&wb, self.fs.doms(), WORLDS_BUDGET)
+                    .ok_or(FactorError::Budget("binary validity product"))?;
+                let rel = match op {
+                    BinOp::Product => self.fs.product(&la, &lb)?,
+                    BinOp::Union => self.fs.union(&la, &lb)?,
+                    BinOp::Intersect => self.fs.intersect(&la, &lb)?,
+                    BinOp::Difference => self.fs.difference(&la, &lb)?,
+                };
+                Ok(Rep::F { rel, w })
+            }
+            (ra, rb) => {
+                let left = self.to_worlds(ra)?;
+                let right = self.to_worlds(rb)?;
+                let out = match op {
+                    BinOp::Product => apply_binary(&left, &right, |l, r| l.product(r)),
+                    BinOp::Union => apply_binary(&left, &right, |l, r| l.union(r)),
+                    BinOp::Intersect => apply_binary(&left, &right, |l, r| l.intersect(r)),
+                    BinOp::Difference => apply_binary(&left, &right, |l, r| l.difference(r)),
+                }?;
+                Ok(Rep::E(dedup_worlds(out)))
+            }
+        }
+    }
+
+    /// Decode a branch to explicit worlds (prefix relations + answer
+    /// last), the input format of the `apply_*` helpers.
+    fn to_worlds(&self, rep: Rep) -> FResult<Vec<World>> {
+        match rep {
+            Rep::E(worlds) => Ok(worlds),
+            Rep::F { rel, w } => {
+                let ws = self.fs.expand_with(&w, Some(("Q", &rel)))?;
+                Ok(ws.worlds())
+            }
+        }
+    }
+}
+
+enum BinOp {
+    Product,
+    Union,
+    Intersect,
+    Difference,
+}
+
+/// Evaluate `q` strictly on the factorized path (no fallback): identical
+/// output to [`crate::eval_named`] whenever it succeeds. Budget overflows
+/// surface as [`FactorError::Budget`].
+pub fn eval_factorized(q: &Query, ws: &WorldSet, out_name: &str) -> FResult<WorldSet> {
+    let fs = FactoredSet::from_world_set(ws)?;
+    let mut fx = Fx { fs };
+    match fx.eval(q)? {
+        Rep::F { rel, w } => fx.fs.expand_with(&w, Some((out_name, &rel))),
+        Rep::E(worlds) => {
+            let mut names = ws.rel_names().to_vec();
+            names.push(out_name.to_string());
+            Ok(WorldSet::from_worlds(names, worlds)?)
+        }
+    }
+}
+
+/// Evaluate `q`, choosing the representation per query: the factorized
+/// path when [`should_factorize`] fires, with transparent fallback to the
+/// reference evaluator on *any* factorized error (the enumerated result —
+/// or error — is authoritative).
+pub fn eval_named_routed(q: &Query, ws: &WorldSet, out_name: &str) -> Result<WorldSet> {
+    if should_factorize(q, ws) {
+        if let Ok(out) = eval_factorized(q, ws, out_name) {
+            return Ok(out);
+        }
+    }
+    crate::semantics::eval_named(q, ws, out_name)
+}
+
+/// Whether the chooser routes `q` to the factorized path: factorization
+/// enabled, a non-empty input, at least one world-splitting `choice-of`
+/// to factor, and an implicit world count estimate at or above
+/// `WSDB_FACTORIZE_MIN_WORLDS` (default 16) — below that, enumerated
+/// evaluation is cheap and avoids the conversion overhead.
+pub fn should_factorize(q: &Query, ws: &WorldSet) -> bool {
+    config::factorize_enabled()
+        && !ws.is_empty()
+        && has_choice(q)
+        && implicit_world_estimate(q, ws) >= config::FACTORIZE_MIN_WORLDS.get() as u128
+}
+
+fn has_choice(q: &Query) -> bool {
+    match q {
+        Query::Choice(_, _) => true,
+        Query::Rel(_) => false,
+        Query::Select(_, i)
+        | Query::Project(_, i)
+        | Query::Rename(_, i)
+        | Query::Poss(i)
+        | Query::Cert(i)
+        | Query::RepairKey(_, i) => has_choice(i),
+        Query::PossGroup { input, .. } | Query::CertGroup { input, .. } => has_choice(input),
+        Query::Product(a, b)
+        | Query::Union(a, b)
+        | Query::Intersect(a, b)
+        | Query::Difference(a, b) => has_choice(a) || has_choice(b),
+    }
+}
+
+/// Estimate of the number of implicit worlds `q` creates over `ws`:
+/// `|ws|` times the per-world splitting factor of the query tree. Choice
+/// nodes contribute their estimated group count (the PR 5 statistics of
+/// the base relation they resolve to, or a default of 4); binary nodes
+/// pair operand worlds, multiplying the estimates. Saturating; an
+/// estimate, not a bound — used only to steer the representation choice
+/// and reported by `EXPLAIN`.
+pub fn implicit_world_estimate(q: &Query, ws: &WorldSet) -> u128 {
+    implicit_world_estimate_with(q, ws.len(), &|name, attrs| {
+        let idx = ws.index_of(name)?;
+        let w = ws.iter().next()?;
+        let r = w.rel(idx);
+        let stats = r.stats();
+        let d = attrs
+            .iter()
+            .filter_map(|a| stats.distinct_of(r.schema(), a))
+            .max()?;
+        Some((d.min(stats.rows).max(1)) as u128)
+    })
+}
+
+/// [`implicit_world_estimate`] for callers that hold a *succinct
+/// representation* rather than enumerated worlds: `world_count` is the
+/// representation's world count, and `distinct` supplies the
+/// distinct-count statistic for a base relation's attributes (e.g. from
+/// an inlined table's column statistics, which over-count per-world
+/// groups — acceptable for an upper-bound steer). `None` from the lookup
+/// falls back to the default group estimate of 4. This lets the Figure-6
+/// translation route consult the chooser without first decoding its
+/// representation into explicit worlds.
+pub fn implicit_world_estimate_with(
+    q: &Query,
+    world_count: usize,
+    distinct: &dyn Fn(&str, &[relalg::Attr]) -> Option<u128>,
+) -> u128 {
+    (world_count as u128).saturating_mul(split_estimate(q, distinct))
+}
+
+fn split_estimate(q: &Query, distinct: &dyn Fn(&str, &[relalg::Attr]) -> Option<u128>) -> u128 {
+    match q {
+        Query::Rel(_) => 1,
+        Query::Select(_, i) | Query::Project(_, i) | Query::Rename(_, i) => {
+            split_estimate(i, distinct)
+        }
+        // poss/cert/pγ/cγ merge answers but keep every world.
+        Query::Poss(i) | Query::Cert(i) => split_estimate(i, distinct),
+        Query::PossGroup { input, .. } | Query::CertGroup { input, .. } => {
+            split_estimate(input, distinct)
+        }
+        Query::Choice(attrs, i) => {
+            split_estimate(i, distinct).saturating_mul(group_estimate(attrs, i, distinct))
+        }
+        // Repairs multiply by the product of key-group sizes; without
+        // per-group statistics use a small constant.
+        Query::RepairKey(_, i) => split_estimate(i, distinct).saturating_mul(4),
+        Query::Product(a, b)
+        | Query::Union(a, b)
+        | Query::Intersect(a, b)
+        | Query::Difference(a, b) => {
+            split_estimate(a, distinct).saturating_mul(split_estimate(b, distinct))
+        }
+    }
+}
+
+/// Estimated number of `χ_U` groups: when the choice input resolves to a
+/// base relation through unary operators (renames map the `U`-attributes
+/// back to the base schema), the `distinct` statistic of the
+/// `U`-attributes from that relation; else a default of 4.
+fn group_estimate(
+    attrs: &[relalg::Attr],
+    inner: &Query,
+    distinct: &dyn Fn(&str, &[relalg::Attr]) -> Option<u128>,
+) -> u128 {
+    const DEFAULT: u128 = 4;
+    let mut cur = inner;
+    let mut attrs: Vec<relalg::Attr> = attrs.to_vec();
+    let name = loop {
+        match cur {
+            Query::Rel(n) => break n,
+            Query::Select(_, i) | Query::Project(_, i) | Query::Choice(_, i) => cur = i,
+            Query::Rename(map, i) => {
+                for a in &mut attrs {
+                    if let Some((src, _)) = map.iter().find(|(_, dst)| dst == a) {
+                        *a = src.clone();
+                    }
+                }
+                cur = i;
+            }
+            _ => return DEFAULT,
+        }
+    };
+    distinct(name, &attrs).unwrap_or(DEFAULT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalg::attrs;
+
+    fn flights() -> Relation {
+        Relation::table(
+            &["Dep", "Arr"],
+            &[
+                &["FRA", "BCN"],
+                &["FRA", "ATL"],
+                &["PAR", "ATL"],
+                &["PAR", "BCN"],
+                &["PHL", "ATL"],
+            ],
+        )
+    }
+
+    fn single() -> WorldSet {
+        WorldSet::single(vec![("Flights", flights())])
+    }
+
+    fn both(q: &Query, ws: &WorldSet) {
+        let fact = eval_factorized(q, ws, "Q").expect("factorized path");
+        let reference = crate::eval_named(q, ws, "Q").expect("enumerated path");
+        assert_eq!(fact, reference);
+    }
+
+    #[test]
+    fn factorized_matches_enumerated_on_core_shapes() {
+        let ws = single();
+        let dep = attrs(&["Dep"]);
+        let arr = attrs(&["Arr"]);
+        both(&Query::rel("Flights"), &ws);
+        both(&Query::rel("Flights").choice(dep.clone()), &ws);
+        both(
+            &Query::rel("Flights")
+                .choice(dep.clone())
+                .project(arr.clone()),
+            &ws,
+        );
+        both(
+            &Query::rel("Flights")
+                .choice(dep.clone())
+                .project(arr.clone())
+                .poss(),
+            &ws,
+        );
+        both(
+            &Query::rel("Flights")
+                .choice(dep.clone())
+                .project(arr.clone())
+                .cert(),
+            &ws,
+        );
+        both(
+            &Query::rel("Flights")
+                .choice(dep.clone())
+                .choice(arr.clone()),
+            &ws,
+        );
+    }
+
+    #[test]
+    fn factorized_matches_enumerated_on_binary_shapes() {
+        let ws = single();
+        let dep = attrs(&["Dep"]);
+        let arr = attrs(&["Arr"]);
+        // Independent choices on the two operands of a product.
+        let left = Query::rel("Flights")
+            .choice(dep.clone())
+            .project(arr.clone());
+        let right = Query::rel("Flights")
+            .choice(dep.clone())
+            .project(arr.clone())
+            .rename(vec![("Arr".into(), "Arr2".into())]);
+        both(&left.clone().product(right), &ws);
+        // Difference against a choice.
+        let q = Query::rel("Flights")
+            .project(arr.clone())
+            .difference(left.clone());
+        both(&q, &ws);
+        // Union and intersection.
+        both(
+            &left
+                .clone()
+                .union(Query::rel("Flights").project(arr.clone())),
+            &ws,
+        );
+        both(
+            &left
+                .clone()
+                .intersect(Query::rel("Flights").project(arr.clone())),
+            &ws,
+        );
+    }
+
+    #[test]
+    fn decode_boundaries_match_enumerated() {
+        let r = Relation::table(&["A", "B"], &[&[1i64, 2], &[2, 3], &[2, 4], &[3, 2]]);
+        let ws = WorldSet::single(vec![("R", r)]);
+        both(
+            &Query::rel("R")
+                .choice(attrs(&["A"]))
+                .poss_group(attrs(&["B"]), attrs(&["A", "B"])),
+            &ws,
+        );
+        both(
+            &Query::rel("R")
+                .choice(attrs(&["A"]))
+                .cert_group(attrs(&["B"]), attrs(&["B"])),
+            &ws,
+        );
+        both(&Query::rel("R").repair_by_key(attrs(&["A"])), &ws);
+        // A choice *after* a decode boundary continues enumerated.
+        both(
+            &Query::rel("R")
+                .repair_by_key(attrs(&["A"]))
+                .choice(attrs(&["A"])),
+            &ws,
+        );
+    }
+
+    #[test]
+    fn routed_equals_enumerated_and_falls_back() {
+        let ws = single();
+        let q = Query::rel("Flights")
+            .choice(attrs(&["Dep"]))
+            .project(attrs(&["Arr"]));
+        assert_eq!(
+            eval_named_routed(&q, &ws, "Q").unwrap(),
+            crate::eval_named(&q, &ws, "Q").unwrap()
+        );
+        // Unknown table: routed must surface the enumerated error.
+        let bad = Query::rel("Nope").choice(attrs(&["Dep"]));
+        assert!(eval_named_routed(&bad, &ws, "Q").is_err());
+    }
+
+    #[test]
+    fn chooser_uses_stats_and_toggle() {
+        let ws = single();
+        let q3 = Query::rel("Flights").choice(attrs(&["Dep"]));
+        // 1 world × 3 Dep groups.
+        assert_eq!(implicit_world_estimate(&q3, &ws), 3);
+        // Chained choices multiply: 3 Dep × 2 Arr.
+        let q6 = Query::rel("Flights")
+            .choice(attrs(&["Dep"]))
+            .choice(attrs(&["Arr"]));
+        assert_eq!(implicit_world_estimate(&q6, &ws), 6);
+        // Pin the toggle on so the assertions hold under the CI
+        // `WSDB_NO_FACTORIZE=1` leg too.
+        config::set_factorize_enabled(Some(true));
+        assert!(!should_factorize(&q6, &ws), "6 < default threshold 16");
+        let q_big = q6.clone().choice(attrs(&["Dep"]));
+        assert_eq!(implicit_world_estimate(&q_big, &ws), 18);
+        assert!(should_factorize(&q_big, &ws));
+        // No choice node ⇒ never factorize.
+        assert!(!should_factorize(&Query::rel("Flights"), &ws));
+        // The runtime toggle wins.
+        config::set_factorize_enabled(Some(false));
+        assert!(!should_factorize(&q_big, &ws));
+        config::set_factorize_enabled(None);
+    }
+}

@@ -24,6 +24,7 @@
 
 mod ast;
 mod display;
+pub mod factorized;
 mod genericity;
 mod program;
 pub mod repair;
@@ -32,6 +33,10 @@ pub mod typing;
 
 pub use ast::Query;
 pub use display::render_tree;
+pub use factorized::{
+    eval_factorized, eval_named_routed, implicit_world_estimate, implicit_world_estimate_with,
+    should_factorize,
+};
 pub use genericity::{check_generic, query_constants};
 pub use program::{eval_program, Program, Statement};
 pub use semantics::{eval, eval_named};

@@ -46,10 +46,15 @@ pub fn eval_named(q: &Query, ws: &WorldSet, out_name: &str) -> Result<WorldSet> 
 /// Core evaluator: returns the extended worlds (k+1 relations each),
 /// deduplicated (the model is a *set* of worlds; without deduplication
 /// nested world-splitting operators would multiply identical worlds).
-fn eval_worlds(q: &Query, ws: &WorldSet) -> Result<Vec<World>> {
+pub(crate) fn eval_worlds(q: &Query, ws: &WorldSet) -> Result<Vec<World>> {
     let raw = eval_worlds_inner(q, ws)?;
+    Ok(dedup_worlds(raw))
+}
+
+/// Deduplicate a world list (the model is a *set* of worlds).
+pub(crate) fn dedup_worlds(raw: Vec<World>) -> Vec<World> {
     let set: std::collections::BTreeSet<World> = raw.into_iter().collect();
-    Ok(set.into_iter().collect())
+    set.into_iter().collect()
 }
 
 fn eval_worlds_inner(q: &Query, ws: &WorldSet) -> Result<Vec<World>> {
@@ -77,26 +82,7 @@ fn eval_worlds_inner(q: &Query, ws: &WorldSet) -> Result<Vec<World>> {
 
         Query::Choice(attrs, inner) => {
             let input = eval_worlds(inner, ws)?;
-            // Each world splits independently — the pool fans the partition
-            // work out per world, and the in-order concatenation keeps the
-            // sequential successor order.
-            flatten(relalg::pool::par_map(&input, |w| {
-                let answer = w.last();
-                if answer.is_empty() {
-                    // "When applied to the empty relation, choice-of
-                    // produces an empty relation" — one world survives.
-                    return Ok(vec![w.clone()]);
-                }
-                // One pass over the answer partitions it by the choice
-                // attributes (instead of one σ_{U=v} re-scan per created
-                // world); the prefix relations are shared by every
-                // successor world.
-                Ok(answer
-                    .partition_by(attrs)?
-                    .into_iter()
-                    .map(|(_, part)| w.replace_last(part))
-                    .collect())
-            }))
+            apply_choice(&input, attrs)
         }
 
         Query::Poss(inner) => grouped(ws, inner, None, None, true),
@@ -110,14 +96,43 @@ fn eval_worlds_inner(q: &Query, ws: &WorldSet) -> Result<Vec<World>> {
 
         Query::RepairKey(key, inner) => {
             let input = eval_worlds(inner, ws)?;
-            flatten(relalg::pool::par_map(&input, |w| {
-                Ok(repairs_by_key(w.last(), key)?
-                    .into_iter()
-                    .map(|repair| w.replace_last(repair))
-                    .collect())
-            }))
+            apply_repair(&input, key)
         }
     }
+}
+
+/// `χ_U` over already-evaluated worlds: each world splits into one world
+/// per `U`-value of its answer; an empty answer keeps the world.
+pub(crate) fn apply_choice(input: &[World], attrs: &[relalg::Attr]) -> Result<Vec<World>> {
+    // Each world splits independently — the pool fans the partition work
+    // out per world, and the in-order concatenation keeps the sequential
+    // successor order.
+    flatten(relalg::pool::par_map(input, |w| {
+        let answer = w.last();
+        if answer.is_empty() {
+            // "When applied to the empty relation, choice-of produces an
+            // empty relation" — one world survives.
+            return Ok(vec![w.clone()]);
+        }
+        // One pass over the answer partitions it by the choice attributes
+        // (instead of one σ_{U=v} re-scan per created world); the prefix
+        // relations are shared by every successor world.
+        Ok(answer
+            .partition_by(attrs)?
+            .into_iter()
+            .map(|(_, part)| w.replace_last(part))
+            .collect())
+    }))
+}
+
+/// `repair-by-key_U` over already-evaluated worlds.
+pub(crate) fn apply_repair(input: &[World], key: &[relalg::Attr]) -> Result<Vec<World>> {
+    flatten(relalg::pool::par_map(input, |w| {
+        Ok(repairs_by_key(w.last(), key)?
+            .into_iter()
+            .map(|repair| w.replace_last(repair))
+            .collect())
+    }))
 }
 
 /// Concatenate per-world fan-out results in world order, surfacing the
@@ -136,7 +151,15 @@ fn unary(
     f: impl Fn(&Relation) -> Result<Relation> + Sync,
 ) -> Result<Vec<World>> {
     let input = eval_worlds(inner, ws)?;
-    relalg::pool::par_map(&input, |w| Ok(w.replace_last(f(w.last())?)))
+    apply_unary(&input, f)
+}
+
+/// A per-world answer transformation over already-evaluated worlds.
+pub(crate) fn apply_unary(
+    input: &[World],
+    f: impl Fn(&Relation) -> Result<Relation> + Sync,
+) -> Result<Vec<World>> {
+    relalg::pool::par_map(input, |w| Ok(w.replace_last(f(w.last())?)))
         .into_iter()
         .collect()
 }
@@ -153,17 +176,27 @@ fn binary(
 ) -> Result<Vec<World>> {
     let left = eval_worlds(a, ws)?;
     let right = eval_worlds(b, ws)?;
+    apply_binary(&left, &right, op)
+}
+
+/// Prefix-paired combination of two operand evaluations over the same
+/// original world-set.
+pub(crate) fn apply_binary(
+    left: &[World],
+    right: &[World],
+    op: impl Fn(&Relation, &Relation) -> Result<Relation> + Sync,
+) -> Result<Vec<World>> {
     // Group right worlds by their prefix. (`Ord` on `Arc<Relation>` always
     // compares relation data — prefixes must pair by *value*, since equal
     // worlds can arrive under distinct allocations from the two operand
     // evaluations.)
     let mut by_prefix: BTreeMap<&[Arc<Relation>], Vec<&Relation>> = BTreeMap::new();
-    for w in &right {
+    for w in right {
         by_prefix.entry(w.prefix()).or_default().push(w.last());
     }
     // The per-pair operator application fans out over the left worlds; the
     // map is only read concurrently.
-    flatten(relalg::pool::par_map(&left, |w| {
+    flatten(relalg::pool::par_map(left, |w| {
         let mut out = Vec::new();
         if let Some(partners) = by_prefix.get(w.prefix()) {
             for r in partners {
@@ -187,7 +220,16 @@ fn grouped(
     is_poss: bool,
 ) -> Result<Vec<World>> {
     let input = eval_worlds(inner, ws)?;
+    apply_grouped(&input, group, proj, is_poss)
+}
 
+/// `poss`/`cert`/`pγ`/`cγ` over already-evaluated worlds.
+pub(crate) fn apply_grouped(
+    input: &[World],
+    group: Option<&[relalg::Attr]>,
+    proj: Option<&[relalg::Attr]>,
+    is_poss: bool,
+) -> Result<Vec<World>> {
     // Key: π_U(answer) as a sorted, deduped tuple vector (None ⇒ single
     // group).
     let key_of = |w: &World| -> Result<Option<Vec<Tuple>>> {
@@ -209,7 +251,7 @@ fn grouped(
     // order, so the sequential merge below sees the same sequence as the
     // old single-threaded loop.
     type Keyed = (Option<Vec<Tuple>>, Arc<Relation>);
-    let keyed: Vec<Keyed> = relalg::pool::par_map(&input, |w| Ok((key_of(w)?, proj_of(w)?)))
+    let keyed: Vec<Keyed> = relalg::pool::par_map(input, |w| Ok((key_of(w)?, proj_of(w)?)))
         .into_iter()
         .collect::<Result<_>>()?;
 

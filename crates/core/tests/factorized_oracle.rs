@@ -1,0 +1,222 @@
+//! Equivalence oracle for the factorized engine: on every input and
+//! query shape covered here, [`wsa::eval_factorized`] must return a
+//! world-set **byte-identical** to the enumerated Figure-3 reference
+//! ([`wsa::eval_named`]) — at thread counts 1 and 4, with the
+//! `WSDB_NO_FACTORIZE` toggle in both positions for the routed entry, and
+//! over a proptest sweep of random choice nestings.
+//!
+//! The factorized path has no approximation license: it either produces
+//! the exact reference answer or reports a budget error (on which the
+//! routed entry falls back to the reference evaluator wholesale).
+
+use datagen::{random_query, random_world_set, QuerySpec, RandomSpec};
+use proptest::prelude::*;
+use relalg::{attrs, config, pool, Pred};
+use worldset::WorldSet;
+use wsa::{eval_factorized, eval_named, eval_named_routed, Query};
+
+/// Serializes tests that flip process-wide state (worker count, the
+/// factorize toggle).
+static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Render covers world order, relation order and every tuple: equal
+/// renders mean byte-identical world-sets (and `assert_eq!` on the value
+/// pins structural equality on top).
+fn render(ws: &WorldSet) -> String {
+    format!("{}worlds={}", ws.render(), ws.len())
+}
+
+/// The oracle: factorized output must equal the enumerated reference at
+/// thread counts 1 and 4.
+fn assert_factorized_matches(q: &Query, ws: &WorldSet) {
+    let _guard = lock();
+    for threads in [1usize, 4] {
+        pool::set_threads(threads);
+        let reference = eval_named(q, ws, "Ans").expect("reference evaluator");
+        let fact = eval_factorized(q, ws, "Ans").expect("factorized evaluator");
+        pool::set_threads(0);
+        assert_eq!(fact, reference, "diverged at {threads} thread(s) on {q}");
+        assert_eq!(
+            render(&fact),
+            render(&reference),
+            "render diverged at {threads} thread(s) on {q}"
+        );
+    }
+}
+
+const SEEDS: [u64; 4] = [3, 11, 23, 47];
+
+/// A multi-world input: flights split by departure (a handful of worlds,
+/// so the enumerated side stays cheap enough to act as oracle).
+fn split_worlds(seed: u64) -> WorldSet {
+    let flights = datagen::flights(seed, 12, 6, 5);
+    let ws = WorldSet::single(vec![("F", flights)]);
+    eval_named(&Query::rel("F").choice(attrs(&["Dep"])), &ws, "ByDep").expect("split")
+}
+
+#[test]
+fn choice_chains_match_enumerated() {
+    for seed in SEEDS {
+        let flights = datagen::flights(seed, 12, 6, 5);
+        let ws = WorldSet::single(vec![("F", flights)]);
+        assert_factorized_matches(&Query::rel("F").choice(attrs(&["Dep"])), &ws);
+        assert_factorized_matches(
+            &Query::rel("F")
+                .choice(attrs(&["Dep"]))
+                .choice(attrs(&["Arr"])),
+            &ws,
+        );
+        assert_factorized_matches(
+            &Query::rel("F")
+                .choice(attrs(&["Dep"]))
+                .select(Pred::ne_attr("Dep", "Arr"))
+                .project(attrs(&["Arr"]))
+                .choice(attrs(&["Arr"])),
+            &ws,
+        );
+    }
+}
+
+#[test]
+fn poss_cert_match_enumerated() {
+    for seed in SEEDS {
+        let ws = split_worlds(seed);
+        for q in [
+            Query::rel("ByDep").project(attrs(&["Arr"])).poss(),
+            Query::rel("ByDep").project(attrs(&["Arr"])).cert(),
+            Query::rel("ByDep").choice(attrs(&["Arr"])).poss(),
+            Query::rel("ByDep").choice(attrs(&["Arr"])).cert(),
+        ] {
+            assert_factorized_matches(&q, &ws);
+        }
+    }
+}
+
+#[test]
+fn binary_operators_match_enumerated() {
+    for seed in SEEDS {
+        let ws = split_worlds(seed);
+        let left = Query::rel("ByDep").project(attrs(&["Arr"]));
+        let plain = Query::rel("F").project(attrs(&["Arr"]));
+        // Choices on one or both operands; all four set operations.
+        let choice_right = Query::rel("F")
+            .choice(attrs(&["Arr"]))
+            .project(attrs(&["Arr"]));
+        for q in [
+            left.clone().union(plain.clone()),
+            left.clone().intersect(plain.clone()),
+            left.clone().difference(plain.clone()),
+            plain.clone().difference(left.clone()),
+            left.clone().union(choice_right.clone()),
+            left.clone().intersect(choice_right.clone()),
+            left.clone().difference(choice_right.clone()),
+            left.clone().product(
+                choice_right
+                    .clone()
+                    .rename(vec![("Arr".into(), "Arr2".into())]),
+            ),
+        ] {
+            assert_factorized_matches(&q, &ws);
+        }
+    }
+}
+
+#[test]
+fn decode_boundaries_match_enumerated() {
+    for seed in SEEDS {
+        let ws = split_worlds(seed);
+        for q in [
+            Query::rel("ByDep").poss_group(attrs(&["Arr"]), attrs(&["Dep", "Arr"])),
+            Query::rel("ByDep").cert_group(attrs(&["Arr"]), attrs(&["Arr"])),
+            Query::rel("ByDep")
+                .choice(attrs(&["Arr"]))
+                .poss_group(attrs(&["Arr"]), attrs(&["Arr"])),
+            // Continue *past* the boundary: the branch re-enters
+            // enumerated evaluation and stays there.
+            Query::rel("ByDep")
+                .choice(attrs(&["Arr"]))
+                .cert_group(attrs(&["Arr"]), attrs(&["Arr"]))
+                .poss(),
+        ] {
+            assert_factorized_matches(&q, &ws);
+        }
+    }
+}
+
+#[test]
+fn repair_by_key_matches_enumerated() {
+    for seed in SEEDS {
+        let census = datagen::census(seed, 8, 3);
+        let ws = WorldSet::single(vec![("C", census)]);
+        assert_factorized_matches(&Query::rel("C").repair_by_key(attrs(&["SSN"])), &ws);
+        assert_factorized_matches(
+            &Query::rel("C")
+                .repair_by_key(attrs(&["SSN"]))
+                .choice(attrs(&["SSN"]))
+                .cert(),
+            &ws,
+        );
+    }
+}
+
+#[test]
+fn routed_agrees_under_both_toggle_positions() {
+    let _guard = lock();
+    for seed in SEEDS {
+        let flights = datagen::flights(seed, 16, 8, 6);
+        let ws = WorldSet::single(vec![("F", flights)]);
+        // Enough implicit worlds that the chooser fires when enabled.
+        let q = Query::rel("F")
+            .choice(attrs(&["Dep"]))
+            .choice(attrs(&["Arr"]))
+            .project(attrs(&["Arr"]))
+            .poss();
+        let reference = eval_named(&q, &ws, "Ans").expect("reference");
+        for enabled in [true, false] {
+            config::set_factorize_enabled(Some(enabled));
+            let routed = eval_named_routed(&q, &ws, "Ans").expect("routed");
+            assert_eq!(
+                routed, reference,
+                "routed output must not depend on the toggle (enabled={enabled})"
+            );
+        }
+        config::set_factorize_enabled(None);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random well-typed queries (choice nestings, set operations,
+    /// grouped merges) over random world-sets: wherever the strict
+    /// factorized evaluator succeeds it must match the reference, and the
+    /// routed entry must *always* match it (fallback included).
+    #[test]
+    fn random_choice_nestings_agree(seed in any::<u64>()) {
+        let ws = random_world_set(seed, &RandomSpec {
+            schemas: vec![vec!["A", "B"], vec!["C", "D"]],
+            worlds: 3,
+            max_tuples: 5,
+            domain: 4,
+        });
+        let q = random_query(seed, &QuerySpec::default());
+        let reference = eval_named(&q, &ws, "Ans");
+        match (&reference, eval_factorized(&q, &ws, "Ans")) {
+            (Ok(r), Ok(f)) => prop_assert_eq!(&f, r, "factorized diverged on {} (seed {})", q, seed),
+            // A budget overflow is an allowed outcome — the router falls
+            // back — but succeeding where the reference errors is not.
+            (Ok(_), Err(_)) | (Err(_), Err(_)) => {}
+            (Err(e), Ok(_)) => prop_assert!(false, "factorized succeeded where reference failed ({e}) on {} (seed {})", q, seed),
+        }
+        let routed = eval_named_routed(&q, &ws, "Ans");
+        match (reference, routed) {
+            (Ok(r), Ok(o)) => prop_assert_eq!(o, r, "routed diverged on {} (seed {})", q, seed),
+            (Err(_), Err(_)) => {}
+            (r, o) => prop_assert!(false, "routed outcome mismatch on {} (seed {}): reference {:?} vs routed {:?}", q, seed, r.is_ok(), o.is_ok()),
+        }
+    }
+}

@@ -529,12 +529,61 @@ pub fn run_general(q: &Query, rep: &InlinedRep, answer_name: &str) -> Result<Wor
     Ok(out)
 }
 
+/// Implicit-world estimate at which [`run_general`] diverts to factorized
+/// execution. The translation route is itself succinct — implicit worlds
+/// appear only as rows of the answer's world table, never as materialized
+/// databases — so the factorized path pays off far later here than
+/// against per-world enumeration (where `WSDB_FACTORIZE_MIN_WORLDS`
+/// defaults to 16). Measured on B9's shapes, translation still wins at a
+/// few hundred implicit worlds; the B12 shapes where factorization is
+/// decisive sit at 10⁴ and beyond.
+const FACTORIZE_TRANSLATE_MIN_WORLDS: u128 = 1024;
+
+/// [`wsa::implicit_world_estimate_with`] fed from the representation:
+/// the world table's length times the query's splitting factor, with
+/// choice-group counts taken from the inlined tables' column statistics
+/// (which span all worlds — an over-count per world, fine for a steer).
+fn estimate_from_rep(q: &Query, rep: &InlinedRep) -> u128 {
+    wsa::implicit_world_estimate_with(q, rep.world_count(), &|name, attrs| {
+        let pos = rep.names.iter().position(|n| n == name)?;
+        let t = &rep.tables[pos];
+        let stats = t.stats();
+        let d = attrs
+            .iter()
+            .filter_map(|a| stats.distinct_of(t.schema(), a))
+            .max()?;
+        Some((d.min(stats.rows).max(1)) as u128)
+    })
+}
+
 fn run_general_uncached(
     q: &Query,
     rep: &InlinedRep,
     answer_name: &str,
     rewrite: bool,
 ) -> Result<WorldSet> {
+    // Factorized leg: when the estimated implicit world count is large
+    // enough that the translation route would materialize it row by row
+    // in the answer's world table, decode the (explicitly small)
+    // representation once and run the algebra over the factorized form —
+    // worlds then only materialize at the final decode. The gate reads
+    // the representation itself (world-table length, inlined-table column
+    // statistics), so the common small-scale case never pays a decode
+    // just to consult the chooser; `should_factorize` then re-checks
+    // against the decoded worlds' real statistics. Any factorized error
+    // (budget overflow, algebra error) falls through to the translation
+    // route, whose result is authoritative.
+    if relalg::config::factorize_enabled()
+        && estimate_from_rep(q, rep) >= FACTORIZE_TRANSLATE_MIN_WORLDS
+    {
+        if let Ok(ws) = rep.rep() {
+            if wsa::should_factorize(q, &ws) {
+                if let Ok(out) = wsa::eval_factorized(q, &ws, answer_name) {
+                    return Ok(out);
+                }
+            }
+        }
+    }
     let optimized;
     let q = if rewrite {
         let value_schemas: Vec<(String, Schema)> = rep

@@ -29,6 +29,17 @@ pub struct Explanation {
     pub cost_after: u64,
     /// Whether the query maps complete databases to complete databases.
     pub complete_to_complete: bool,
+    /// World-set representation the evaluator would use for the optimized
+    /// query: `"factored"` when the chooser routes it through the
+    /// factorized engine (lineage columns + choice variables, worlds
+    /// expanded only at decode boundaries), `"enum"` for explicit
+    /// possible-worlds enumeration.
+    pub rep: &'static str,
+    /// Estimated implicit world count of the optimized query over the
+    /// session's world-set (input worlds × per-`choice of` group counts
+    /// from the relation statistics) — the quantity the representation
+    /// chooser thresholds on.
+    pub implicit_worlds: u128,
     /// For `1↦1` queries: the equivalent relational algebra plan
     /// (Section 5.3, simplified) evaluable by any relational engine.
     pub relational_plan: Option<relalg::Expr>,
@@ -61,6 +72,10 @@ impl Explanation {
             } else {
                 "world-set valued"
             }
+        ));
+        out.push_str(&format!(
+            "rep:        {} (≈{} implicit worlds)\n",
+            self.rep, self.implicit_worlds
         ));
         if let Some(plan) = &self.relational_plan {
             out.push_str(&format!("relational: {plan}\n"));
@@ -144,6 +159,14 @@ impl Session {
         let cost_before = wsa_rewrite::cost_ctx(&algebra, &ctx);
         let cost_after = wsa_rewrite::cost_ctx(&optimized, &ctx);
         let complete = is_complete_to_complete(&algebra);
+        // Representation choice for the plan that would execute: the
+        // factorized chooser thresholds on the implicit world estimate.
+        let implicit_worlds = wsa::implicit_world_estimate(&optimized, ws);
+        let rep = if wsa::should_factorize(&optimized, ws) {
+            "factored"
+        } else {
+            "enum"
+        };
         let relational_plan = if complete {
             let names: Vec<String> = ws.rel_names().to_vec();
             let plan = wsa_inlined::translate_opt_complete(&optimized, &base)
@@ -184,6 +207,8 @@ impl Session {
             cost_before,
             cost_after,
             complete_to_complete: complete,
+            rep,
+            implicit_worlds,
             relational_plan,
             cache,
             node_cards,
@@ -304,6 +329,14 @@ mod tests {
             lines.next().unwrap(),
             "type:       1↦1 (complete-to-complete)"
         );
+        // The representation chooser resolves `choice of Dep` through the
+        // compile-inserted rename to HFlights' statistics: 3 distinct Dep
+        // values over 1 input world — far below the factorization
+        // threshold, so the query evaluates enumerated.
+        assert_eq!(
+            lines.next().unwrap(),
+            "rep:        enum (≈3 implicit worlds)"
+        );
         assert_eq!(
             lines.next().unwrap(),
             "relational: (π{Arr,Dep}(HFlights) ÷ π{Dep}(HFlights))"
@@ -343,6 +376,31 @@ mod tests {
         assert!(
             lines.next().is_none(),
             "unexpected extra lines:\n{rendered}"
+        );
+    }
+
+    /// A `choice of` over enough distinct values trips the factorization
+    /// threshold: EXPLAIN reports `rep=factored` with the implicit world
+    /// estimate the chooser used.
+    #[test]
+    fn explain_reports_factorized_rep_for_many_worlds() {
+        let _guard = toggle_lock();
+        relalg::config::set_factorize_enabled(Some(true));
+        let mut s = Session::new();
+        let rel = Relation::from_rows(
+            relalg::Schema::of(&["K", "V"]),
+            (0..20i64).map(|i| vec![relalg::Value::Int(i), relalg::Value::Int(i % 3)]),
+        )
+        .unwrap();
+        s.register("T", rel).unwrap();
+        let e = s.explain("select * from T choice of K;").unwrap();
+        relalg::config::set_factorize_enabled(None);
+        assert_eq!(e.rep, "factored");
+        assert!(e.implicit_worlds >= 20, "{}", e.implicit_worlds);
+        assert!(
+            e.render().contains("rep:        factored (≈"),
+            "{}",
+            e.render()
         );
     }
 

@@ -159,6 +159,12 @@ fn card_fingerprint(ws: &WorldSet) -> Vec<RelFingerprint> {
 /// The algebra fast path of [`eval_select_ws`]; `None` means "use the
 /// interpreter" (out of fragment, rewriting found nothing, or the route
 /// failed — the interpreter then reports the authoritative error).
+///
+/// The route fires when the Section-6 optimizer found a strictly cheaper
+/// plan, **or** when the factorized chooser wants the query: the
+/// interpreter enumerates every `choice of` world explicitly, so a query
+/// over many implicit worlds goes through the algebra even unrewritten,
+/// where [`wsa::eval_named_routed`] can run it factorized.
 fn try_rewrite_route_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Option<WorldSet> {
     if !relalg::plan_cache::rewrite_enabled() || !stmt.uses_world_constructs() {
         return None;
@@ -179,8 +185,13 @@ fn try_rewrite_route_ws(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Opt
         &stats,
         ws.len() > 1,
         20_000,
-    )?;
-    wsa::eval_named(&optimized, ws, out_name).ok()
+    );
+    let query = match optimized {
+        Some(q) => q,
+        None if wsa::should_factorize(&algebra, ws) => algebra,
+        None => return None,
+    };
+    wsa::eval_named_routed(&query, ws, out_name).ok()
 }
 
 fn eval_select_ws_interp(stmt: &SelectStmt, ws: &WorldSet, out_name: &str) -> Result<WorldSet> {

@@ -1,0 +1,272 @@
+//! Central runtime configuration for the engine's tuning knobs.
+//!
+//! Every execution-path switch the engine exposes follows the same
+//! three-layer resolution: a **runtime override** (set programmatically by
+//! benchmarks and A/B tests) wins over the **environment variable** (read
+//! once per process — several of these sit on operator hot paths and
+//! `env::var` takes a process-wide lock), which wins over the compiled-in
+//! **default**. Before this module each switch hand-rolled that stack with
+//! its own `AtomicUsize` + `OnceLock` pair; the copies had already drifted
+//! in small ways (clamping, cache-reset behavior). [`Knob`] and [`Toggle`]
+//! implement the stack once, and the per-switch statics below are the
+//! single place a new variable is declared.
+//!
+//! | static | environment variable | meaning |
+//! |---|---|---|
+//! | [`THREADS`] | `WSDB_THREADS` | pool worker count (default: available parallelism) |
+//! | [`PAR_MIN_TUPLES`] | `WSDB_PAR_MIN_TUPLES` | tuple count before chunked sorts/joins fan out |
+//! | [`COLUMNAR_MIN_ROWS`] | `WSDB_COLUMNAR_MIN_ROWS` | row count before columnar kernels engage |
+//! | [`REWRITE`] | `WSDB_NO_REWRITE` (non-empty disables) | rewrite/plan-cache execution path |
+//! | [`COLUMNAR`] | `WSDB_NO_COLUMNAR` (non-empty disables) | columnar physical paths |
+//! | [`FACTORIZE`] | `WSDB_NO_FACTORIZE` (non-empty disables) | factorized world-set execution |
+//! | [`FACTORIZE_MIN_WORLDS`] | `WSDB_FACTORIZE_MIN_WORLDS` | implicit-world estimate before the factorized path engages |
+//!
+//! The long-standing public accessors (`pool::num_threads`,
+//! `columnar_enabled`, `plan_cache::rewrite_enabled`, …) remain the
+//! call-site API; they now delegate here.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// A `usize` tuning knob: runtime override → environment variable →
+/// compiled-in default. Values are clamped to a minimum of 1 (`0` is the
+/// internal "no override" sentinel).
+pub struct Knob {
+    env_var: &'static str,
+    default: fn() -> usize,
+    /// The resolved effective value; `0` means "not yet resolved". This is
+    /// the hot-path cache: [`Knob::get`] sits behind every operator's
+    /// parallelization gate, so after the first resolution it must cost
+    /// one relaxed load (re-resolving through the `OnceLock` each call
+    /// measurably slows the world-set benches).
+    cached: AtomicUsize,
+    /// Runtime override; `0` means "no override".
+    over: AtomicUsize,
+    /// Environment resolution, computed once per process.
+    env: OnceLock<usize>,
+}
+
+impl Knob {
+    /// Declare a knob bound to `env_var`, with `default` as the value when
+    /// neither an override nor the environment provides one.
+    pub const fn new(env_var: &'static str, default: fn() -> usize) -> Knob {
+        Knob {
+            env_var,
+            default,
+            cached: AtomicUsize::new(0),
+            over: AtomicUsize::new(0),
+            env: OnceLock::new(),
+        }
+    }
+
+    /// The effective value: the runtime override if one is set, else the
+    /// environment variable (parsed once, values `>= 1` only), else the
+    /// default.
+    #[inline]
+    pub fn get(&self) -> usize {
+        let c = self.cached.load(Ordering::Relaxed);
+        if c != 0 {
+            return c;
+        }
+        self.resolve()
+    }
+
+    /// Slow path of [`Knob::get`]: resolve override → environment →
+    /// default and refill the cache (racing resolvers agree on the value).
+    #[cold]
+    fn resolve(&self) -> usize {
+        let v = self.over.load(Ordering::Relaxed);
+        let v = if v != 0 {
+            v
+        } else {
+            *self.env.get_or_init(|| {
+                std::env::var(self.env_var)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(self.default)
+            })
+        };
+        self.cached.store(v, Ordering::Relaxed);
+        v
+    }
+
+    /// Install a runtime override (clamped to a minimum of 1); `None`
+    /// restores the environment-derived value.
+    pub fn set(&self, n: Option<usize>) {
+        self.over
+            .store(n.map(|x| x.max(1)).unwrap_or(0), Ordering::SeqCst);
+        // Invalidate the fast-path cache; the next `get` re-resolves.
+        self.cached.store(0, Ordering::SeqCst);
+    }
+
+    /// The environment variable this knob reads.
+    pub fn env_var(&self) -> &'static str {
+        self.env_var
+    }
+}
+
+/// An on/off execution-path switch whose environment variable *disables*
+/// the path when set to a non-empty value (the `WSDB_NO_*` convention):
+/// runtime override → environment → enabled.
+pub struct Toggle {
+    env_var: &'static str,
+    /// Resolved effective state: 0 = not yet resolved, 1 = on, 2 = off.
+    /// Same hot-path cache as [`Knob::cached`] — one relaxed load after
+    /// the first resolution.
+    cached: AtomicUsize,
+    /// 0 = resolve from the environment, 1 = forced on, 2 = forced off.
+    state: AtomicUsize,
+    /// Environment resolution ("is the path disabled?"), computed once.
+    env_disabled: OnceLock<bool>,
+}
+
+impl Toggle {
+    /// Declare a toggle whose disabling variable is `env_var`.
+    pub const fn new(env_var: &'static str) -> Toggle {
+        Toggle {
+            env_var,
+            cached: AtomicUsize::new(0),
+            state: AtomicUsize::new(0),
+            env_disabled: OnceLock::new(),
+        }
+    }
+
+    /// Whether the path is on: a runtime override wins; otherwise the path
+    /// is on unless the environment variable is set to a non-empty value.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        match self.cached.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => self.resolve(),
+        }
+    }
+
+    /// Slow path of [`Toggle::enabled`]: resolve override → environment
+    /// and refill the cache (racing resolvers agree on the value).
+    #[cold]
+    fn resolve(&self) -> bool {
+        let on = match self.state.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => !*self.env_disabled.get_or_init(|| {
+                std::env::var(self.env_var)
+                    .map(|v| !v.trim().is_empty())
+                    .unwrap_or(false)
+            }),
+        };
+        self.cached.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+        on
+    }
+
+    /// Force the path on/off for this process; `None` restores the
+    /// environment-derived default.
+    pub fn set(&self, on: Option<bool>) {
+        self.state.store(
+            match on {
+                Some(true) => 1,
+                Some(false) => 2,
+                None => 0,
+            },
+            Ordering::SeqCst,
+        );
+        // Invalidate the fast-path cache; the next `enabled` re-resolves.
+        self.cached.store(0, Ordering::SeqCst);
+    }
+
+    /// The environment variable this toggle reads.
+    pub fn env_var(&self) -> &'static str {
+        self.env_var
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Pool worker count (`WSDB_THREADS`); see [`crate::pool::num_threads`].
+pub static THREADS: Knob = Knob::new("WSDB_THREADS", default_threads);
+
+/// Tuple count before the chunked-sort / partitioned-join paths fan out
+/// (`WSDB_PAR_MIN_TUPLES`); see [`crate::pool::par_min_tuples`].
+pub static PAR_MIN_TUPLES: Knob = Knob::new("WSDB_PAR_MIN_TUPLES", || crate::pool::PAR_MIN_TUPLES);
+
+/// Row count before a columnar kernel pays for itself
+/// (`WSDB_COLUMNAR_MIN_ROWS`); see [`crate::physical::columnar_min_rows`].
+pub static COLUMNAR_MIN_ROWS: Knob = Knob::new("WSDB_COLUMNAR_MIN_ROWS", || 64);
+
+/// The rewrite/plan-cache execution path (`WSDB_NO_REWRITE` disables);
+/// see [`crate::plan_cache::rewrite_enabled`].
+pub static REWRITE: Toggle = Toggle::new("WSDB_NO_REWRITE");
+
+/// The columnar physical paths (`WSDB_NO_COLUMNAR` disables); see
+/// [`crate::columnar_enabled`].
+pub static COLUMNAR: Toggle = Toggle::new("WSDB_NO_COLUMNAR");
+
+/// The factorized world-set execution path (`WSDB_NO_FACTORIZE` disables):
+/// whether evaluators may run the algebra directly over succinct
+/// `FactoredSet` representations instead of enumerated worlds.
+pub static FACTORIZE: Toggle = Toggle::new("WSDB_NO_FACTORIZE");
+
+/// Minimum estimated implicit world count before the factorized path is
+/// chosen over enumeration (`WSDB_FACTORIZE_MIN_WORLDS`). Below it,
+/// enumerated evaluation is cheap and avoids the expand step entirely.
+pub static FACTORIZE_MIN_WORLDS: Knob = Knob::new("WSDB_FACTORIZE_MIN_WORLDS", || 16);
+
+/// Whether factorized world-set execution is on (the [`FACTORIZE`] toggle).
+pub fn factorize_enabled() -> bool {
+    FACTORIZE.enabled()
+}
+
+/// Force factorized execution on/off for this process; `None` restores the
+/// environment-derived default.
+pub fn set_factorize_enabled(on: Option<bool>) {
+    FACTORIZE.set(on);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_override_wins_and_clamps() {
+        static K: Knob = Knob::new("WSDB_TEST_KNOB_UNSET", || 7);
+        assert_eq!(K.get(), 7);
+        K.set(Some(3));
+        assert_eq!(K.get(), 3);
+        K.set(Some(0));
+        assert_eq!(K.get(), 1, "override clamps to a minimum of 1");
+        K.set(None);
+        assert_eq!(K.get(), 7);
+        assert_eq!(K.env_var(), "WSDB_TEST_KNOB_UNSET");
+    }
+
+    #[test]
+    fn toggle_override_wins() {
+        static T: Toggle = Toggle::new("WSDB_TEST_TOGGLE_UNSET");
+        assert!(T.enabled(), "unset environment leaves the path on");
+        T.set(Some(false));
+        assert!(!T.enabled());
+        T.set(Some(true));
+        assert!(T.enabled());
+        T.set(None);
+        assert!(T.enabled());
+    }
+
+    #[test]
+    fn factorize_accessors_roundtrip() {
+        // The unset-override default tracks the real environment, so this
+        // test stays valid under the CI `WSDB_NO_FACTORIZE=1` leg.
+        let env_default = std::env::var_os("WSDB_NO_FACTORIZE").is_none_or(|v| v.is_empty());
+        assert_eq!(factorize_enabled(), env_default);
+        set_factorize_enabled(Some(false));
+        assert!(!factorize_enabled());
+        set_factorize_enabled(Some(true));
+        assert!(factorize_enabled());
+        set_factorize_enabled(None);
+        assert_eq!(factorize_enabled(), env_default);
+    }
+}

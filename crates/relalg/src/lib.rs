@@ -19,6 +19,7 @@
 //! plans, examples and golden tests are reproducible.
 
 pub mod canon;
+pub mod config;
 mod csv;
 mod error;
 mod eval;

@@ -40,39 +40,23 @@
 //! `EXPLAIN` reports the chosen path per plan node
 //! ([`crate::opt::PlanCard::phys`]).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
+use crate::config;
 use crate::pred::CompiledPred;
 use crate::{CmpOp, Operand, Pred, RelalgError, Result, Schema, Tuple, Value};
 
-/// Default minimum rows before a columnar kernel pays for itself.
-const COLUMNAR_MIN_ROWS_DEFAULT: usize = 64;
-
-/// Runtime override of the columnar row threshold; `0` means "no override".
-static COLUMNAR_MIN_ROWS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
-
-/// The effective columnar row threshold: the runtime override if set, else
-/// `WSDB_COLUMNAR_MIN_ROWS` from the environment (read once), else 64.
-/// Benchmarks sweep it to locate the row/columnar crossover.
+/// The effective columnar row threshold: the [`config::COLUMNAR_MIN_ROWS`]
+/// knob — runtime override, else `WSDB_COLUMNAR_MIN_ROWS` from the
+/// environment (read once), else 64. Benchmarks sweep it to locate the
+/// row/columnar crossover.
+#[inline]
 pub fn columnar_min_rows() -> usize {
-    let v = COLUMNAR_MIN_ROWS_OVERRIDE.load(Ordering::Relaxed);
-    if v != 0 {
-        return v;
-    }
-    static ENV: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *ENV.get_or_init(|| {
-        std::env::var("WSDB_COLUMNAR_MIN_ROWS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(COLUMNAR_MIN_ROWS_DEFAULT)
-    })
+    config::COLUMNAR_MIN_ROWS.get()
 }
 
 /// Override the columnar row threshold for this process (minimum 1);
 /// `None` restores the environment-derived default.
 pub fn set_columnar_min_rows(n: Option<usize>) {
-    COLUMNAR_MIN_ROWS_OVERRIDE.store(n.map(|x| x.max(1)).unwrap_or(0), Ordering::SeqCst);
+    config::COLUMNAR_MIN_ROWS.set(n);
 }
 
 /// The physical execution path chosen for one operator instance.

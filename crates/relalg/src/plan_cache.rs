@@ -28,7 +28,7 @@
 //! benchmarking, or at runtime with [`set_enabled`].
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::canon::CanonExpr;
@@ -65,37 +65,18 @@ fn shard(hash: u64) -> &'static Mutex<Option<Inner>> {
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
-/// Runtime enable state: 0 = resolve from the environment, 1 = forced on,
-/// 2 = forced off.
-static ENABLED: AtomicUsize = AtomicUsize::new(0);
-
-/// Whether the rewrite/caching execution path is on. `WSDB_NO_REWRITE`
-/// (non-empty) turns it off; [`set_enabled`] overrides at runtime.
+/// Whether the rewrite/caching execution path is on: the
+/// [`crate::config::REWRITE`] toggle. `WSDB_NO_REWRITE` (non-empty) turns
+/// it off; [`set_enabled`] overrides at runtime.
+#[inline]
 pub fn rewrite_enabled() -> bool {
-    match ENABLED.load(Ordering::Relaxed) {
-        1 => true,
-        2 => false,
-        _ => !env_disabled(),
-    }
-}
-
-fn env_disabled() -> bool {
-    std::env::var("WSDB_NO_REWRITE")
-        .map(|v| !v.trim().is_empty())
-        .unwrap_or(false)
+    crate::config::REWRITE.enabled()
 }
 
 /// Force the rewrite path on/off for this process (benchmarks A/B the two
 /// paths); `None` restores the environment-derived default.
 pub fn set_enabled(on: Option<bool>) {
-    ENABLED.store(
-        match on {
-            Some(true) => 1,
-            Some(false) => 2,
-            None => 0,
-        },
-        Ordering::SeqCst,
-    );
+    crate::config::REWRITE.set(on);
 }
 
 /// Drop every cached plan (also bounds stats drift in tests). Content

@@ -24,10 +24,8 @@
 //! override it at runtime with [`set_threads`].
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Cached worker count; `0` means "not yet resolved".
-static THREADS: AtomicUsize = AtomicUsize::new(0);
+use crate::config;
 
 thread_local! {
     /// True on pool worker threads. Nested fan-outs (a per-world closure
@@ -51,74 +49,47 @@ pub const PAR_MIN_ITEMS: usize = 4;
 /// stay sequential (the default of [`par_min_tuples`]).
 pub const PAR_MIN_TUPLES: usize = 8192;
 
-/// Runtime override of the tuple-count parallelization threshold; `0`
-/// means "no override" (fall back to the environment / default).
-static PAR_MIN_TUPLES_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
-
 /// The effective tuple-count threshold for the parallel tuple paths
-/// (chunked sort, partitioned joins, columnar extraction): the runtime
-/// override if one is set, else `WSDB_PAR_MIN_TUPLES` from the environment
-/// (read once), else [`PAR_MIN_TUPLES`]. Benchmarks sweep it to locate the
+/// (chunked sort, partitioned joins, columnar extraction): the
+/// [`config::PAR_MIN_TUPLES`] knob — runtime override, else
+/// `WSDB_PAR_MIN_TUPLES` from the environment (read once), else
+/// [`PAR_MIN_TUPLES`]. Benchmarks sweep it to locate the
 /// sequential/parallel crossover instead of hardcoding it.
+#[inline]
 pub fn par_min_tuples() -> usize {
-    let v = PAR_MIN_TUPLES_OVERRIDE.load(Ordering::Relaxed);
-    if v != 0 {
-        return v;
-    }
-    static ENV: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *ENV.get_or_init(|| {
-        std::env::var("WSDB_PAR_MIN_TUPLES")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(PAR_MIN_TUPLES)
-    })
+    config::PAR_MIN_TUPLES.get()
 }
 
 /// Override the tuple-count parallelization threshold for this process
 /// (minimum 1); `None` restores the environment-derived default.
 pub fn set_par_min_tuples(n: Option<usize>) {
-    PAR_MIN_TUPLES_OVERRIDE.store(n.map(|x| x.max(1)).unwrap_or(0), Ordering::SeqCst);
+    config::PAR_MIN_TUPLES.set(n);
 }
 
 /// Below this many items [`par_reduce`] runs as a plain sequential left
 /// fold — per-round thread spawns only amortize over wide reductions.
 pub const PAR_MIN_REDUCE: usize = 32;
 
-/// The process-wide worker count. Resolved once from the `WSDB_THREADS`
-/// environment variable (minimum 1) or, if unset or unparsable, from
-/// [`std::thread::available_parallelism`]; later calls return the cached
-/// value unless [`set_threads`] overrode it.
+/// The process-wide worker count: the [`config::THREADS`] knob — runtime
+/// override, else `WSDB_THREADS` from the environment (minimum 1, read
+/// once), else [`std::thread::available_parallelism`].
+#[inline]
 pub fn num_threads() -> usize {
-    let cached = THREADS.load(Ordering::Relaxed);
-    if cached != 0 {
-        return cached;
-    }
-    let resolved = std::env::var("WSDB_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
-    // Racing initializers compute the same value; last store wins harmlessly.
-    THREADS.store(resolved, Ordering::Relaxed);
-    resolved
+    config::THREADS.get()
 }
 
 /// Override the worker count for this process (benchmarks sweep it;
-/// determinism tests pin it). `set_threads(0)` drops the override so the
-/// next [`num_threads`] call re-reads the environment.
+/// determinism tests pin it). `set_threads(0)` drops the override so
+/// [`num_threads`] falls back to the environment-derived value.
 pub fn set_threads(n: usize) {
-    THREADS.store(n, Ordering::SeqCst);
+    config::THREADS.set(if n == 0 { None } else { Some(n) });
 }
 
 /// True when a fan-out over `len` items (against the given minimum) should
 /// go parallel: more than one worker is configured, the input is large
 /// enough to amortize the spawns, and the caller is not already inside a
 /// pool worker (nested fan-outs stay sequential).
+#[inline]
 pub fn parallelize(len: usize, min_items: usize) -> bool {
     len >= min_items && num_threads() > 1 && !IN_WORKER.with(|c| c.get())
 }

@@ -1,7 +1,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use crate::stats::RelStats;
@@ -73,41 +73,21 @@ pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
 pub(crate) type FxHashMap<K, V> = HashMap<K, V, FxBuild>;
 pub(crate) type FxHashSet<K> = HashSet<K, FxBuild>;
 
-/// Runtime enable state of the columnar execution paths: 0 = resolve from
-/// the environment, 1 = forced on, 2 = forced off.
-static COLUMNAR: AtomicUsize = AtomicUsize::new(0);
-
 /// Whether wide operators take the columnar paths (projection, vectorized
 /// selection, join-key and grouping-key extraction — see
-/// [`crate::physical`]). `WSDB_NO_COLUMNAR` (non-empty) turns them off;
-/// [`set_columnar_enabled`] overrides at runtime (benchmarks and the
-/// oracle suite A/B the two paths). The environment is read once — this
-/// sits on the operator hot paths, and `env::var` takes a process-wide
-/// lock.
+/// [`crate::physical`]): the [`crate::config::COLUMNAR`] toggle.
+/// `WSDB_NO_COLUMNAR` (non-empty) turns them off; [`set_columnar_enabled`]
+/// overrides at runtime (benchmarks and the oracle suite A/B the two
+/// paths).
+#[inline]
 pub fn columnar_enabled() -> bool {
-    static ENV_DISABLED: OnceLock<bool> = OnceLock::new();
-    match COLUMNAR.load(Ordering::Relaxed) {
-        1 => true,
-        2 => false,
-        _ => !*ENV_DISABLED.get_or_init(|| {
-            std::env::var("WSDB_NO_COLUMNAR")
-                .map(|v| !v.trim().is_empty())
-                .unwrap_or(false)
-        }),
-    }
+    crate::config::COLUMNAR.enabled()
 }
 
 /// Force the columnar execution paths on/off for this process; `None`
 /// restores the environment-derived default.
 pub fn set_columnar_enabled(on: Option<bool>) {
-    COLUMNAR.store(
-        match on {
-            Some(true) => 1,
-            Some(false) => 2,
-            None => 0,
-        },
-        Ordering::SeqCst,
-    );
+    crate::config::COLUMNAR.set(on);
 }
 
 /// A set-semantics relation: a schema plus a **sorted, deduplicated vector**

@@ -1,15 +1,31 @@
-//! A minimal ULDB (database with uncertainty and lineage) in the style of
-//! Trio, sufficient to reproduce **Remark 4.6**: the TriQL query language is
-//! *not generic* — two ULDBs representing the same world-set can produce
-//! different world-sets under the same TriQL query, because TriQL constructs
-//! (horizontal selection) read the representation, not the represented
-//! world-set.
+//! ULDBs and the factorized world-set engine.
 //!
-//! The model implements x-tuples with alternatives, maybe-('?')-annotations
-//! and lineage pointing to alternatives of external x-tuples, plus the
-//! `rep()` enumeration of possible worlds and the horizontal-selection
-//! query used in the paper's counterexample.
+//! This crate has two halves:
+//!
+//! * [`xtuple`]-style ULDBs (databases with uncertainty and lineage, in
+//!   the style of Trio): x-tuples with alternatives, maybe-(`?`)
+//!   annotations and lineage to alternatives of external x-tuples, plus
+//!   the `rep()` enumeration of possible worlds and the
+//!   horizontal-selection query of **Remark 4.6** — the paper's
+//!   counterexample showing TriQL is *not generic* (it can distinguish
+//!   two representations of the same world-set).
+//!
+//! * the [`factored`] execution engine, which promotes the x-tuple idea
+//!   from a counterexample sketch to a runtime representation: a
+//!   [`FactoredSet`] stores each relation *once* with a lineage column
+//!   over finite choice variables and runs the world-set algebra
+//!   directly on that succinct form — `n` chained `choice-of` operators
+//!   multiply the implicit world count without ever materializing a
+//!   world. Explicit worlds appear only at decode boundaries
+//!   ([`FactoredSet::expand_with`]), and every representation-size
+//!   budget overflow is a typed [`FactorError::Budget`] telling the
+//!   caller to fall back to enumerated evaluation.
+//!
+//! [`Uldb::to_factored`] connects the halves: it compiles an x-tuple
+//! table into a `FactoredSet` whose expansion equals `rep()`.
 
+pub mod factored;
 mod xtuple;
 
+pub use factored::{AltSet, Constraint, Dnf, FResult, FactorError, FactoredSet, Var, LIN_ATTR};
 pub use xtuple::{horizontal_select_distinct_alts, Alternative, Uldb, XTuple};

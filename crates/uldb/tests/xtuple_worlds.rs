@@ -1,0 +1,262 @@
+//! Possible-worlds expansion of ULDB x-tuple relations ([`Uldb::rep`]):
+//! lineage consistency, `maybe` tuples and external alternatives — plus
+//! the equivalence `rep(U) = expand(to_factored(U))` on every shape, so
+//! the factorized engine's import of x-tuple databases is pinned against
+//! the enumerating reference.
+
+use relalg::{Schema, Tuple, Value};
+use uldb::{Alternative, Uldb, XTuple};
+use worldset::WorldSet;
+
+fn xt(id: &str, maybe: bool, alternatives: Vec<Alternative>) -> XTuple {
+    XTuple {
+        id: id.into(),
+        maybe,
+        alternatives,
+    }
+}
+
+fn alt(v: i64) -> Alternative {
+    Alternative::new(vec![Value::Int(v)])
+}
+
+fn alt_lin(v: i64, lineage: Vec<(&str, usize)>) -> Alternative {
+    Alternative::with_lineage(
+        vec![Value::Int(v)],
+        lineage.into_iter().map(|(id, i)| (id.into(), i)).collect(),
+    )
+}
+
+fn db(tuples: Vec<XTuple>, externals: Vec<(&str, usize)>) -> Uldb {
+    Uldb {
+        schema: Schema::of(&["A"]),
+        tuples,
+        externals: externals
+            .into_iter()
+            .map(|(id, n)| (id.into(), n))
+            .collect(),
+    }
+}
+
+/// The worlds of `ws` as sorted value-lists of the single relation.
+fn contents(ws: &WorldSet) -> Vec<Vec<Tuple>> {
+    ws.iter()
+        .map(|w| w.rel(0).iter().cloned().collect())
+        .collect()
+}
+
+fn assert_to_factored_matches(u: &Uldb) {
+    let reference = u.rep().expect("rep");
+    let expanded = u
+        .to_factored()
+        .expect("to_factored")
+        .expand()
+        .expect("expand");
+    assert_eq!(expanded, reference, "factored import diverges from rep()");
+}
+
+#[test]
+fn non_maybe_xtuple_is_present_in_every_world() {
+    // Two alternatives, no `?`: exactly one alternative per world.
+    let u = db(vec![xt("t1", false, vec![alt(1), alt(2)])], vec![]);
+    let ws = u.rep().unwrap();
+    assert_eq!(ws.len(), 2);
+    for w in ws.iter() {
+        assert_eq!(w.rel(0).len(), 1, "x-tuple must appear exactly once");
+    }
+    assert_to_factored_matches(&u);
+}
+
+#[test]
+fn maybe_xtuple_admits_absence() {
+    let u = db(vec![xt("t1", true, vec![alt(1)])], vec![]);
+    let ws = u.rep().unwrap();
+    assert_eq!(
+        contents(&ws),
+        vec![vec![], vec![Tuple::from(vec![Value::Int(1)])]]
+    );
+    assert_to_factored_matches(&u);
+}
+
+#[test]
+fn alternatives_within_one_xtuple_are_mutually_exclusive() {
+    // Two independent x-tuples with two alternatives each: 4 worlds, and
+    // no world holds two alternatives of the same x-tuple.
+    let u = db(
+        vec![
+            xt("t1", false, vec![alt(1), alt(2)]),
+            xt("t2", false, vec![alt(3), alt(4)]),
+        ],
+        vec![],
+    );
+    let ws = u.rep().unwrap();
+    assert_eq!(ws.len(), 4);
+    for w in ws.iter() {
+        let r = w.rel(0);
+        assert_eq!(r.len(), 2);
+        assert!(!(r.contains(&[Value::Int(1)]) && r.contains(&[Value::Int(2)])));
+        assert!(!(r.contains(&[Value::Int(3)]) && r.contains(&[Value::Int(4)])));
+    }
+    assert_to_factored_matches(&u);
+}
+
+#[test]
+fn lineage_to_one_external_correlates_xtuples() {
+    // Both (non-maybe) x-tuples fire exactly on s1=0: they appear
+    // together (s1=0) or not at all (s1=1 leaves no consistent
+    // alternative, so the x-tuple is absent).
+    let u = db(
+        vec![
+            xt("t1", false, vec![alt_lin(1, vec![("s1", 0)])]),
+            xt("t2", false, vec![alt_lin(2, vec![("s1", 0)])]),
+        ],
+        vec![("s1", 2)],
+    );
+    let ws = u.rep().unwrap();
+    for w in ws.iter() {
+        let r = w.rel(0);
+        assert_eq!(
+            r.contains(&[Value::Int(1)]),
+            r.contains(&[Value::Int(2)]),
+            "shared lineage must correlate the two x-tuples"
+        );
+    }
+    assert_eq!(
+        contents(&ws),
+        vec![
+            vec![],
+            vec![
+                Tuple::from(vec![Value::Int(1)]),
+                Tuple::from(vec![Value::Int(2)])
+            ],
+        ]
+    );
+    assert_to_factored_matches(&u);
+}
+
+#[test]
+fn maybe_with_lineage_stays_independent() {
+    // `maybe` inclusion is decided per tuple *after* lineage filtering:
+    // under s1=0 the two maybe tuples vary independently ({}, {1}, {2},
+    // {1,2}); under s1=1 both are gone ({}). As a set: 4 worlds.
+    let u = db(
+        vec![
+            xt("t1", true, vec![alt_lin(1, vec![("s1", 0)])]),
+            xt("t2", true, vec![alt_lin(2, vec![("s1", 0)])]),
+        ],
+        vec![("s1", 2)],
+    );
+    let ws = u.rep().unwrap();
+    assert_eq!(ws.len(), 4);
+    assert_to_factored_matches(&u);
+}
+
+#[test]
+fn lineage_to_different_alternatives_is_exclusive() {
+    // t1 needs s1=0, t2 needs s1=1: never together (Remark 4.6's U2).
+    let u = db(
+        vec![
+            xt("t1", false, vec![alt_lin(1, vec![("s1", 0)])]),
+            xt("t2", false, vec![alt_lin(2, vec![("s1", 1)])]),
+        ],
+        vec![("s1", 2)],
+    );
+    let ws = u.rep().unwrap();
+    // Non-maybe tuples whose lineage is inconsistent with the assignment
+    // are simply absent (no consistent alternative).
+    assert_eq!(ws.len(), 2);
+    for w in ws.iter() {
+        assert_eq!(w.rel(0).len(), 1, "1 and 2 are mutually exclusive");
+    }
+    assert_to_factored_matches(&u);
+}
+
+#[test]
+fn conjunctive_lineage_requires_every_reference() {
+    // t1 exists only under s1=0 ∧ s2=1: one of the four assignments.
+    let u = db(
+        vec![xt(
+            "t1",
+            false,
+            vec![alt_lin(7, vec![("s1", 0), ("s2", 1)])],
+        )],
+        vec![("s1", 2), ("s2", 2)],
+    );
+    let ws = u.rep().unwrap();
+    let present: Vec<_> = ws.iter().filter(|w| !w.rel(0).is_empty()).collect();
+    assert_eq!(present.len(), 1, "only s1=0,s2=1 admits t1");
+    assert_eq!(ws.len(), 2, "worlds coincide as databases and merge");
+    assert_to_factored_matches(&u);
+}
+
+#[test]
+fn contradictory_lineage_never_fires() {
+    // A lineage naming two alternatives of the same external is
+    // unsatisfiable; the alternative appears in no world.
+    let u = db(
+        vec![xt(
+            "t1",
+            false,
+            vec![alt_lin(9, vec![("s1", 0), ("s1", 1)])],
+        )],
+        vec![("s1", 2)],
+    );
+    let ws = u.rep().unwrap();
+    assert_eq!(ws.len(), 1);
+    assert!(ws.iter().next().unwrap().rel(0).is_empty());
+    assert_to_factored_matches(&u);
+}
+
+#[test]
+fn coinciding_worlds_merge_into_a_set() {
+    // Two alternatives with identical values: the two choices yield the
+    // same database, so rep() holds it once.
+    let u = db(vec![xt("t1", false, vec![alt(5), alt(5)])], vec![]);
+    let ws = u.rep().unwrap();
+    assert_eq!(ws.len(), 1);
+    assert_to_factored_matches(&u);
+}
+
+#[test]
+fn external_with_no_alternatives_means_no_worlds() {
+    // An external x-tuple with zero alternatives admits no assignment:
+    // the represented world-set is empty.
+    let u = db(vec![xt("t1", false, vec![alt(1)])], vec![("s1", 0)]);
+    let ws = u.rep().unwrap();
+    assert!(ws.is_empty());
+    assert_to_factored_matches(&u);
+}
+
+#[test]
+fn mixed_maybe_lineage_and_externals_round_trip() {
+    // A denser shape exercising every feature at once: a plain choice, a
+    // maybe tuple, and lineage-correlated tuples over two externals.
+    let u = db(
+        vec![
+            xt("t1", false, vec![alt(1), alt(2)]),
+            xt("t2", true, vec![alt(3)]),
+            xt(
+                "t3",
+                false,
+                vec![alt_lin(4, vec![("s1", 0)]), alt_lin(5, vec![("s1", 1)])],
+            ),
+            xt("t4", true, vec![alt_lin(6, vec![("s1", 1), ("s2", 0)])]),
+        ],
+        vec![("s1", 2), ("s2", 3)],
+    );
+    let ws = u.rep().unwrap();
+    assert!(!ws.is_empty());
+    for w in ws.iter() {
+        let r = w.rel(0);
+        // t3's alternatives are driven entirely by s1 — exactly one shows.
+        assert_eq!(
+            r.contains(&[Value::Int(4)]) as usize + r.contains(&[Value::Int(5)]) as usize,
+            1
+        );
+        // t4 requires s1=1, under which t3 shows 5.
+        if r.contains(&[Value::Int(6)]) {
+            assert!(r.contains(&[Value::Int(5)]));
+        }
+    }
+    assert_to_factored_matches(&u);
+}
