@@ -1,0 +1,123 @@
+//! B13: concurrent multi-session throughput — N client threads of mixed
+//! I-SQL read/DML traffic against one shared `Engine`, in-process and over
+//! the TCP front-end.
+//!
+//! Each measured iteration runs a fixed batch of statements (so the
+//! headline converts to queries/sec as `batch / mean`): every client
+//! thread opens its own `Engine::session` and issues `READS_PER_CLIENT`
+//! selects, while one of the clients also interleaves `DMLS` updates
+//! through the serialized writer. The workload is deterministic
+//! (datagen-seeded) and the answers are identical at every client count —
+//! only the wall clock may move. The `tcp_roundtrip` id measures one
+//! request/response cycle (select over the wire) against a live server on
+//! an ephemeral port.
+//!
+//! Benchmark ids read `concurrent_sessions/mixed/c<clients>` and
+//! `concurrent_sessions/tcp_roundtrip/select`. Record with
+//! `scripts/bench_dump.sh concurrent_sessions`; results are tracked in
+//! EXPERIMENTS.md (B13) and BENCH_core.json.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isql::server::{serve, Client};
+use isql::Engine;
+
+const CLIENTS: [usize; 3] = [1, 4, 8];
+const READS_PER_CLIENT: usize = 8;
+const DMLS: usize = 4;
+
+/// An engine seeded with the flights/hotels demo tables.
+fn seeded_engine() -> Engine {
+    let engine = Engine::new();
+    let mut admin = engine.session();
+    admin
+        .register("Flights", datagen::flights(7, 6, 10, 12))
+        .unwrap();
+    admin
+        .register("Hotels", datagen::hotels(7, 40, 10))
+        .unwrap();
+    engine
+}
+
+/// One client's read loop: fresh session per batch, mixed certain/possible
+/// selects (the certain one splits worlds locally, exercising the
+/// snapshot-isolated working state).
+fn run_reads(engine: &Engine) {
+    let mut s = engine.session();
+    for i in 0..READS_PER_CLIENT {
+        let sql = if i % 2 == 0 {
+            "select possible Arr from Flights;"
+        } else {
+            "select certain Arr from Flights choice of Dep;"
+        };
+        s.execute(sql).unwrap();
+    }
+}
+
+/// The writer's DML loop on its own session: updates serialize through the
+/// engine's writer and publish new snapshots under the readers.
+fn run_dml(engine: &Engine, round: usize) {
+    let mut s = engine.session();
+    for i in 0..DMLS {
+        s.execute(&format!(
+            "update Hotels set City = 'C{}' where Name = 'H0000';",
+            (round + i) % 5
+        ))
+        .unwrap();
+    }
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_sessions");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+
+    for &clients in &CLIENTS {
+        let engine = seeded_engine();
+        let mut round = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("mixed", format!("c{clients}")),
+            &clients,
+            |b, _| {
+                b.iter(|| {
+                    round += 1;
+                    std::thread::scope(|s| {
+                        for t in 0..clients {
+                            let engine = &engine;
+                            if t == 0 {
+                                s.spawn(move || {
+                                    run_dml(engine, round);
+                                    run_reads(engine);
+                                });
+                            } else {
+                                s.spawn(move || run_reads(engine));
+                            }
+                        }
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tcp_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_sessions");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1000));
+
+    let server = serve(seeded_engine(), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    group.bench_function("tcp_roundtrip/select", |b| {
+        b.iter(|| client.query("select possible Arr from Flights;").unwrap());
+    });
+    group.finish();
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_mixed, bench_tcp_roundtrip);
+criterion_main!(benches);

@@ -248,6 +248,15 @@ pub enum Stmt {
         /// Optional condition.
         cond: Option<Cond>,
     },
+    /// `set local <knob> = <value>` — a per-connection tuning override,
+    /// the session-scoped counterpart of the `WSDB_*` environment
+    /// variables (e.g. `set local columnar = off;`).
+    SetLocal {
+        /// Knob name (`threads`, `rewrite`, `columnar`, …).
+        name: String,
+        /// Raw value text (`4`, `on`, `off`, `default`, …).
+        value: String,
+    },
 }
 
 impl SelectStmt {

@@ -1,0 +1,211 @@
+//! The shared execution engine: one catalog, many sessions.
+//!
+//! An [`Engine`] owns the database state — the world-set and the declared
+//! key constraints — as an immutable [`Snapshot`] behind an `Arc` that is
+//! swapped atomically on every committed write. Concurrent
+//! [`Session`](crate::Session) handles (one per connection) read the
+//! snapshot they opened without taking any lock: a snapshot is never
+//! mutated after publication, so a reader can hold it for as long as it
+//! likes while writers publish newer ones. Writes serialize through a
+//! single writer mutex; each applies against the latest published state
+//! and publishes its successor with a bumped sequence number.
+//!
+//! Snapshot identity builds on the PR 5 epoch tags: every `Relation`
+//! carries a process-monotonic epoch, and equal epochs imply identical
+//! content, so a snapshot is identified by its sequence number and by its
+//! [epoch set](Snapshot::epoch_set) — the sorted set of epochs of every
+//! relation instance it contains. The concurrency tests use this to check
+//! that an answer observed by a reader is consistent with *exactly one*
+//! published snapshot (no torn reads across a concurrent write).
+//!
+//! The plan/result caches and optimizer memos need no changes for
+//! concurrency: they are keyed by `(name, epoch)` fingerprints, so entries
+//! from different snapshots can never verify against each other's data,
+//! and DML continues to evict plans reading the mutated table via
+//! `plan_cache::invalidate_tables`.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use worldset::WorldSet;
+
+use crate::session::Session;
+
+/// An immutable, published state of the database: a world-set plus the
+/// declared key constraints, identified by a sequence number.
+///
+/// Snapshots are never mutated after publication; readers hold them by
+/// `Arc` and can keep reading an old snapshot after newer ones publish.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    seq: u64,
+    ws: WorldSet,
+    keys: BTreeMap<String, Vec<String>>,
+}
+
+impl Snapshot {
+    /// The publication sequence number (0 for the engine's initial state;
+    /// each committed write publishes `seq + 1`).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The snapshot's world-set.
+    pub fn world_set(&self) -> &WorldSet {
+        &self.ws
+    }
+
+    /// The declared key constraints (`table → key columns`).
+    pub fn keys(&self) -> &BTreeMap<String, Vec<String>> {
+        &self.keys
+    }
+
+    /// The snapshot's epoch set: the sorted, deduplicated epochs of every
+    /// relation instance in every world. Equal epochs imply identical
+    /// relation content (the PR 5 invariant), so two answers computed from
+    /// states with the same epoch set came from identical database states.
+    pub fn epoch_set(&self) -> Vec<u64> {
+        let mut epochs: Vec<u64> = self
+            .ws
+            .iter()
+            .flat_map(|w| (0..self.ws.rel_names().len()).map(|i| w.rel(i).epoch()))
+            .collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        epochs
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct EngineInner {
+    /// The latest published snapshot. The mutex guards only the `Arc`
+    /// swap/clone, never evaluation: readers clone the `Arc` and drop the
+    /// lock immediately.
+    published: Mutex<Arc<Snapshot>>,
+    /// Serializes writers. Held across apply-and-publish so each write
+    /// sees the state left by the previous one.
+    writer: Mutex<()>,
+}
+
+/// The shared execution engine behind one or more I-SQL sessions.
+///
+/// `Engine` is cheaply cloneable (an `Arc` handle) and `Send + Sync`: hand
+/// clones to connection-handler threads and give each its own
+/// [`Session`](crate::Session) via [`Engine::session`].
+///
+/// ```
+/// use isql::{Engine, ExecOutcome};
+/// use relalg::Relation;
+///
+/// let engine = Engine::new();
+/// let mut admin = engine.session();
+/// admin
+///     .register("R", Relation::table(&["A"], &[&["x"], &["y"]]))
+///     .unwrap();
+///
+/// // A second session on the same engine sees the committed table.
+/// let mut reader = engine.session();
+/// let out = reader.execute("select possible A from R;").unwrap();
+/// let ExecOutcome::Rows { answers, .. } = &out[0] else { panic!() };
+/// assert_eq!(answers[0].len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine over a single empty world.
+    pub fn new() -> Engine {
+        Engine::with_world_set(WorldSet::single(vec![]))
+    }
+
+    /// An engine whose initial snapshot is an existing world-set.
+    pub fn with_world_set(ws: WorldSet) -> Engine {
+        Engine::with_state(ws, BTreeMap::new())
+    }
+
+    /// An engine seeded with a world-set and key constraints (used by
+    /// session forking).
+    pub(crate) fn with_state(ws: WorldSet, keys: BTreeMap<String, Vec<String>>) -> Engine {
+        Engine {
+            inner: Arc::new(EngineInner {
+                published: Mutex::new(Arc::new(Snapshot { seq: 0, ws, keys })),
+                writer: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// Open a new session on this engine. The session starts at the latest
+    /// published snapshot with default (process-wide) configuration.
+    pub fn session(&self) -> Session {
+        Session::open(self.clone())
+    }
+
+    /// The latest published snapshot (lock held only for the `Arc` clone).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.inner
+            .published
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Run one serialized write: `apply` receives the base state (the
+    /// caller's working state when it is still current, otherwise the
+    /// latest published state) and returns the successor state to publish,
+    /// or `None` to commit nothing (a rejected DML statement).
+    ///
+    /// `working` is the calling session's `(opened seq, world-set, keys)`.
+    /// Returns the newly published snapshot (or the reread latest snapshot
+    /// when nothing was committed) plus whether a commit happened.
+    pub(crate) fn commit_with(
+        &self,
+        working: (u64, &WorldSet, &BTreeMap<String, Vec<String>>),
+        apply: impl FnOnce(
+            &WorldSet,
+            &BTreeMap<String, Vec<String>>,
+        ) -> Result<
+            Option<(WorldSet, BTreeMap<String, Vec<String>>)>,
+            crate::lexer::SqlError,
+        >,
+    ) -> Result<(Arc<Snapshot>, bool), crate::lexer::SqlError> {
+        let inner = &self.inner;
+        let _writer = inner.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let latest = inner
+            .published
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let (opened_seq, working_ws, working_keys) = working;
+        // A session whose snapshot is still the latest commits its *working*
+        // state, which may carry query results and world splits the
+        // published snapshot lacks (the single-session facade always takes
+        // this path, preserving the paper's step-by-step semantics). A
+        // stale session rebases: its write applies to the latest published
+        // state instead, and its local query results are left behind.
+        let (base_ws, base_keys) = if latest.seq == opened_seq {
+            (working_ws, working_keys)
+        } else {
+            (&latest.ws, &latest.keys)
+        };
+        match apply(base_ws, base_keys)? {
+            None => Ok((latest, false)),
+            Some((ws, keys)) => {
+                let snap = Arc::new(Snapshot {
+                    seq: latest.seq + 1,
+                    ws,
+                    keys,
+                });
+                *inner.published.lock().unwrap_or_else(|e| e.into_inner()) = snap.clone();
+                Ok((snap, true))
+            }
+        }
+    }
+}

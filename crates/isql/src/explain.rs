@@ -116,6 +116,9 @@ impl Session {
 
     /// [`Session::explain`] on a parsed statement.
     pub fn explain_select(&self, sel: &SelectStmt) -> Result<Explanation, SqlError> {
+        // The session's `set local` overrides govern the explain too (the
+        // plan shown is the plan the session would run).
+        let _session_cfg = relalg::config::overlay(self.config());
         let ws = self.world_set();
         let base = |name: &str| -> Option<Schema> {
             let idx = ws.index_of(name)?;

@@ -24,16 +24,20 @@
 
 mod ast;
 mod compile;
+mod engine;
 mod explain;
 mod interp;
 mod lexer;
 mod parser;
+pub mod server;
 mod session;
 
 pub use ast::{
     AggFn, ArithOp, ColRef, Cond, FromItem, Literal, Quant, Scalar, SelectItem, SelectStmt, Stmt,
 };
 pub use compile::compile_select;
+pub use engine::{Engine, Snapshot};
 pub use explain::Explanation;
 pub use parser::{parse_script, parse_statement};
+pub use relalg::config::SessionConfig;
 pub use session::{ExecOutcome, Session};

@@ -135,6 +135,23 @@ impl Parser {
             };
             return Ok(Stmt::Delete { table, cond });
         }
+        if self.is_kw(0, "set") && self.is_kw(1, "local") {
+            self.eat_kw("set");
+            self.eat_kw("local");
+            let name = self.ident()?;
+            self.expect(&Token::Eq)?;
+            let value = match self.next()? {
+                Token::Ident(s) => s,
+                Token::Int(i) => i.to_string(),
+                Token::Str(s) => s,
+                other => {
+                    return Err(SqlError(format!(
+                        "expected a knob value after set local {name} =, found {other}"
+                    )))
+                }
+            };
+            return Ok(Stmt::SetLocal { name, value });
+        }
         if self.is_kw(0, "update") {
             self.eat_kw("update");
             let table = self.ident()?;

@@ -1,0 +1,287 @@
+//! A threaded TCP front-end for a shared [`Engine`]: many clients, one
+//! catalog, one session per connection.
+//!
+//! The server is plain `std::net` — an accept loop handing each
+//! connection to its own handler thread, which owns an
+//! [`Engine::session`] for the connection's lifetime. No async runtime is
+//! involved; the engine's snapshot isolation does the heavy lifting
+//! (readers never block, writers serialize).
+//!
+//! # Wire protocol
+//!
+//! Requests and responses are framed over a plain TCP stream:
+//!
+//! * **Request** — one I-SQL script per request, in either framing:
+//!   * a single line terminated by `\n` (the script must not itself
+//!     contain a newline), or
+//!   * `#<n>\n` followed by exactly `n` bytes of script (any bytes,
+//!     including newlines).
+//!
+//!   Blank lines are ignored. The line `\quit` asks the server to close
+//!   the connection; closing the socket works just as well.
+//! * **Response** — exactly one per request:
+//!   * `OK <n>\n` followed by `n` bytes of payload: the rendered outcomes
+//!     of every statement in the script, in order, in the same textual
+//!     form the interactive shell prints ([`render_outcome`]);
+//!   * `ERR <n>\n` followed by `n` bytes: the error message. The session
+//!     survives an error and keeps serving subsequent requests.
+//!
+//! The per-connection session gives each client the full session model:
+//! `Q‹n›` answer naming, snapshot-isolated reads, `set local` overrides
+//! scoped to the connection, and serialized writes published to every
+//! other connection.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::engine::Engine;
+use crate::session::{ExecOutcome, Session};
+
+/// Render one statement outcome as the interactive shell prints it.
+/// `worlds` is the session's world count after the statement (the shell
+/// reports it for selects). Shared by the REPL, the TCP server, and the
+/// byte-for-byte smoke test.
+pub fn render_outcome(outcome: &ExecOutcome, worlds: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    match outcome {
+        ExecOutcome::Rows { name, answers } => {
+            let _ = writeln!(
+                out,
+                "{name}: {} distinct answer(s) across {worlds} world(s)",
+                answers.len()
+            );
+            for (i, rel) in answers.iter().enumerate().take(8) {
+                let _ = write!(
+                    out,
+                    "{}",
+                    rel.to_table_string(&format!("{name}[{}]", i + 1))
+                );
+            }
+            if answers.len() > 8 {
+                let _ = writeln!(out, "… ({} more)", answers.len() - 8);
+            }
+        }
+        ExecOutcome::ViewCreated { name, worlds } => {
+            let _ = writeln!(
+                out,
+                "view {name} materialized; world-set now has {worlds} world(s)"
+            );
+        }
+        ExecOutcome::Dml { applied } => {
+            if *applied {
+                let _ = writeln!(out, "ok");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "rejected: constraint violated in some world — discarded in all"
+                );
+            }
+        }
+        ExecOutcome::Set { name, value } => {
+            let _ = writeln!(out, "set local {name} = {value}");
+        }
+    }
+    out
+}
+
+/// Execute `script` on `session` and render the response payload exactly
+/// as the server would. Used in-process by the smoke test as the
+/// reference output for the byte-for-byte comparison.
+pub fn execute_rendered(session: &mut Session, script: &str) -> Result<String, String> {
+    match session.execute(script) {
+        Ok(outcomes) => Ok(outcomes
+            .iter()
+            .map(|o| render_outcome(o, session.world_set().len()))
+            .collect()),
+        Err(e) => Err(format!("{e}\n")),
+    }
+}
+
+/// A running TCP server. Dropping the handle (or calling
+/// [`ServerHandle::shutdown`]) stops the accept loop; connections already
+/// established keep their handler threads until the client disconnects.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (resolves the actual port
+    /// when bound to an ephemeral one).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    /// Block until the accept loop exits (it runs until shutdown). The
+    /// `--serve` binary parks on this.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn stop_accepting(&mut self) {
+        let Some(h) = self.accept.take() else { return };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = h.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+/// Start serving `engine` on `addr` (e.g. `"127.0.0.1:0"` for an
+/// ephemeral port). Returns once the listener is bound; the accept loop
+/// runs on a background thread and every accepted connection gets its own
+/// handler thread and [`Engine::session`].
+pub fn serve(engine: Engine, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_accept = stop.clone();
+    let accept = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop_accept.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            // Responses are small; send them immediately (a Nagle +
+            // delayed-ACK interaction otherwise adds ~40ms per request).
+            stream.set_nodelay(true).ok();
+            let session = engine.session();
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, session);
+            });
+        }
+    });
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+/// Serve one connection until the client disconnects or sends `\quit`.
+fn handle_connection(stream: TcpStream, mut session: Session) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let Some(script) = read_request(&mut reader)? else {
+            return Ok(()); // EOF or \quit
+        };
+        if script.trim().is_empty() {
+            continue;
+        }
+        let (status, payload) = match execute_rendered(&mut session, &script) {
+            Ok(p) => ("OK", p),
+            Err(p) => ("ERR", p),
+        };
+        write!(writer, "{status} {}\n{payload}", payload.len())?;
+        writer.flush()?;
+    }
+}
+
+/// Read one request: a newline-terminated script, or `#<n>` length-framed
+/// bytes. `None` means the connection is done (EOF or `\quit`).
+fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let trimmed = line.trim_end_matches(['\r', '\n']);
+    if trimmed == "\\quit" {
+        return Ok(None);
+    }
+    if let Some(len_text) = trimmed.strip_prefix('#') {
+        let len: usize = len_text.trim().parse().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad length frame {trimmed:?}"),
+            )
+        })?;
+        let mut buf = vec![0u8; len];
+        reader.read_exact(&mut buf)?;
+        let script =
+            String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        return Ok(Some(script));
+    }
+    Ok(Some(trimmed.to_string()))
+}
+
+/// A minimal client for the wire protocol, used by the stress suite, the
+/// smoke test, and the `concurrent_sessions` bench.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server started with [`serve`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send one script and read the response: `Ok(payload)` for an `OK`
+    /// response, `Err(message)` for an `ERR` response. I/O problems
+    /// surface as the outer `io::Error`.
+    pub fn request(&mut self, script: &str) -> io::Result<Result<String, String>> {
+        let stream = self.reader.get_mut();
+        // Always length-frame: scripts may contain newlines.
+        write!(stream, "#{}\n{script}", script.len())?;
+        stream.flush()?;
+        let mut status = String::new();
+        if self.reader.read_line(&mut status)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let status = status.trim_end();
+        let (ok, len_text) = if let Some(rest) = status.strip_prefix("OK ") {
+            (true, rest)
+        } else if let Some(rest) = status.strip_prefix("ERR ") {
+            (false, rest)
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line {status:?}"),
+            ));
+        };
+        let len: usize = len_text.parse().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line {status:?}"),
+            )
+        })?;
+        let mut buf = vec![0u8; len];
+        self.reader.read_exact(&mut buf)?;
+        let payload =
+            String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(if ok { Ok(payload) } else { Err(payload) })
+    }
+
+    /// [`Client::request`], flattening a server-side error into
+    /// `io::Error` (for callers that expect the script to succeed).
+    pub fn query(&mut self, script: &str) -> io::Result<String> {
+        self.request(script)?
+            .map_err(|e| io::Error::other(e.trim_end().to_string()))
+    }
+}

@@ -1,11 +1,36 @@
-//! An I-SQL session: a world-set, key constraints, and statement execution.
+//! An I-SQL session: a per-connection handle onto a shared [`Engine`].
+//!
+//! A `Session` carries its own open [`Snapshot`](crate::Snapshot), a
+//! working world-set (the snapshot's world-set plus any query results and
+//! world splits produced locally), per-connection configuration overrides
+//! ([`SessionConfig`]), and the `Q1, Q2, …` query counter. Reads never
+//! block: a select evaluates against the working world-set with no engine
+//! lock held. Writes (DML, views, [`Session::register`],
+//! [`Session::declare_key`]) serialize through the engine's single writer
+//! and publish a new snapshot for every session to see.
+//!
+//! # Snapshot isolation
+//!
+//! A session *auto-refreshes* to the latest published snapshot at each
+//! select, **until** it has local state other sessions lack (a
+//! materialized `Q‹n›` answer or a world split) — from then on it keeps
+//! reading the snapshot those results were computed from, so every answer
+//! in one line of investigation is consistent with one database state. A
+//! write re-synchronizes: if the session's snapshot is still the latest,
+//! the write commits the session's *working* world-set (query results,
+//! splits and all — the single-session behavior of the pre-`Engine` API,
+//! preserved exactly); if other sessions have published since, the write
+//! rebases onto the latest snapshot and the session's local query results
+//! are left behind.
 
 use std::collections::BTreeMap;
 
+use relalg::config::SessionConfig;
 use relalg::{Relation, Value};
 use worldset::WorldSet;
 
 use crate::ast::*;
+use crate::engine::{Engine, Snapshot};
 use crate::interp::{eval_cond_public, eval_select_ws, eval_update_row};
 use crate::lexer::SqlError;
 use crate::parser::parse_script;
@@ -37,6 +62,14 @@ pub enum ExecOutcome {
         /// Whether the change was applied.
         applied: bool,
     },
+    /// A `set local` statement: the named per-session override is now in
+    /// effect for this session only.
+    Set {
+        /// Knob name as given.
+        name: String,
+        /// Value as given.
+        value: String,
+    },
 }
 
 /// An interactive I-SQL session over a world-set database.
@@ -54,10 +87,26 @@ pub enum ExecOutcome {
 /// let isql::ExecOutcome::Rows { answers, .. } = &out[0] else { panic!() };
 /// assert_eq!(answers[0], Relation::table(&["Arr"], &[&["ATL"]]));
 /// ```
-#[derive(Clone, Debug)]
+///
+/// [`Session::new`] is the single-session facade: it creates a private
+/// [`Engine`] under the hood, so scripts behave exactly as they did when a
+/// session owned its world-set by value. To serve several connections over
+/// one catalog, create one [`Engine`] and call [`Engine::session`] per
+/// connection.
+#[derive(Debug)]
 pub struct Session {
+    engine: Engine,
+    /// The published snapshot this session last synchronized with.
+    opened: std::sync::Arc<Snapshot>,
+    /// The working world-set: `opened`'s world-set plus local query
+    /// results/world splits (when `diverged`).
     ws: WorldSet,
+    /// Key constraints as of `opened` (writes republish them).
     keys: BTreeMap<String, Vec<String>>,
+    /// Whether `ws` holds local state beyond `opened` (suspends
+    /// auto-refresh until the next write re-synchronizes).
+    diverged: bool,
+    config: SessionConfig,
     query_counter: usize,
 }
 
@@ -67,48 +116,98 @@ impl Default for Session {
     }
 }
 
+impl Clone for Session {
+    /// Fork the session: the clone gets its own private engine seeded with
+    /// this session's working state, preserving the value-type independence
+    /// of the pre-`Engine` API (mutating either side never affects the
+    /// other).
+    fn clone(&self) -> Session {
+        let engine = Engine::with_state(self.ws.clone(), self.keys.clone());
+        let mut s = engine.session();
+        s.config = self.config;
+        s.query_counter = self.query_counter;
+        s
+    }
+}
+
 impl Session {
-    /// A session over a single empty world.
+    /// A session over a single empty world (on a new private engine).
     pub fn new() -> Session {
+        Engine::new().session()
+    }
+
+    /// A session over an existing world-set (on a new private engine).
+    pub fn with_world_set(ws: WorldSet) -> Session {
+        Engine::with_world_set(ws).session()
+    }
+
+    /// Open a session at `engine`'s latest snapshot ([`Engine::session`]).
+    pub(crate) fn open(engine: Engine) -> Session {
+        let opened = engine.snapshot();
         Session {
-            ws: WorldSet::single(vec![]),
-            keys: BTreeMap::new(),
+            ws: opened.world_set().clone(),
+            keys: opened.keys().clone(),
+            opened,
+            engine,
+            diverged: false,
+            config: SessionConfig::new(),
             query_counter: 0,
         }
     }
 
-    /// A session over an existing world-set.
-    pub fn with_world_set(ws: WorldSet) -> Session {
-        Session {
-            ws,
-            keys: BTreeMap::new(),
-            query_counter: 0,
-        }
+    /// The engine this session executes against.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The published snapshot this session is currently synchronized with.
+    /// While the session holds local query results, this is the snapshot
+    /// they were computed from.
+    pub fn snapshot(&self) -> &std::sync::Arc<Snapshot> {
+        &self.opened
+    }
+
+    /// This session's configuration overrides (see
+    /// [`SessionConfig`] and the `set local` statement).
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Mutable access to this session's configuration overrides.
+    pub fn config_mut(&mut self) -> &mut SessionConfig {
+        &mut self.config
     }
 
     /// Register a base relation (added to every world). The relation is
     /// shared across worlds, not copied per world.
     pub fn register(&mut self, name: &str, rel: Relation) -> Result<()> {
-        if self.ws.index_of(name).is_some() {
-            return Err(SqlError(format!("relation {name} already exists")));
-        }
         let shared = std::sync::Arc::new(rel);
-        self.ws = self
-            .ws
-            .par_extend_with(name, |_| Ok::<_, SqlError>(shared.clone()))?;
+        let name_owned = name.to_string();
+        self.write(move |ws, keys| {
+            if ws.index_of(&name_owned).is_some() {
+                return Err(SqlError(format!("relation {name_owned} already exists")));
+            }
+            let ws = ws.par_extend_with(&name_owned, |_| Ok::<_, SqlError>(shared.clone()))?;
+            Ok(Some((ws, keys.clone())))
+        })?;
         Ok(())
     }
 
     /// Declare a key constraint `cols → rest` on `table`, enforced by
     /// `insert` with the paper's discard-in-all-worlds semantics.
     pub fn declare_key(&mut self, table: &str, cols: &[&str]) {
-        self.keys.insert(
-            table.to_string(),
-            cols.iter().map(|c| c.to_string()).collect(),
-        );
+        let table = table.to_string();
+        let cols: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+        self.write(move |ws, keys| {
+            let mut keys = keys.clone();
+            keys.insert(table, cols);
+            Ok(Some((ws.clone(), keys)))
+        })
+        .expect("declare_key cannot fail");
     }
 
-    /// The current world-set.
+    /// The current world-set (the session's working state: its snapshot
+    /// plus any local query results).
     pub fn world_set(&self) -> &WorldSet {
         &self.ws
     }
@@ -132,23 +231,31 @@ impl Session {
         stmts.into_iter().map(|s| self.run(s)).collect()
     }
 
-    /// Execute one statement.
+    /// Execute one statement. The session's configuration overrides are in
+    /// effect for the duration of the statement (on this thread and on the
+    /// execution pool's workers).
     pub fn run(&mut self, stmt: Stmt) -> Result<ExecOutcome> {
+        let _session_cfg = relalg::config::overlay(&self.config);
         match stmt {
             Stmt::Select(sel) => {
-                self.query_counter += 1;
-                let name = format!("Q{}", self.query_counter);
+                self.refresh_if_clean();
+                let name = self.fresh_query_name();
                 self.ws = eval_select_ws(&sel, &self.ws, &name)?;
+                self.diverged = true;
                 Ok(ExecOutcome::Rows {
                     answers: self.answers(&name)?,
                     name,
                 })
             }
             Stmt::CreateView { name, query } => {
-                if self.ws.index_of(&name).is_some() {
-                    return Err(SqlError(format!("relation {name} already exists")));
-                }
-                self.ws = eval_select_ws(&query, &self.ws, &name)?;
+                let out_name = name.clone();
+                self.write(move |ws, keys| {
+                    if ws.index_of(&out_name).is_some() {
+                        return Err(SqlError(format!("relation {out_name} already exists")));
+                    }
+                    let ws = eval_select_ws(&query, ws, &out_name)?;
+                    Ok(Some((ws, keys.clone())))
+                })?;
                 Ok(ExecOutcome::ViewCreated {
                     name,
                     worlds: self.ws.len(),
@@ -170,13 +277,59 @@ impl Session {
                 relalg::plan_cache::invalidate_tables(&[&table]);
                 self.update(&table, sets, cond)
             }
+            Stmt::SetLocal { name, value } => {
+                self.config.set(&name, &value).map_err(SqlError)?;
+                Ok(ExecOutcome::Set { name, value })
+            }
         }
     }
 
-    fn table_index(&self, table: &str) -> Result<usize> {
-        self.ws
-            .index_of(table)
-            .ok_or_else(|| SqlError(format!("unknown relation {table}")))
+    /// Sync with the latest published snapshot, unless this session holds
+    /// local query results (then it keeps the snapshot they came from).
+    fn refresh_if_clean(&mut self) {
+        if self.diverged {
+            return;
+        }
+        let latest = self.engine.snapshot();
+        if latest.seq() != self.opened.seq() {
+            self.ws = latest.world_set().clone();
+            self.keys = latest.keys().clone();
+            self.opened = latest;
+        }
+    }
+
+    /// The next unused `Q‹n›` answer name. Counting is per session;
+    /// names another session already committed to the catalog are skipped.
+    fn fresh_query_name(&mut self) -> String {
+        loop {
+            self.query_counter += 1;
+            let name = format!("Q{}", self.query_counter);
+            if self.ws.index_of(&name).is_none() {
+                return name;
+            }
+        }
+    }
+
+    /// Run one serialized write through the engine and adopt the published
+    /// state. Returns whether the write committed (`false` only for a
+    /// rejected DML statement, which leaves the session untouched).
+    fn write(
+        &mut self,
+        apply: impl FnOnce(
+            &WorldSet,
+            &BTreeMap<String, Vec<String>>,
+        ) -> Result<Option<(WorldSet, BTreeMap<String, Vec<String>>)>>,
+    ) -> Result<bool> {
+        let (snap, committed) = self
+            .engine
+            .commit_with((self.opened.seq(), &self.ws, &self.keys), apply)?;
+        if committed {
+            self.ws = snap.world_set().clone();
+            self.keys = snap.keys().clone();
+            self.opened = snap;
+            self.diverged = false;
+        }
+        Ok(committed)
     }
 
     /// `insert`: the rows are added in every world; if the insertion
@@ -186,61 +339,68 @@ impl Session {
     /// not one O(n) shifted insert per row, and the per-world merges and
     /// key checks run on the execution pool.
     fn insert(&mut self, table: &str, rows: Vec<Vec<Literal>>) -> Result<ExecOutcome> {
-        let idx = self.table_index(table)?;
         let values: Vec<Vec<Value>> = rows
             .into_iter()
             .map(|r| r.into_iter().map(lit_to_value).collect())
             .collect();
-        let proposed = self.ws.par_map_worlds(|w| {
-            let rel = w
-                .rel(idx)
-                .merge_rows(values.iter().cloned())
-                .map_err(|e| SqlError(e.to_string()))?;
-            Ok(w.replace_rel(idx, rel))
-        })?;
-        if let Some(key_cols) = self.keys.get(table) {
-            let key_attrs: Vec<relalg::Attr> =
-                key_cols.iter().map(|c| relalg::Attr::new(c)).collect();
-            let worlds: Vec<_> = proposed.iter().collect();
-            let violated = relalg::pool::par_map(&worlds, |w| {
-                let rel = w.rel(idx);
-                let distinct_keys = rel
-                    .distinct_values(&key_attrs)
+        let table = table.to_string();
+        let applied = self.write(move |ws, keys| {
+            let idx = table_index(ws, &table)?;
+            let proposed = ws.par_map_worlds(|w| {
+                let rel = w
+                    .rel(idx)
+                    .merge_rows(values.iter().cloned())
                     .map_err(|e| SqlError(e.to_string()))?;
-                Ok::<_, SqlError>(distinct_keys.len() != rel.len())
-            })
-            .into_iter()
-            .collect::<Result<Vec<bool>>>()?
-            .into_iter()
-            .any(|v| v);
-            if violated {
-                return Ok(ExecOutcome::Dml { applied: false });
+                Ok(w.replace_rel(idx, rel))
+            })?;
+            if let Some(key_cols) = keys.get(&table) {
+                let key_attrs: Vec<relalg::Attr> =
+                    key_cols.iter().map(|c| relalg::Attr::new(c)).collect();
+                let worlds: Vec<_> = proposed.iter().collect();
+                let violated = relalg::pool::par_map(&worlds, |w| {
+                    let rel = w.rel(idx);
+                    let distinct_keys = rel
+                        .distinct_values(&key_attrs)
+                        .map_err(|e| SqlError(e.to_string()))?;
+                    Ok::<_, SqlError>(distinct_keys.len() != rel.len())
+                })
+                .into_iter()
+                .collect::<Result<Vec<bool>>>()?
+                .into_iter()
+                .any(|v| v);
+                if violated {
+                    return Ok(None);
+                }
             }
-        }
-        self.ws = proposed;
-        Ok(ExecOutcome::Dml { applied: true })
+            Ok(Some((proposed, keys.clone())))
+        })?;
+        Ok(ExecOutcome::Dml { applied })
     }
 
     /// `delete from R [where φ]` in every world (worlds filter on the
     /// execution pool).
     fn delete(&mut self, table: &str, cond: Option<Cond>) -> Result<ExecOutcome> {
-        let idx = self.table_index(table)?;
-        let names: Vec<String> = self.ws.rel_names().to_vec();
-        self.ws = self.ws.par_map_worlds(|w| {
-            let rel = w.rel(idx);
-            let mut keep = Vec::new();
-            for row in rel.iter() {
-                let matches = match &cond {
-                    None => true,
-                    Some(c) => eval_cond_public(c, w, &names, rel.schema(), row)?,
-                };
-                if !matches {
-                    keep.push(row.clone());
+        let table = table.to_string();
+        self.write(move |ws, keys| {
+            let idx = table_index(ws, &table)?;
+            let names: Vec<String> = ws.rel_names().to_vec();
+            let ws = ws.par_map_worlds(|w| {
+                let rel = w.rel(idx);
+                let mut keep = Vec::new();
+                for row in rel.iter() {
+                    let matches = match &cond {
+                        None => true,
+                        Some(c) => eval_cond_public(c, w, &names, rel.schema(), row)?,
+                    };
+                    if !matches {
+                        keep.push(row.clone());
+                    }
                 }
-            }
-            let filtered = Relation::from_rows(rel.schema().clone(), keep)
-                .map_err(|e| SqlError(e.to_string()))?;
-            Ok(w.replace_rel(idx, filtered))
+                let filtered = Relation::from_rows(rel.schema().clone(), keep)
+                    .map_err(|e| SqlError(e.to_string()))?;
+                Ok(w.replace_rel(idx, filtered))
+            })?;
+            Ok(Some((ws, keys.clone())))
         })?;
         Ok(ExecOutcome::Dml { applied: true })
     }
@@ -253,28 +413,37 @@ impl Session {
         sets: Vec<(String, Scalar)>,
         cond: Option<Cond>,
     ) -> Result<ExecOutcome> {
-        let idx = self.table_index(table)?;
-        let names: Vec<String> = self.ws.rel_names().to_vec();
-        self.ws = self.ws.par_map_worlds(|w| {
-            let rel = w.rel(idx);
-            let mut rows = Vec::new();
-            for row in rel.iter() {
-                let matches = match &cond {
-                    None => true,
-                    Some(c) => eval_cond_public(c, w, &names, rel.schema(), row)?,
-                };
-                if matches {
-                    rows.push(eval_update_row(&sets, w, &names, rel.schema(), row)?);
-                } else {
-                    rows.push(row.clone());
+        let table = table.to_string();
+        self.write(move |ws, keys| {
+            let idx = table_index(ws, &table)?;
+            let names: Vec<String> = ws.rel_names().to_vec();
+            let ws = ws.par_map_worlds(|w| {
+                let rel = w.rel(idx);
+                let mut rows = Vec::new();
+                for row in rel.iter() {
+                    let matches = match &cond {
+                        None => true,
+                        Some(c) => eval_cond_public(c, w, &names, rel.schema(), row)?,
+                    };
+                    if matches {
+                        rows.push(eval_update_row(&sets, w, &names, rel.schema(), row)?);
+                    } else {
+                        rows.push(row.clone());
+                    }
                 }
-            }
-            let updated = Relation::from_rows(rel.schema().clone(), rows)
-                .map_err(|e| SqlError(e.to_string()))?;
-            Ok(w.replace_rel(idx, updated))
+                let updated = Relation::from_rows(rel.schema().clone(), rows)
+                    .map_err(|e| SqlError(e.to_string()))?;
+                Ok(w.replace_rel(idx, updated))
+            })?;
+            Ok(Some((ws, keys.clone())))
         })?;
         Ok(ExecOutcome::Dml { applied: true })
     }
+}
+
+fn table_index(ws: &WorldSet, table: &str) -> Result<usize> {
+    ws.index_of(table)
+        .ok_or_else(|| SqlError(format!("unknown relation {table}")))
 }
 
 fn lit_to_value(l: Literal) -> Value {

@@ -112,11 +112,19 @@ where
     }
     let chunk_len = items.len().div_ceil(num_threads());
     let f = &f;
+    // Carry the caller's session overlay onto the workers so per-session
+    // settings (e.g. `set local columnar = off`) govern the whole fan-out.
+    let cfg = config::current_overlay();
     let mut out: Vec<R> = Vec::with_capacity(items.len());
     std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk_len)
-            .map(|chunk| s.spawn(move || enter_worker(|| chunk.iter().map(f).collect::<Vec<R>>())))
+            .map(|chunk| {
+                s.spawn(move || {
+                    let _session = config::overlay(&cfg);
+                    enter_worker(|| chunk.iter().map(f).collect::<Vec<R>>())
+                })
+            })
             .collect();
         for h in handles {
             out.extend(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
@@ -212,11 +220,13 @@ pub fn par_sort_dedup<T: Ord + Send>(mut v: Vec<T>) -> Vec<T> {
         runs.push(v.split_off(v.len() - chunk_len));
     }
     runs.push(v);
+    let cfg = config::current_overlay();
     std::thread::scope(|s| {
         let handles: Vec<_> = runs
             .iter_mut()
             .map(|run| {
                 s.spawn(move || {
+                    let _session = config::overlay(&cfg);
                     enter_worker(|| {
                         run.sort_unstable();
                         run.dedup();

@@ -10,12 +10,37 @@
 //! Statements end with `;`. Meta-commands: `\worlds` prints the current
 //! world-set, `\tables` lists relations, `\load <demo>` loads a demo
 //! dataset (`flights`, `company`, `census`, `lineitem`), `\quit` exits.
+//!
+//! With `--serve <addr>` the binary starts the threaded TCP server
+//! (`isql::server`) on the given address instead of the shell: each
+//! connection gets its own snapshot-isolated session on one shared
+//! [`Engine`]. I-SQL has no `create table`, so seed the served catalog
+//! with `--load <demo>` (repeatable — same datasets as the shell's
+//! `\load`). Connect with the `isql::server::Client` helper or any
+//! line-oriented TCP tool.
 
 use std::io::{self, BufRead, Write};
 
-use isql::{ExecOutcome, Session};
+use isql::server::render_outcome;
+use isql::{Engine, ExecOutcome, Session};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--serve") {
+        let Some(addr) = args.get(i + 1) else {
+            eprintln!("usage: isql_repl [--serve <addr> [--load <demo>]...]");
+            std::process::exit(2);
+        };
+        let demos: Vec<&str> = args
+            .iter()
+            .enumerate()
+            .filter(|(j, a)| *a == "--load" && args.get(j + 1).is_some())
+            .map(|(j, _)| args[j + 1].as_str())
+            .collect();
+        serve(addr, &demos);
+        return;
+    }
+
     let mut session = Session::new();
     let stdin = io::stdin();
     let mut buffer = String::new();
@@ -69,6 +94,30 @@ fn main() {
     println!("bye.");
 }
 
+/// Start the TCP server on `addr`, seeded with the named demo datasets,
+/// and block until it is shut down.
+fn serve(addr: &str, demos: &[&str]) {
+    let engine = Engine::new();
+    let mut admin = engine.session();
+    for demo in demos {
+        if !load_demo(&mut admin, demo) {
+            eprintln!("unknown dataset {demo:?} (try flights, company, census, lineitem)");
+            std::process::exit(2);
+        }
+    }
+    drop(admin);
+    match isql::server::serve(engine, addr) {
+        Ok(handle) => {
+            println!("isql server listening on {}", handle.addr());
+            handle.join();
+        }
+        Err(e) => {
+            eprintln!("cannot serve on {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 enum MetaResult {
     Continue,
     Quit,
@@ -109,22 +158,32 @@ fn handle_meta(cmd: &str, session: &mut Session) -> MetaResult {
             }
         }
         Some("\\load") => match parts.next() {
-            Some("flights") => {
-                load(session, "Flights", datagen::flights(1, 5, 8, 3));
-                load(session, "Hotels", datagen::hotels(1, 10, 8));
-            }
-            Some("company") => {
-                let (ce, es) = datagen::company_skills(1, 3);
-                load(session, "Company_Emp", ce);
-                load(session, "Emp_Skills", es);
-            }
-            Some("census") => load(session, "Census", datagen::census(1, 8, 3)),
-            Some("lineitem") => load(session, "Lineitem", datagen::lineitem(1, 200, 3, 4)),
+            Some(demo) if load_demo(session, demo) => {}
             other => eprintln!("unknown dataset {other:?}"),
         },
         other => eprintln!("unknown meta-command {other:?}"),
     }
     MetaResult::Continue
+}
+
+/// Register one of the named demo datasets; `false` if the name is
+/// unknown. Shared by the shell's `\load` and the server's `--load`.
+fn load_demo(session: &mut Session, demo: &str) -> bool {
+    match demo {
+        "flights" => {
+            load(session, "Flights", datagen::flights(1, 5, 8, 3));
+            load(session, "Hotels", datagen::hotels(1, 10, 8));
+        }
+        "company" => {
+            let (ce, es) = datagen::company_skills(1, 3);
+            load(session, "Company_Emp", ce);
+            load(session, "Emp_Skills", es);
+        }
+        "census" => load(session, "Census", datagen::census(1, 8, 3)),
+        "lineitem" => load(session, "Lineitem", datagen::lineitem(1, 200, 3, 4)),
+        _ => return false,
+    }
+    true
 }
 
 fn load(session: &mut Session, name: &str, rel: relalg::Relation) {
@@ -135,29 +194,5 @@ fn load(session: &mut Session, name: &str, rel: relalg::Relation) {
 }
 
 fn report(outcome: &ExecOutcome, session: &Session) {
-    match outcome {
-        ExecOutcome::Rows { name, answers } => {
-            println!(
-                "{name}: {} distinct answer(s) across {} world(s)",
-                answers.len(),
-                session.world_set().len()
-            );
-            for (i, rel) in answers.iter().enumerate().take(8) {
-                print!("{}", rel.to_table_string(&format!("{name}[{}]", i + 1)));
-            }
-            if answers.len() > 8 {
-                println!("… ({} more)", answers.len() - 8);
-            }
-        }
-        ExecOutcome::ViewCreated { name, worlds } => {
-            println!("view {name} materialized; world-set now has {worlds} world(s)");
-        }
-        ExecOutcome::Dml { applied } => {
-            if *applied {
-                println!("ok");
-            } else {
-                println!("rejected: constraint violated in some world — discarded in all");
-            }
-        }
-    }
+    print!("{}", render_outcome(outcome, session.world_set().len()));
 }

@@ -17,8 +17,10 @@
 //!   (reproducing the Figure-8/9 rewrites).
 //! * [`wsa_inlined`] — inlined representations (Definition 5.1) and both
 //!   WSA-to-relational translations (Figure 6 and Section 5.3).
-//! * [`isql`] — the I-SQL surface language: parser, compiler to WSA, and a
-//!   direct world-set interpreter with aggregation and DML.
+//! * [`isql`] — the I-SQL surface language: parser, compiler to WSA, a
+//!   direct world-set interpreter with aggregation and DML, and the shared
+//!   multi-session [`isql::Engine`] with its threaded TCP front-end
+//!   ([`isql::server`]).
 //! * [`uldb`] — a minimal ULDB/TriQL baseline used to reproduce the
 //!   Remark-4.6 non-genericity counterexample.
 //! * [`datagen`] — seeded workload generators for tests, examples and
@@ -38,7 +40,7 @@ pub use datagen;
 
 /// Commonly used items, importable as `use world_set_db::prelude::*`.
 pub mod prelude {
-    pub use isql::Session;
+    pub use isql::{Engine, ExecOutcome, Session, SessionConfig};
     pub use relalg::{attr, attrs, Attr, Catalog, Expr, Pred, Relation, Schema, Value};
     pub use worldset::{World, WorldSet};
     pub use wsa::{eval, Query};
