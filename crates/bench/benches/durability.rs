@@ -1,0 +1,173 @@
+//! B14: durability costs — commit latency with and without the WAL,
+//! group-commit scaling under concurrent writers, and recovery time as a
+//! function of WAL length.
+//!
+//! * `durability/commit/{no_wal,wal}` — one committed `update` per
+//!   iteration on an in-memory engine vs a durable engine on a real
+//!   directory (`StdEnv`, fsync before ack). The gap is the price of
+//!   write-ahead logging on the commit path.
+//! * `durability/group_commit/c{1,4,8}` — N writer threads each
+//!   committing updates concurrently; the group-commit leader batches
+//!   the fsyncs, so per-commit cost should fall as writers rise.
+//! * `durability/recovery/wal{1k,10k}` — `Engine::open_on` against a
+//!   deterministic [`SimEnv`] disk image holding a snapshot-free WAL of
+//!   1 000 / 10 000 committed statements; measures torn-tail scanning,
+//!   checksum verification, and full replay.
+//!
+//! Benchmark ids live under `durability/…`. Record with
+//! `scripts/bench_dump.sh durability`; results are tracked in
+//! EXPERIMENTS.md (B14) and BENCH_core.json.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isql::env::{SimEnv, StdEnv};
+use isql::{DurabilityOptions, Engine};
+use relalg::{Relation, Schema, Value};
+
+/// Durability options that never snapshot: every commit stays in the WAL,
+/// so the benches see pure WAL behavior.
+fn wal_only() -> DurabilityOptions {
+    DurabilityOptions {
+        snapshot_every: u64::MAX,
+        background_snapshots: false,
+    }
+}
+
+fn seed_rel(rows: i64) -> Relation {
+    Relation::from_rows(
+        Schema::of(&["K", "V"]),
+        (0..rows).map(|i| vec![Value::Int(i), Value::Int(0)]),
+    )
+    .unwrap()
+}
+
+fn seed(engine: &Engine) {
+    let mut admin = engine.session();
+    admin.register("T", seed_rel(64)).unwrap();
+}
+
+/// One committed statement; alternates the written value so every commit
+/// really publishes a new world-set.
+fn commit_one(engine: &Engine, round: usize) {
+    let mut s = engine.session();
+    s.execute(&format!("update T set V = {} where K = 0;", round % 5))
+        .unwrap();
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("durability");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+
+    let memory = Engine::new();
+    seed(&memory);
+    let mut round = 0usize;
+    group.bench_function("commit/no_wal", |b| {
+        b.iter(|| {
+            round += 1;
+            commit_one(&memory, round);
+        });
+    });
+
+    let dir = std::env::temp_dir().join(format!("wsdb-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let env = StdEnv::new(&dir).expect("bench temp dir");
+    let durable = Engine::open_on(Arc::new(env), wal_only()).expect("open durable engine");
+    seed(&durable);
+    group.bench_function("commit/wal", |b| {
+        b.iter(|| {
+            round += 1;
+            commit_one(&durable, round);
+        });
+    });
+    group.finish();
+    drop(durable);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_group_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("durability");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+
+    const COMMITS_PER_WRITER: usize = 4;
+    for &writers in &[1usize, 4, 8] {
+        let dir =
+            std::env::temp_dir().join(format!("wsdb-bench-group-{}-{writers}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let env = StdEnv::new(&dir).expect("bench temp dir");
+        let engine = Engine::open_on(Arc::new(env), wal_only()).expect("open durable engine");
+        seed(&engine);
+        let mut round = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("group_commit", format!("c{writers}")),
+            &writers,
+            |b, _| {
+                b.iter(|| {
+                    round += 1;
+                    std::thread::scope(|s| {
+                        for t in 0..writers {
+                            let engine = &engine;
+                            let base = round * writers + t;
+                            s.spawn(move || {
+                                for i in 0..COMMITS_PER_WRITER {
+                                    commit_one(engine, base + i);
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+/// Build a SimEnv disk image whose WAL holds `commits` committed
+/// statements and no covering snapshot, so recovery replays everything.
+fn wal_image(commits: usize) -> SimEnv {
+    let env = SimEnv::new();
+    let engine = Engine::open_on(Arc::new(env.clone()), wal_only()).expect("open sim engine");
+    seed(&engine);
+    let mut s = engine.session();
+    for i in 0..commits {
+        s.execute(&format!(
+            "update T set V = {} where K = {};",
+            i % 97,
+            i % 64
+        ))
+        .unwrap();
+    }
+    env
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("durability");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(2000));
+
+    for (label, commits) in [("wal1k", 1_000usize), ("wal10k", 10_000)] {
+        let image = wal_image(commits);
+        group.bench_with_input(BenchmarkId::new("recovery", label), &commits, |b, _| {
+            b.iter(|| {
+                // `recovered()` clones the disk image, so each iteration
+                // replays the same WAL from scratch (bootstrap rewrites
+                // only its private copy).
+                let engine = Engine::open_on(Arc::new(image.recovered()), wal_only())
+                    .expect("recovery failed");
+                assert_eq!(engine.snapshot().seq(), commits as u64 + 1);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit, bench_group_commit, bench_recovery);
+criterion_main!(benches);

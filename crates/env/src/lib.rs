@@ -1,0 +1,208 @@
+//! Storage environment abstraction for the world-set database.
+//!
+//! Durability code never touches `std::fs` directly: it goes through the
+//! [`Env`] trait, which models the small set of filesystem operations the
+//! WAL and snapshot layers need (append, fsync, atomic whole-file replace,
+//! list, remove). Two implementations ship:
+//!
+//! * [`StdEnv`] — the real filesystem, rooted at a data directory.
+//! * [`SimEnv`] — a deterministic in-memory filesystem with *injectable
+//!   crash faults*: at a chosen operation index the simulated process
+//!   "crashes", every file rolls back to its last-synced prefix (plus an
+//!   optional tail of unsynced bytes, modelling a torn write), and all
+//!   further I/O fails. [`SimEnv::recovered`] then hands back the disk
+//!   image a restarted process would observe.
+//!
+//! This is the `sim`/`stdenv` split: every crash-recovery test is a
+//! reproducible `(operation index, torn-bytes)` pair instead of a flaky
+//! kill loop.
+//!
+//! The crate also owns the two on-disk framings built on `Env`:
+//!
+//! * [`wal`] — append-only log records `[seq u64 LE][len u32 LE]
+//!   [crc64 u64 LE][payload]`, with group commit ([`wal::WalWriter`]).
+//! * snapshot files — `"WSNP"` magic, format version, crc64 of the body
+//!   ([`write_snapshot_file`] / [`read_snapshot_file`]), written via
+//!   `write_atomic` so a snapshot is either entirely present or absent.
+//!
+//! File naming is flat: `snap-<seq, zero-padded>` and
+//! `wal-<base seq, zero-padded>`, so lexicographic order of [`Env::list`]
+//! output is sequence order.
+
+use std::fmt::Debug;
+use std::io;
+
+mod sim;
+mod std_env;
+pub mod wal;
+
+pub use sim::{Fault, SimEnv};
+pub use std_env::StdEnv;
+
+/// The filesystem surface durability code is allowed to use.
+///
+/// All names are flat (no directories); implementations map them into a
+/// single root. Operations are atomic at the granularity the trait
+/// promises and nothing more: [`Env::append`] may be torn on crash at any
+/// byte, while [`Env::write_atomic`] and [`Env::remove`] are all-or-nothing.
+/// Durability of appended bytes is only guaranteed after [`Env::sync`]
+/// returns `Ok` — the WAL's commit acknowledgement hinges on exactly this.
+pub trait Env: Send + Sync + Debug {
+    /// Read an entire file. `ErrorKind::NotFound` if it does not exist.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+
+    /// Append bytes to a file, creating it if absent. Appended bytes are
+    /// *not* durable until a subsequent [`Env::sync`] succeeds.
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()>;
+
+    /// Make all previously appended bytes of `name` durable (fsync).
+    fn sync(&self, name: &str) -> io::Result<()>;
+
+    /// Atomically replace the contents of `name` with `data`
+    /// (write-temp + rename + directory sync). After `Ok`, the new
+    /// contents are durable; on crash the old contents (or absence)
+    /// survive intact — never a mix.
+    fn write_atomic(&self, name: &str, data: &[u8]) -> io::Result<()>;
+
+    /// Delete a file. Removing a non-existent file is `Ok` (idempotent).
+    fn remove(&self, name: &str) -> io::Result<()>;
+
+    /// List all file names, sorted lexicographically.
+    fn list(&self) -> io::Result<Vec<String>>;
+}
+
+/// CRC-64/ECMA-182 in its reflected form (poly `0xC96C_5795_D787_0F42`),
+/// the checksum guarding WAL records and snapshot bodies.
+pub fn crc64(data: &[u8]) -> u64 {
+    const TABLE: [u64; 256] = crc64_table();
+    let mut crc = !0u64;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+const fn crc64_table() -> [u64; 256] {
+    const POLY: u64 = 0xC96C_5795_D787_0F42;
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Name of the snapshot file covering all commits up to and including `seq`.
+pub fn snap_file_name(seq: u64) -> String {
+    format!("snap-{seq:020}")
+}
+
+/// Name of the WAL file whose first record has sequence `base + 1`.
+pub fn wal_file_name(base: u64) -> String {
+    format!("wal-{base:020}")
+}
+
+/// Parse a `snap-<seq>` file name back into its sequence number.
+pub fn parse_snap_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?.parse().ok()
+}
+
+/// Parse a `wal-<base>` file name back into its base sequence number.
+pub fn parse_wal_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.parse().ok()
+}
+
+const SNAP_MAGIC: &[u8; 4] = b"WSNP";
+const SNAP_VERSION: u16 = 1;
+
+/// Frame `body` as a snapshot file (`WSNP` magic, version, crc64) and
+/// write it atomically as `name`.
+pub fn write_snapshot_file(env: &dyn Env, name: &str, body: &[u8]) -> io::Result<()> {
+    let mut framed = Vec::with_capacity(body.len() + 14);
+    framed.extend_from_slice(SNAP_MAGIC);
+    framed.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+    framed.extend_from_slice(&crc64(body).to_le_bytes());
+    framed.extend_from_slice(body);
+    env.write_atomic(name, &framed)
+}
+
+/// Read a snapshot file and return its verified body. Any framing
+/// violation — bad magic, unknown version, checksum mismatch — is
+/// `ErrorKind::InvalidData`; a missing file is `ErrorKind::NotFound`.
+pub fn read_snapshot_file(env: &dyn Env, name: &str) -> io::Result<Vec<u8>> {
+    let bytes = env.read(name)?;
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, format!("{name}: {msg}"));
+    if bytes.len() < 14 {
+        return Err(bad("snapshot file too short"));
+    }
+    if &bytes[0..4] != SNAP_MAGIC {
+        return Err(bad("bad snapshot magic"));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != SNAP_VERSION {
+        return Err(bad(&format!("unsupported snapshot version {version}")));
+    }
+    let want = u64::from_le_bytes(bytes[6..14].try_into().unwrap());
+    let body = &bytes[14..];
+    if crc64(body) != want {
+        return Err(bad("snapshot checksum mismatch"));
+    }
+    Ok(body.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc64_known_vector() {
+        // CRC-64/XZ check value for "123456789".
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn file_names_sort_in_seq_order() {
+        assert!(snap_file_name(9) < snap_file_name(10));
+        assert!(wal_file_name(999) < wal_file_name(1000));
+        assert_eq!(parse_snap_name(&snap_file_name(42)), Some(42));
+        assert_eq!(parse_wal_name(&wal_file_name(42)), Some(42));
+        assert_eq!(parse_snap_name("wal-000"), None);
+        assert_eq!(parse_wal_name("wal-abc"), None);
+    }
+
+    #[test]
+    fn snapshot_framing_round_trip_and_rejection() {
+        let env = SimEnv::new();
+        write_snapshot_file(&env, "snap-x", b"hello world").unwrap();
+        assert_eq!(read_snapshot_file(&env, "snap-x").unwrap(), b"hello world");
+
+        // Flip a body byte: checksum mismatch.
+        let mut raw = env.read("snap-x").unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        env.write_atomic("snap-y", &raw).unwrap();
+        let err = read_snapshot_file(&env, "snap-y").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Truncated below the header.
+        env.write_atomic("snap-z", b"WSNP").unwrap();
+        let err = read_snapshot_file(&env, "snap-z").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Missing file.
+        let err = read_snapshot_file(&env, "snap-none").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

@@ -1,0 +1,351 @@
+//! A deterministic in-memory [`Env`] with injectable crash faults.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::Env;
+
+/// A crash injected at a precise point in the I/O stream.
+///
+/// Every mutating operation ([`Env::append`], [`Env::sync`],
+/// [`Env::write_atomic`], [`Env::remove`]) increments an operation
+/// counter; when the counter reaches `at_op` the simulated process
+/// crashes *instead of* performing that operation. On crash every file
+/// rolls back to its last-synced prefix — except the file the faulting
+/// operation targeted, which additionally keeps up to `keep_unsynced`
+/// bytes of its unsynced tail, modelling a torn append that partially
+/// reached the platter. Use `keep_unsynced: usize::MAX` for "the append
+/// landed but the fsync never happened".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Zero-based index of the mutating operation to crash on.
+    pub at_op: u64,
+    /// Unsynced bytes of the target file surviving the crash.
+    pub keep_unsynced: usize,
+}
+
+#[derive(Debug, Clone)]
+struct SimFile {
+    data: Vec<u8>,
+    /// Prefix length guaranteed durable (last successful sync, or the
+    /// whole file for atomic writes).
+    synced: usize,
+}
+
+#[derive(Debug)]
+struct SimState {
+    files: BTreeMap<String, SimFile>,
+    fault: Option<Fault>,
+    crashed: bool,
+    ops: u64,
+    syncs: u64,
+}
+
+/// Deterministic in-memory filesystem with crash injection.
+///
+/// Cloning shares the underlying state, so the env handed to an `Engine`
+/// and the handle kept by the test observe the same "disk". After a
+/// crash every operation fails with `ErrorKind::Other("simulated
+/// crash")`; [`SimEnv::recovered`] returns a fresh, fault-free env
+/// holding exactly the bytes a restarted process would read.
+#[derive(Debug, Clone)]
+pub struct SimEnv {
+    state: Arc<Mutex<SimState>>,
+    /// Operation counter mirror readable without the lock (for tests
+    /// enumerating fault points from a recorded fault-free run).
+    ops: Arc<AtomicU64>,
+}
+
+impl Default for SimEnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimEnv {
+    /// An empty simulated disk with no fault armed.
+    pub fn new() -> Self {
+        SimEnv {
+            state: Arc::new(Mutex::new(SimState {
+                files: BTreeMap::new(),
+                fault: None,
+                crashed: false,
+                ops: 0,
+                syncs: 0,
+            })),
+            ops: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Arm a crash fault. Pass `None` to disarm.
+    pub fn set_fault(&self, fault: Option<Fault>) {
+        self.lock().fault = fault;
+    }
+
+    /// Total mutating operations performed so far. Run a trace fault-free
+    /// first, read this, then re-run with `at_op` in `0..op_count()`.
+    pub fn op_count(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Number of successful [`Env::sync`] calls (group-commit batching is
+    /// observable as fewer syncs than commits).
+    pub fn sync_count(&self) -> u64 {
+        self.lock().syncs
+    }
+
+    /// Has the armed fault fired?
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// The disk image after the crash: a fresh fault-free `SimEnv` whose
+    /// files hold exactly the surviving bytes. Also valid before any
+    /// crash (a clean copy of the current durable + volatile state, as
+    /// `read` would see it).
+    pub fn recovered(&self) -> SimEnv {
+        let state = self.lock();
+        let fresh = SimEnv::new();
+        fresh.lock().files = state.files.clone();
+        fresh
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SimState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Count a mutating op; if the armed fault is due, crash and return
+    /// the crash error. `target` is the file whose unsynced tail may
+    /// partially survive; `target_after_append` is the data the target
+    /// would hold *if* the op were an append that tore (None for
+    /// non-append ops, which are all-or-nothing and simply don't happen).
+    fn tick(
+        state: &mut SimState,
+        ops: &AtomicU64,
+        target: &str,
+        torn_data: Option<&[u8]>,
+    ) -> io::Result<()> {
+        if state.crashed {
+            return Err(crash_err());
+        }
+        let op = state.ops;
+        state.ops += 1;
+        ops.store(state.ops, Ordering::SeqCst);
+        let Some(fault) = state.fault else {
+            return Ok(());
+        };
+        if op < fault.at_op {
+            return Ok(());
+        }
+        // Crash now: every file truncates to its synced prefix; the
+        // target of a torn append first gains the appended bytes, then
+        // keeps up to keep_unsynced of its unsynced tail.
+        state.crashed = true;
+        if let Some(extra) = torn_data {
+            state
+                .files
+                .entry(target.to_string())
+                .or_insert(SimFile {
+                    data: Vec::new(),
+                    synced: 0,
+                })
+                .data
+                .extend_from_slice(extra);
+        }
+        let keep = fault.keep_unsynced;
+        for (name, file) in state.files.iter_mut() {
+            let mut retain = file.synced;
+            if name == target {
+                retain = file.data.len().min(file.synced.saturating_add(keep));
+            }
+            file.data.truncate(retain);
+            file.synced = file.data.len().min(file.synced);
+        }
+        // A file that was never made durable loses its directory entry
+        // too: created-but-unsynced files vanish entirely.
+        state
+            .files
+            .retain(|_, f| !(f.data.is_empty() && f.synced == 0));
+        Err(crash_err())
+    }
+}
+
+fn crash_err() -> io::Error {
+    io::Error::other("simulated crash")
+}
+
+impl Env for SimEnv {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        let state = self.lock();
+        if state.crashed {
+            return Err(crash_err());
+        }
+        match state.files.get(name) {
+            Some(f) => Ok(f.data.clone()),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file {name}"),
+            )),
+        }
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut state = self.lock();
+        Self::tick(&mut state, &self.ops, name, Some(data))?;
+        state
+            .files
+            .entry(name.to_string())
+            .or_insert(SimFile {
+                data: Vec::new(),
+                synced: 0,
+            })
+            .data
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        let mut state = self.lock();
+        Self::tick(&mut state, &self.ops, name, None)?;
+        if let Some(f) = state.files.get_mut(name) {
+            f.synced = f.data.len();
+        }
+        state.syncs += 1;
+        Ok(())
+    }
+
+    fn write_atomic(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut state = self.lock();
+        // All-or-nothing: a crash on this op leaves the old file intact.
+        Self::tick(&mut state, &self.ops, name, None)?;
+        state.files.insert(
+            name.to_string(),
+            SimFile {
+                data: data.to_vec(),
+                synced: data.len(),
+            },
+        );
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        let mut state = self.lock();
+        Self::tick(&mut state, &self.ops, name, None)?;
+        state.files.remove(name);
+        Ok(())
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let state = self.lock();
+        if state.crashed {
+            return Err(crash_err());
+        }
+        Ok(state.files.keys().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faultless_ops_behave_like_a_filesystem() {
+        let env = SimEnv::new();
+        env.append("w", b"abc").unwrap();
+        env.append("w", b"def").unwrap();
+        assert_eq!(env.read("w").unwrap(), b"abcdef");
+        env.write_atomic("s", b"snap").unwrap();
+        assert_eq!(env.list().unwrap(), vec!["s".to_string(), "w".to_string()]);
+        env.remove("s").unwrap();
+        env.remove("s").unwrap();
+        assert_eq!(env.read("s").unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert_eq!(env.op_count(), 5);
+    }
+
+    #[test]
+    fn crash_rolls_back_to_synced_prefix() {
+        let env = SimEnv::new();
+        env.append("w", b"aaa").unwrap();
+        env.sync("w").unwrap();
+        env.append("w", b"bbb").unwrap();
+        // Crash on the next op (op index 3), keeping no unsynced bytes.
+        env.set_fault(Some(Fault {
+            at_op: 3,
+            keep_unsynced: 0,
+        }));
+        assert!(env.append("w", b"ccc").is_err());
+        assert!(env.crashed());
+        assert!(env.read("w").is_err(), "post-crash I/O must fail");
+        let after = env.recovered();
+        assert_eq!(after.read("w").unwrap(), b"aaa");
+    }
+
+    #[test]
+    fn torn_append_keeps_partial_tail_of_target_only() {
+        let env = SimEnv::new();
+        env.append("w", b"aa").unwrap();
+        env.sync("w").unwrap();
+        env.append("other", b"zz").unwrap();
+        // Crash on the append of "ccdd" to w, keeping 3 unsynced bytes.
+        env.set_fault(Some(Fault {
+            at_op: 3,
+            keep_unsynced: 3,
+        }));
+        assert!(env.append("w", b"ccdd").is_err());
+        let after = env.recovered();
+        assert_eq!(after.read("w").unwrap(), b"aaccd");
+        // "other" was never synced: entirely gone.
+        assert_eq!(
+            after.read("other").unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+    }
+
+    #[test]
+    fn keep_unsynced_max_means_append_landed_without_fsync() {
+        let env = SimEnv::new();
+        env.append("w", b"aa").unwrap();
+        env.sync("w").unwrap();
+        env.set_fault(Some(Fault {
+            at_op: 2,
+            keep_unsynced: usize::MAX,
+        }));
+        assert!(env.append("w", b"bb").is_err());
+        assert_eq!(env.recovered().read("w").unwrap(), b"aabb");
+    }
+
+    #[test]
+    fn crash_on_write_atomic_preserves_old_contents() {
+        let env = SimEnv::new();
+        env.write_atomic("s", b"old").unwrap();
+        env.set_fault(Some(Fault {
+            at_op: 1,
+            keep_unsynced: usize::MAX,
+        }));
+        assert!(env.write_atomic("s", b"new").is_err());
+        assert_eq!(env.recovered().read("s").unwrap(), b"old");
+    }
+
+    #[test]
+    fn crash_on_remove_preserves_file() {
+        let env = SimEnv::new();
+        env.write_atomic("s", b"keep").unwrap();
+        env.set_fault(Some(Fault {
+            at_op: 1,
+            keep_unsynced: 0,
+        }));
+        assert!(env.remove("s").is_err());
+        assert_eq!(env.recovered().read("s").unwrap(), b"keep");
+    }
+
+    #[test]
+    fn clones_share_the_disk() {
+        let env = SimEnv::new();
+        let alias = env.clone();
+        env.append("w", b"x").unwrap();
+        assert_eq!(alias.read("w").unwrap(), b"x");
+        assert_eq!(alias.op_count(), 1);
+    }
+}

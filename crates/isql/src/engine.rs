@@ -25,10 +25,15 @@
 //! `plan_cache::invalidate_tables`.
 
 use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use worldset::WorldSet;
+use wsdb_env::{Env, StdEnv};
 
+use crate::durable::{self, Durability, DurabilityOptions, WalSpec};
 use crate::session::Session;
 
 /// An immutable, published state of the database: a world-set plus the
@@ -85,6 +90,9 @@ pub(crate) struct EngineInner {
     /// Serializes writers. Held across apply-and-publish so each write
     /// sees the state left by the previous one.
     writer: Mutex<()>,
+    /// The WAL/snapshot machinery when this engine is backed by a data
+    /// directory; `None` for a purely in-memory engine.
+    durability: Option<Arc<Durability>>,
 }
 
 /// The shared execution engine behind one or more I-SQL sessions.
@@ -121,25 +129,124 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine over a single empty world.
+    /// An engine over a single empty world. When `WSDB_DATA_DIR` is set,
+    /// the engine is transparently durable in a fresh subdirectory of it
+    /// (one per engine), so the whole test suite can exercise the WAL
+    /// commit path unchanged.
     pub fn new() -> Engine {
         Engine::with_world_set(WorldSet::single(vec![]))
     }
 
-    /// An engine whose initial snapshot is an existing world-set.
+    /// An engine whose initial snapshot is an existing world-set (durable
+    /// under `WSDB_DATA_DIR` like [`Engine::new`]).
     pub fn with_world_set(ws: WorldSet) -> Engine {
+        if let Ok(dir) = std::env::var("WSDB_DATA_DIR") {
+            if !dir.is_empty() {
+                match Engine::durable_in(&dir, ws.clone()) {
+                    Ok(engine) => return engine,
+                    Err(e) => eprintln!("wsdb: WSDB_DATA_DIR disabled: {e}"),
+                }
+            }
+        }
         Engine::with_state(ws, BTreeMap::new())
+    }
+
+    fn durable_in(root: &str, ws: WorldSet) -> io::Result<Engine> {
+        static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = DIR_SEQ.fetch_add(1, Ordering::SeqCst);
+        let dir = Path::new(root).join(format!("engine-{}-{n}", std::process::id()));
+        let env: Arc<dyn Env> = Arc::new(StdEnv::new(dir)?);
+        Engine::open_on_with_initial(env, DurabilityOptions::default(), Some(ws))
+    }
+
+    /// Open (or create) a durable engine over the data directory at
+    /// `path`: recover the latest snapshot plus WAL tail, then log every
+    /// subsequent commit. See [`crate::durable`] for the protocol and for
+    /// what is and is not durable.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Engine> {
+        Engine::open_on(Arc::new(StdEnv::new(path)?), DurabilityOptions::default())
+    }
+
+    /// [`Engine::open`] over any [`Env`] — tests inject a
+    /// [`wsdb_env::SimEnv`] here to crash and recover deterministically.
+    pub fn open_on(env: Arc<dyn Env>, opts: DurabilityOptions) -> io::Result<Engine> {
+        Engine::open_on_with_initial(env, opts, None)
+    }
+
+    fn open_on_with_initial(
+        env: Arc<dyn Env>,
+        opts: DurabilityOptions,
+        initial: Option<WorldSet>,
+    ) -> io::Result<Engine> {
+        let mut rec = durable::recover(env.as_ref())?;
+        if let Some(ws) = initial {
+            // Seed only a virgin directory; existing data always wins.
+            if rec.seq == 0 && rec.ws.rel_names().is_empty() {
+                rec.ws = ws;
+            }
+        }
+        let d = Durability::bootstrap(env, opts, &rec)?;
+        Ok(Engine::with_parts(
+            rec.ws,
+            rec.keys,
+            rec.seq,
+            Some(Arc::new(d)),
+        ))
     }
 
     /// An engine seeded with a world-set and key constraints (used by
     /// session forking).
     pub(crate) fn with_state(ws: WorldSet, keys: BTreeMap<String, Vec<String>>) -> Engine {
+        Engine::with_parts(ws, keys, 0, None)
+    }
+
+    pub(crate) fn with_parts(
+        ws: WorldSet,
+        keys: BTreeMap<String, Vec<String>>,
+        seq: u64,
+        durability: Option<Arc<Durability>>,
+    ) -> Engine {
         Engine {
             inner: Arc::new(EngineInner {
-                published: Mutex::new(Arc::new(Snapshot { seq: 0, ws, keys })),
+                published: Mutex::new(Arc::new(Snapshot { seq, ws, keys })),
                 writer: Mutex::new(()),
+                durability,
             }),
         }
+    }
+
+    /// Whether commits on this engine are logged to a data directory.
+    pub fn is_durable(&self) -> bool {
+        self.inner.durability.is_some()
+    }
+
+    pub(crate) fn durability(&self) -> Option<&Arc<Durability>> {
+        self.inner.durability.as_ref()
+    }
+
+    /// Write a snapshot of the latest published state and truncate the
+    /// WAL. A no-op `Ok` on a non-durable engine. Safe to call at any
+    /// time (graceful shutdown, periodic checkpointing).
+    pub fn checkpoint(&self) -> io::Result<()> {
+        let Some(d) = &self.inner.durability else {
+            return Ok(());
+        };
+        // Rotate under the writer lock: no commit is mid-append, so the
+        // rotation point is exactly the published sequence. The snapshot
+        // itself is written outside the lock — commits proceed while it
+        // lands, appending to the already-rotated WAL.
+        let snap = {
+            let _writer = self.inner.writer.lock().unwrap_or_else(|e| e.into_inner());
+            let snap = self
+                .inner
+                .published
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
+            d.rotate_to(snap.seq)?;
+            snap
+        };
+        d.write_snapshot(&snap)
     }
 
     /// Open a new session on this engine. The session starts at the latest
@@ -165,9 +272,18 @@ impl Engine {
     /// `working` is the calling session's `(opened seq, world-set, keys)`.
     /// Returns the newly published snapshot (or the reread latest snapshot
     /// when nothing was committed) plus whether a commit happened.
+    ///
+    /// On a durable engine, `wal` describes the commit for the log: its
+    /// record is appended (under the writer lock, so the log order is the
+    /// publication order) before the snapshot publishes, and the commit
+    /// is only acknowledged — this function only returns `Ok` — after the
+    /// record is fsynced. The fsync itself happens after the writer lock
+    /// is released so that concurrent committers batch into one fsync
+    /// (group commit).
     pub(crate) fn commit_with(
         &self,
         working: (u64, &WorldSet, &BTreeMap<String, Vec<String>>),
+        wal: Option<WalSpec>,
         apply: impl FnOnce(
             &WorldSet,
             &BTreeMap<String, Vec<String>>,
@@ -177,35 +293,61 @@ impl Engine {
         >,
     ) -> Result<(Arc<Snapshot>, bool), crate::lexer::SqlError> {
         let inner = &self.inner;
-        let _writer = inner.writer.lock().unwrap_or_else(|e| e.into_inner());
-        let latest = inner
-            .published
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone();
-        let (opened_seq, working_ws, working_keys) = working;
-        // A session whose snapshot is still the latest commits its *working*
-        // state, which may carry query results and world splits the
-        // published snapshot lacks (the single-session facade always takes
-        // this path, preserving the paper's step-by-step semantics). A
-        // stale session rebases: its write applies to the latest published
-        // state instead, and its local query results are left behind.
-        let (base_ws, base_keys) = if latest.seq == opened_seq {
-            (working_ws, working_keys)
-        } else {
-            (&latest.ws, &latest.keys)
-        };
-        match apply(base_ws, base_keys)? {
-            None => Ok((latest, false)),
-            Some((ws, keys)) => {
-                let snap = Arc::new(Snapshot {
-                    seq: latest.seq + 1,
-                    ws,
-                    keys,
-                });
-                *inner.published.lock().unwrap_or_else(|e| e.into_inner()) = snap.clone();
-                Ok((snap, true))
+        let (snap, committed, ticket) = {
+            let _writer = inner.writer.lock().unwrap_or_else(|e| e.into_inner());
+            let latest = inner
+                .published
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
+            let (opened_seq, working_ws, working_keys) = working;
+            // A session whose snapshot is still the latest commits its
+            // *working* state, which may carry query results and world
+            // splits the published snapshot lacks (the single-session
+            // facade always takes this path, preserving the paper's
+            // step-by-step semantics). A stale session rebases: its write
+            // applies to the latest published state instead, and its
+            // local query results are left behind.
+            let rebased = latest.seq != opened_seq;
+            let (base_ws, base_keys) = if rebased {
+                (&latest.ws, &latest.keys)
+            } else {
+                (working_ws, working_keys)
+            };
+            match apply(base_ws, base_keys)? {
+                None => (latest, false, None),
+                Some((ws, keys)) => {
+                    let seq = latest.seq + 1;
+                    let ticket = match &inner.durability {
+                        None => None,
+                        Some(d) => {
+                            let spec = wal.as_ref().ok_or_else(|| {
+                                crate::lexer::SqlError(
+                                    "internal: durable commit without a WAL spec".into(),
+                                )
+                            })?;
+                            let payload = durable::encode_wal_record(spec, rebased);
+                            // Append *before* publishing: if the append
+                            // fails, nothing was published and the commit
+                            // errors out with the state unchanged.
+                            let w = d.append(seq, &payload).map_err(durable::io_to_sql)?;
+                            Some((w, seq))
+                        }
+                    };
+                    let snap = Arc::new(Snapshot { seq, ws, keys });
+                    *inner.published.lock().unwrap_or_else(|e| e.into_inner()) = snap.clone();
+                    (snap, true, ticket)
+                }
             }
+        };
+        if let Some((w, seq)) = ticket {
+            let d = inner
+                .durability
+                .as_ref()
+                .expect("ticket implies durability");
+            d.sync(&w, seq).map_err(durable::io_to_sql)?;
+            d.maybe_snapshot(self, seq);
         }
+        Ok((snap, committed))
     }
 }

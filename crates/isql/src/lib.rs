@@ -24,6 +24,7 @@
 
 mod ast;
 mod compile;
+mod durable;
 mod engine;
 mod explain;
 mod interp;
@@ -36,8 +37,14 @@ pub use ast::{
     AggFn, ArithOp, ColRef, Cond, FromItem, Literal, Quant, Scalar, SelectItem, SelectStmt, Stmt,
 };
 pub use compile::compile_select;
+pub use durable::DurabilityOptions;
 pub use engine::{Engine, Snapshot};
+
 pub use explain::Explanation;
 pub use parser::{parse_script, parse_statement};
 pub use relalg::config::SessionConfig;
 pub use session::{ExecOutcome, Session};
+/// Re-export of the storage environment abstraction, so durability tests
+/// and embedders reach [`wsdb_env::SimEnv`]/[`wsdb_env::StdEnv`] without a
+/// separate dependency.
+pub use wsdb_env as env;

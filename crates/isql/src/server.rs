@@ -18,7 +18,10 @@
 //!     including newlines).
 //!
 //!   Blank lines are ignored. The line `\quit` asks the server to close
-//!   the connection; closing the socket works just as well.
+//!   the connection; closing the socket works just as well. The line
+//!   `\shutdown` asks the server to shut down gracefully: it answers
+//!   `OK`, checkpoints a durable engine (final snapshot, WAL truncated),
+//!   and stops accepting connections.
 //! * **Response** — exactly one per request:
 //!   * `OK <n>\n` followed by `n` bytes of payload: the rendered outcomes
 //!     of every statement in the script, in order, in the same textual
@@ -30,15 +33,34 @@
 //! `Q‹n›` answer naming, snapshot-isolated reads, `set local` overrides
 //! scoped to the connection, and serialized writes published to every
 //! other connection.
+//!
+//! # Robustness
+//!
+//! A malformed request — an unparsable or oversized `#<n>` length frame,
+//! or a non-UTF-8 payload — gets an `ERR` response and closes *that
+//! connection only*. A panic inside statement execution is caught, turned
+//! into an `ERR internal error`, and likewise closes only the offending
+//! connection; the process and every other connection keep running (the
+//! engine's mutexes recover from poisoning, so a panicked handler cannot
+//! wedge writers). Each connection has a read timeout
+//! ([`ServeOptions::read_timeout`], default 5 minutes) so an idle or
+//! half-dead peer cannot pin a handler thread forever.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::engine::Engine;
 use crate::session::{ExecOutcome, Session};
+
+/// The largest `#<n>` length frame the server accepts (16 MiB). A frame
+/// claiming more is rejected before any allocation, so a hostile header
+/// cannot OOM the process.
+pub const MAX_FRAME: usize = 1 << 24;
 
 /// Render one statement outcome as the interactive shell prints it.
 /// `worlds` is the session's world count after the statement (the shell
@@ -101,11 +123,29 @@ pub fn execute_rendered(session: &mut Session, script: &str) -> Result<String, S
     }
 }
 
+/// Knobs for [`serve_with`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Per-connection read timeout. A handler thread blocked on a read
+    /// for longer than this closes its connection. `None` disables the
+    /// timeout. Default: 5 minutes.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            read_timeout: Some(Duration::from_secs(300)),
+        }
+    }
+}
+
 /// A running TCP server. Dropping the handle (or calling
 /// [`ServerHandle::shutdown`]) stops the accept loop; connections already
 /// established keep their handler threads until the client disconnects.
 pub struct ServerHandle {
     addr: SocketAddr,
+    engine: Engine,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
 }
@@ -117,8 +157,12 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting connections and join the accept loop.
+    /// Stop accepting connections gracefully: checkpoint a durable engine
+    /// (WAL flushed, final snapshot written) and join the accept loop.
     pub fn shutdown(mut self) {
+        if let Err(e) = self.engine.checkpoint() {
+            eprintln!("isql server: checkpoint on shutdown failed: {e}");
+        }
         self.stop_accepting();
     }
 
@@ -146,14 +190,25 @@ impl Drop for ServerHandle {
 }
 
 /// Start serving `engine` on `addr` (e.g. `"127.0.0.1:0"` for an
-/// ephemeral port). Returns once the listener is bound; the accept loop
-/// runs on a background thread and every accepted connection gets its own
-/// handler thread and [`Engine::session`].
+/// ephemeral port) with default [`ServeOptions`]. Returns once the
+/// listener is bound; the accept loop runs on a background thread and
+/// every accepted connection gets its own handler thread and
+/// [`Engine::session`].
 pub fn serve(engine: Engine, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    serve_with(engine, addr, ServeOptions::default())
+}
+
+/// [`serve`] with explicit [`ServeOptions`].
+pub fn serve_with(
+    engine: Engine,
+    addr: impl ToSocketAddrs,
+    opts: ServeOptions,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_accept = stop.clone();
+    let accept_engine = engine.clone();
     let accept = std::thread::spawn(move || {
         for conn in listener.incoming() {
             if stop_accept.load(Ordering::SeqCst) {
@@ -163,64 +218,129 @@ pub fn serve(engine: Engine, addr: impl ToSocketAddrs) -> io::Result<ServerHandl
             // Responses are small; send them immediately (a Nagle +
             // delayed-ACK interaction otherwise adds ~40ms per request).
             stream.set_nodelay(true).ok();
-            let session = engine.session();
+            stream.set_read_timeout(opts.read_timeout).ok();
+            let session = accept_engine.session();
+            let ctl = ConnCtl {
+                engine: accept_engine.clone(),
+                stop: stop_accept.clone(),
+                addr,
+            };
             std::thread::spawn(move || {
-                let _ = handle_connection(stream, session);
+                let _ = handle_connection(stream, session, ctl);
             });
         }
     });
     Ok(ServerHandle {
         addr,
+        engine,
         stop,
         accept: Some(accept),
     })
 }
 
+/// What a connection handler needs to trigger a graceful `\shutdown`.
+struct ConnCtl {
+    engine: Engine,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+/// One parsed request frame.
+enum Request {
+    /// An I-SQL script to execute.
+    Script(String),
+    /// `\quit` or EOF — close this connection.
+    Quit,
+    /// `\shutdown` — checkpoint and stop the whole server.
+    Shutdown,
+    /// A protocol violation; the message is sent as `ERR` before the
+    /// connection is closed.
+    Malformed(String),
+}
+
 /// Serve one connection until the client disconnects or sends `\quit`.
-fn handle_connection(stream: TcpStream, mut session: Session) -> io::Result<()> {
+fn handle_connection(stream: TcpStream, mut session: Session, ctl: ConnCtl) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
-        let Some(script) = read_request(&mut reader)? else {
-            return Ok(()); // EOF or \quit
+        let script = match read_request(&mut reader)? {
+            Request::Script(s) => s,
+            Request::Quit => return Ok(()),
+            Request::Shutdown => {
+                let payload = "shutting down\n";
+                write!(writer, "OK {}\n{payload}", payload.len())?;
+                writer.flush()?;
+                if let Err(e) = ctl.engine.checkpoint() {
+                    eprintln!("isql server: checkpoint on \\shutdown failed: {e}");
+                }
+                ctl.stop.store(true, Ordering::SeqCst);
+                // Unblock the accept call with a throwaway connection.
+                let _ = TcpStream::connect(ctl.addr);
+                return Ok(());
+            }
+            Request::Malformed(msg) => {
+                let payload = format!("{msg}\n");
+                write!(writer, "ERR {}\n{payload}", payload.len())?;
+                writer.flush()?;
+                return Ok(()); // close only this connection
+            }
         };
         if script.trim().is_empty() {
             continue;
         }
-        let (status, payload) = match execute_rendered(&mut session, &script) {
-            Ok(p) => ("OK", p),
-            Err(p) => ("ERR", p),
+        // Contain a handler panic: answer ERR and drop only this
+        // connection; the engine's mutexes recover from poisoning, so
+        // other sessions keep working.
+        let result = catch_unwind(AssertUnwindSafe(|| execute_rendered(&mut session, &script)));
+        let (status, payload, fatal) = match result {
+            Ok(Ok(p)) => ("OK", p, false),
+            Ok(Err(p)) => ("ERR", p, false),
+            Err(_) => ("ERR", "internal error\n".to_string(), true),
         };
         write!(writer, "{status} {}\n{payload}", payload.len())?;
         writer.flush()?;
+        if fatal {
+            return Ok(());
+        }
     }
 }
 
 /// Read one request: a newline-terminated script, or `#<n>` length-framed
-/// bytes. `None` means the connection is done (EOF or `\quit`).
-fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<String>> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
+/// bytes. Protocol violations come back as [`Request::Malformed`] rather
+/// than errors, so the handler can answer before closing; only transport
+/// failures (including read timeouts) surface as `io::Error`.
+fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Request> {
+    let mut line = Vec::new();
+    if reader.read_until(b'\n', &mut line)? == 0 {
+        return Ok(Request::Quit);
     }
+    let Ok(line) = String::from_utf8(line) else {
+        return Ok(Request::Malformed("request is not valid UTF-8".into()));
+    };
     let trimmed = line.trim_end_matches(['\r', '\n']);
     if trimmed == "\\quit" {
-        return Ok(None);
+        return Ok(Request::Quit);
+    }
+    if trimmed == "\\shutdown" {
+        return Ok(Request::Shutdown);
     }
     if let Some(len_text) = trimmed.strip_prefix('#') {
-        let len: usize = len_text.trim().parse().map_err(|_| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad length frame {trimmed:?}"),
-            )
-        })?;
+        let Ok(len) = len_text.trim().parse::<usize>() else {
+            return Ok(Request::Malformed(format!("bad length frame {trimmed:?}")));
+        };
+        if len > MAX_FRAME {
+            return Ok(Request::Malformed(format!(
+                "length frame {len} exceeds maximum {MAX_FRAME}"
+            )));
+        }
         let mut buf = vec![0u8; len];
         reader.read_exact(&mut buf)?;
-        let script =
-            String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        return Ok(Some(script));
+        let Ok(script) = String::from_utf8(buf) else {
+            return Ok(Request::Malformed("request is not valid UTF-8".into()));
+        };
+        return Ok(Request::Script(script));
     }
-    Ok(Some(trimmed.to_string()))
+    Ok(Request::Script(trimmed.to_string()))
 }
 
 /// A minimal client for the wire protocol, used by the stress suite, the
@@ -237,6 +357,39 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
         })
+    }
+
+    /// [`Client::connect`] with bounded retries: on connection refused /
+    /// reset / aborted, sleep `backoff` (doubling each attempt, capped at
+    /// 2s) and try again, up to `attempts` total attempts. Other errors —
+    /// and the last retryable one — are returned immediately. Lets
+    /// clients ride out a server restart or a race with the bind.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        attempts: u32,
+        backoff: Duration,
+    ) -> io::Result<Client> {
+        let mut delay = backoff;
+        let mut tries = 0;
+        loop {
+            tries += 1;
+            match Client::connect(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e)
+                    if tries < attempts
+                        && matches!(
+                            e.kind(),
+                            io::ErrorKind::ConnectionRefused
+                                | io::ErrorKind::ConnectionReset
+                                | io::ErrorKind::ConnectionAborted
+                        ) =>
+                {
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_secs(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Send one script and read the response: `Ok(payload)` for an `OK`

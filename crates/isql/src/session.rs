@@ -30,6 +30,7 @@ use relalg::{Relation, Value};
 use worldset::WorldSet;
 
 use crate::ast::*;
+use crate::durable::{WalAction, WalSpec};
 use crate::engine::{Engine, Snapshot};
 use crate::interp::{eval_cond_public, eval_select_ws, eval_update_row};
 use crate::lexer::SqlError;
@@ -108,6 +109,13 @@ pub struct Session {
     diverged: bool,
     config: SessionConfig,
     query_counter: usize,
+    /// On a durable engine: the selects run since the last
+    /// synchronization. Their `Q‹n›` answers ride into the next
+    /// working-path commit, so its WAL record must replay them.
+    pending: Vec<SelectStmt>,
+    /// The query counter before the first pending select (WAL replay
+    /// starts `Q‹n›` numbering here).
+    pending_base: usize,
 }
 
 impl Default for Session {
@@ -152,7 +160,16 @@ impl Session {
             diverged: false,
             config: SessionConfig::new(),
             query_counter: 0,
+            pending: Vec::new(),
+            pending_base: 0,
         }
+    }
+
+    /// Set the `Q‹n›` counter (WAL replay positions a fresh session at the
+    /// counter the logging session had).
+    pub(crate) fn set_query_counter(&mut self, n: usize) {
+        self.query_counter = n;
+        self.pending_base = n;
     }
 
     /// The engine this session executes against.
@@ -183,7 +200,11 @@ impl Session {
     pub fn register(&mut self, name: &str, rel: Relation) -> Result<()> {
         let shared = std::sync::Arc::new(rel);
         let name_owned = name.to_string();
-        self.write(move |ws, keys| {
+        let wal = self.log_action(|| WalAction::Register {
+            name: name_owned.clone(),
+            rel: shared.clone(),
+        });
+        self.write(wal, move |ws, keys| {
             if ws.index_of(&name_owned).is_some() {
                 return Err(SqlError(format!("relation {name_owned} already exists")));
             }
@@ -194,16 +215,22 @@ impl Session {
     }
 
     /// Declare a key constraint `cols → rest` on `table`, enforced by
-    /// `insert` with the paper's discard-in-all-worlds semantics.
-    pub fn declare_key(&mut self, table: &str, cols: &[&str]) {
+    /// `insert` with the paper's discard-in-all-worlds semantics. On a
+    /// durable engine the declaration is WAL-logged, so it can fail with
+    /// a storage error.
+    pub fn declare_key(&mut self, table: &str, cols: &[&str]) -> Result<()> {
         let table = table.to_string();
         let cols: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
-        self.write(move |ws, keys| {
+        let wal = self.log_action(|| WalAction::DeclareKey {
+            table: table.clone(),
+            cols: cols.clone(),
+        });
+        self.write(wal, move |ws, keys| {
             let mut keys = keys.clone();
             keys.insert(table, cols);
             Ok(Some((ws.clone(), keys)))
-        })
-        .expect("declare_key cannot fail");
+        })?;
+        Ok(())
     }
 
     /// The current world-set (the session's working state: its snapshot
@@ -239,8 +266,16 @@ impl Session {
         match stmt {
             Stmt::Select(sel) => {
                 self.refresh_if_clean();
+                let durable = self.engine.is_durable();
+                if durable && self.pending.is_empty() {
+                    self.pending_base = self.query_counter;
+                }
+                let logged = durable.then(|| sel.clone());
                 let name = self.fresh_query_name();
                 self.ws = eval_select_ws(&sel, &self.ws, &name)?;
+                if let Some(sel) = logged {
+                    self.pending.push(sel);
+                }
                 self.diverged = true;
                 Ok(ExecOutcome::Rows {
                     answers: self.answers(&name)?,
@@ -249,7 +284,13 @@ impl Session {
             }
             Stmt::CreateView { name, query } => {
                 let out_name = name.clone();
-                self.write(move |ws, keys| {
+                let wal = self.log_action(|| {
+                    WalAction::Stmt(Box::new(Stmt::CreateView {
+                        name: name.clone(),
+                        query: query.clone(),
+                    }))
+                });
+                self.write(wal, move |ws, keys| {
                     if ws.index_of(&out_name).is_some() {
                         return Err(SqlError(format!("relation {out_name} already exists")));
                     }
@@ -267,15 +308,34 @@ impl Session {
             // mutated table — every unrelated cached plan survives the DML.
             Stmt::Insert { table, rows } => {
                 relalg::plan_cache::invalidate_tables(&[&table]);
-                self.insert(&table, rows)
+                let wal = self.log_action(|| {
+                    WalAction::Stmt(Box::new(Stmt::Insert {
+                        table: table.clone(),
+                        rows: rows.clone(),
+                    }))
+                });
+                self.insert(wal, &table, rows)
             }
             Stmt::Delete { table, cond } => {
                 relalg::plan_cache::invalidate_tables(&[&table]);
-                self.delete(&table, cond)
+                let wal = self.log_action(|| {
+                    WalAction::Stmt(Box::new(Stmt::Delete {
+                        table: table.clone(),
+                        cond: cond.clone(),
+                    }))
+                });
+                self.delete(wal, &table, cond)
             }
             Stmt::Update { table, sets, cond } => {
                 relalg::plan_cache::invalidate_tables(&[&table]);
-                self.update(&table, sets, cond)
+                let wal = self.log_action(|| {
+                    WalAction::Stmt(Box::new(Stmt::Update {
+                        table: table.clone(),
+                        sets: sets.clone(),
+                        cond: cond.clone(),
+                    }))
+                });
+                self.update(wal, &table, sets, cond)
             }
             Stmt::SetLocal { name, value } => {
                 self.config.set(&name, &value).map_err(SqlError)?;
@@ -310,24 +370,42 @@ impl Session {
         }
     }
 
+    /// Build the WAL action for a write on a durable engine; `None` (log
+    /// nothing) on an in-memory engine.
+    fn log_action(&self, action: impl FnOnce() -> WalAction) -> Option<WalAction> {
+        self.engine.is_durable().then(action)
+    }
+
     /// Run one serialized write through the engine and adopt the published
     /// state. Returns whether the write committed (`false` only for a
     /// rejected DML statement, which leaves the session untouched).
+    ///
+    /// `wal` is the record of this write for a durable engine (the engine
+    /// pairs it with this session's pending selects, whose answers a
+    /// working-path commit publishes alongside the write).
     fn write(
         &mut self,
+        wal: Option<WalAction>,
         apply: impl FnOnce(
             &WorldSet,
             &BTreeMap<String, Vec<String>>,
         ) -> Result<Option<(WorldSet, BTreeMap<String, Vec<String>>)>>,
     ) -> Result<bool> {
-        let (snap, committed) = self
-            .engine
-            .commit_with((self.opened.seq(), &self.ws, &self.keys), apply)?;
+        let spec = wal.map(|action| WalSpec {
+            stmts_before: self.pending.clone(),
+            start_counter: self.pending_base as u64,
+            action,
+        });
+        let (snap, committed) =
+            self.engine
+                .commit_with((self.opened.seq(), &self.ws, &self.keys), spec, apply)?;
         if committed {
             self.ws = snap.world_set().clone();
             self.keys = snap.keys().clone();
             self.opened = snap;
             self.diverged = false;
+            self.pending.clear();
+            self.pending_base = self.query_counter;
         }
         Ok(committed)
     }
@@ -338,13 +416,18 @@ impl Session {
     /// world's relation in one sorted-merge pass (`Relation::merge_rows`),
     /// not one O(n) shifted insert per row, and the per-world merges and
     /// key checks run on the execution pool.
-    fn insert(&mut self, table: &str, rows: Vec<Vec<Literal>>) -> Result<ExecOutcome> {
+    fn insert(
+        &mut self,
+        wal: Option<WalAction>,
+        table: &str,
+        rows: Vec<Vec<Literal>>,
+    ) -> Result<ExecOutcome> {
         let values: Vec<Vec<Value>> = rows
             .into_iter()
             .map(|r| r.into_iter().map(lit_to_value).collect())
             .collect();
         let table = table.to_string();
-        let applied = self.write(move |ws, keys| {
+        let applied = self.write(wal, move |ws, keys| {
             let idx = table_index(ws, &table)?;
             let proposed = ws.par_map_worlds(|w| {
                 let rel = w
@@ -379,9 +462,14 @@ impl Session {
 
     /// `delete from R [where φ]` in every world (worlds filter on the
     /// execution pool).
-    fn delete(&mut self, table: &str, cond: Option<Cond>) -> Result<ExecOutcome> {
+    fn delete(
+        &mut self,
+        wal: Option<WalAction>,
+        table: &str,
+        cond: Option<Cond>,
+    ) -> Result<ExecOutcome> {
         let table = table.to_string();
-        self.write(move |ws, keys| {
+        self.write(wal, move |ws, keys| {
             let idx = table_index(ws, &table)?;
             let names: Vec<String> = ws.rel_names().to_vec();
             let ws = ws.par_map_worlds(|w| {
@@ -409,12 +497,13 @@ impl Session {
     /// execution pool).
     fn update(
         &mut self,
+        wal: Option<WalAction>,
         table: &str,
         sets: Vec<(String, Scalar)>,
         cond: Option<Cond>,
     ) -> Result<ExecOutcome> {
         let table = table.to_string();
-        self.write(move |ws, keys| {
+        self.write(wal, move |ws, keys| {
             let idx = table_index(ws, &table)?;
             let names: Vec<String> = ws.rel_names().to_vec();
             let ws = ws.par_map_worlds(|w| {

@@ -188,7 +188,7 @@ fn rejected_insert_publishes_nothing() {
     admin
         .register("K", Relation::table(&["Id", "V"], &[&[1, 10]]))
         .unwrap();
-    admin.declare_key("K", &["Id"]);
+    admin.declare_key("K", &["Id"]).unwrap();
     let seq_before = admin.snapshot().seq();
 
     let mut s1 = engine.session();

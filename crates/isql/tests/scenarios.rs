@@ -309,7 +309,7 @@ fn insert_constraint_discards_everywhere() {
         Relation::table(&["K", "V"], &[&["a", "1"], &["b", "2"]]),
     )
     .unwrap();
-    s.declare_key("R", &["K"]);
+    s.declare_key("R", &["K"]).unwrap();
 
     // Fine: new key.
     let out = s.execute("insert into R values ('c', '3');").unwrap();
@@ -326,7 +326,7 @@ fn insert_constraint_discards_everywhere() {
     // everywhere, including the worlds where it would have been fine.
     s.execute("create view C as select * from R choice of K;")
         .unwrap();
-    s.declare_key("C", &["K"]);
+    s.declare_key("C", &["K"]).unwrap();
     let before = s.answers("C").unwrap();
     let out = s.execute("insert into C values ('a', '9');").unwrap();
     assert_eq!(out[0], ExecOutcome::Dml { applied: false });

@@ -19,6 +19,7 @@
 //! plans, examples and golden tests are reproducible.
 
 pub mod canon;
+pub mod codec;
 pub mod config;
 mod csv;
 mod error;

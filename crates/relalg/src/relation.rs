@@ -276,8 +276,9 @@ impl Relation {
 
     /// Internal constructor for tuple vectors that are already strictly
     /// sorted (operators that produce output in order use this to skip the
-    /// builder's sort pass).
-    fn from_sorted_vec(schema: Schema, tuples: Vec<Tuple>) -> Relation {
+    /// builder's sort pass; the snapshot codec uses it because relations
+    /// are persisted in sorted order).
+    pub(crate) fn from_sorted_vec(schema: Schema, tuples: Vec<Tuple>) -> Relation {
         debug_assert!(
             tuples.windows(2).all(|w| w[0] < w[1]),
             "from_sorted_vec requires strictly sorted tuples"
@@ -354,6 +355,13 @@ impl Relation {
     /// an intermediate relation could cost more than the selection itself.
     pub fn stats_if_computed(&self) -> Option<&RelStats> {
         self.stats.get().map(Arc::as_ref)
+    }
+
+    /// Pre-populate the statistics memo (no-op if already computed). The
+    /// snapshot codec uses this so a restarted process keeps the warm
+    /// statistics it persisted instead of recomputing them on first use.
+    pub(crate) fn seed_stats(&self, stats: Arc<RelStats>) {
+        let _ = self.stats.set(stats);
     }
 
     /// Number of tuples.

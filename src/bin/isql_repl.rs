@@ -18,6 +18,12 @@
 //! with `--load <demo>` (repeatable — same datasets as the shell's
 //! `\load`). Connect with the `isql::server::Client` helper or any
 //! line-oriented TCP tool.
+//!
+//! With `--data-dir <path>` (either mode) the engine is durable: every
+//! committed statement is WAL-logged and fsynced before it is
+//! acknowledged, and on startup the catalog is recovered from the latest
+//! snapshot plus the WAL tail. `--load` seeds the catalog only when the
+//! recovered directory is empty, so a restart keeps the recovered data.
 
 use std::io::{self, BufRead, Write};
 
@@ -26,9 +32,21 @@ use isql::{Engine, ExecOutcome, Session};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let data_dir = args
+        .iter()
+        .position(|a| a == "--data-dir")
+        .map(|i| match args.get(i + 1) {
+            Some(path) => path.clone(),
+            None => {
+                eprintln!(
+                    "usage: isql_repl [--data-dir <path>] [--serve <addr> [--load <demo>]...]"
+                );
+                std::process::exit(2);
+            }
+        });
     if let Some(i) = args.iter().position(|a| a == "--serve") {
         let Some(addr) = args.get(i + 1) else {
-            eprintln!("usage: isql_repl [--serve <addr> [--load <demo>]...]");
+            eprintln!("usage: isql_repl [--data-dir <path>] [--serve <addr> [--load <demo>]...]");
             std::process::exit(2);
         };
         let demos: Vec<&str> = args
@@ -37,11 +55,12 @@ fn main() {
             .filter(|(j, a)| *a == "--load" && args.get(j + 1).is_some())
             .map(|(j, _)| args[j + 1].as_str())
             .collect();
-        serve(addr, &demos);
+        serve(addr, &demos, data_dir.as_deref());
         return;
     }
 
-    let mut session = Session::new();
+    let engine = open_engine(data_dir.as_deref());
+    let mut session = engine.session();
     let stdin = io::stdin();
     let mut buffer = String::new();
 
@@ -91,21 +110,45 @@ fn main() {
             Err(e) => eprintln!("{e}"),
         }
     }
+    if let Err(e) = engine.checkpoint() {
+        eprintln!("checkpoint on exit failed: {e}");
+    }
     println!("bye.");
+}
+
+/// Open the engine: durable under `--data-dir`, in-memory otherwise.
+fn open_engine(data_dir: Option<&str>) -> Engine {
+    match data_dir {
+        Some(dir) => match Engine::open(dir) {
+            Ok(engine) => {
+                println!("recovered data dir {dir}");
+                engine
+            }
+            Err(e) => {
+                eprintln!("cannot open data dir {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Engine::new(),
+    }
 }
 
 /// Start the TCP server on `addr`, seeded with the named demo datasets,
 /// and block until it is shut down.
-fn serve(addr: &str, demos: &[&str]) {
-    let engine = Engine::new();
-    let mut admin = engine.session();
-    for demo in demos {
-        if !load_demo(&mut admin, demo) {
-            eprintln!("unknown dataset {demo:?} (try flights, company, census, lineitem)");
-            std::process::exit(2);
+fn serve(addr: &str, demos: &[&str], data_dir: Option<&str>) {
+    let engine = open_engine(data_dir);
+    // A recovered catalog keeps its data; `--load` only seeds an empty one.
+    if engine.snapshot().world_set().rel_names().is_empty() {
+        let mut admin = engine.session();
+        for demo in demos {
+            if !load_demo(&mut admin, demo) {
+                eprintln!("unknown dataset {demo:?} (try flights, company, census, lineitem)");
+                std::process::exit(2);
+            }
         }
+    } else if !demos.is_empty() {
+        println!("catalog recovered from data dir; ignoring --load");
     }
-    drop(admin);
     match isql::server::serve(engine, addr) {
         Ok(handle) => {
             println!("isql server listening on {}", handle.addr());
