@@ -12,7 +12,9 @@ use crate::Env;
 ///
 /// Append handles are cached so the WAL appends to one open file
 /// descriptor instead of re-opening per record; [`Env::sync`] fsyncs that
-/// descriptor. [`Env::write_atomic`] goes through a `.tmp` sibling, a
+/// descriptor, and creating a file through [`Env::append`] fsyncs the
+/// directory so the new entry itself survives power loss.
+/// [`Env::write_atomic`] goes through a `.tmp` sibling, a
 /// rename, and an fsync of the directory, so snapshots are crash-atomic
 /// on POSIX filesystems.
 #[derive(Debug)]
@@ -63,10 +65,16 @@ impl Env for StdEnv {
         let file = match appenders.get_mut(name) {
             Some(f) => f,
             None => {
-                let f = OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(self.path(name))?;
+                let path = self.path(name);
+                let created = !path.exists();
+                let f = OpenOptions::new().create(true).append(true).open(&path)?;
+                if created {
+                    // Persist the new directory entry now: Env::sync only
+                    // fsyncs the descriptor, and an entry lost on power
+                    // failure would take every acknowledged commit in
+                    // this file with it.
+                    self.sync_dir()?;
+                }
                 appenders.entry(name.to_string()).or_insert(f)
             }
         };

@@ -34,18 +34,31 @@ use crate::{crc64, Env};
 
 const HEADER: usize = 8 + 4 + 8;
 
-/// Maximum payload length accepted at read time (a corrupted length
-/// field must not cause a multi-gigabyte allocation).
-const MAX_PAYLOAD: usize = 1 << 30;
+/// Maximum record payload length. Enforced at frame time — an oversized
+/// record would be acknowledged but then silently discarded as a torn
+/// tail at recovery — and again at read time, where a corrupted length
+/// field must not cause a multi-gigabyte allocation.
+pub const MAX_PAYLOAD: usize = 1 << 30;
 
-/// Frame one WAL record.
-pub fn frame_record(seq: u64, payload: &[u8]) -> Vec<u8> {
+/// Frame one WAL record. Fails with `InvalidInput` when the payload
+/// exceeds [`MAX_PAYLOAD`], so the commit errors up front instead of
+/// being lost at recovery.
+pub fn frame_record(seq: u64, payload: &[u8]) -> io::Result<Vec<u8>> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "WAL payload of {} bytes exceeds the {MAX_PAYLOAD}-byte record limit",
+                payload.len()
+            ),
+        ));
+    }
     let mut rec = Vec::with_capacity(HEADER + payload.len());
     rec.extend_from_slice(&seq.to_le_bytes());
     rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     rec.extend_from_slice(&crc64(payload).to_le_bytes());
     rec.extend_from_slice(payload);
-    rec
+    Ok(rec)
 }
 
 /// Read all valid records of `file`, verifying the sequence chain starts
@@ -133,12 +146,15 @@ impl<E: Env + ?Sized> WalWriter<E> {
 
     /// Append the record for `seq`. Not yet durable — pair with
     /// [`WalWriter::sync_to`]. Callers must append in sequence order.
+    /// Fails without writing anything when the payload exceeds
+    /// [`MAX_PAYLOAD`].
     pub fn append(&self, seq: u64, payload: &[u8]) -> io::Result<()> {
+        let rec = frame_record(seq, payload)?;
         {
             let state = self.lock();
             debug_assert_eq!(seq, state.appended + 1, "WAL appends must be sequential");
         }
-        self.env.append(&self.file, &frame_record(seq, payload))?;
+        self.env.append(&self.file, &rec)?;
         self.lock().appended = seq;
         Ok(())
     }
@@ -201,6 +217,26 @@ mod tests {
         assert_eq!(recs, vec![(1, b"first".to_vec()), (2, b"second".to_vec())]);
         // Missing file: empty, not an error.
         assert!(read_records(&env, "wal-9", 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_at_append() {
+        let env = SimEnv::new();
+        let w = WalWriter::create(Arc::new(env.clone()), "wal-0".into(), 0);
+        // The size check precedes the checksum, so the zero pages of this
+        // allocation are never touched.
+        let big = vec![0u8; MAX_PAYLOAD + 1];
+        let err = w.append(1, &big).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // Nothing was written: the file does not exist and sequence 1 is
+        // still free for a well-sized record.
+        assert!(read_records(&env, "wal-0", 1).unwrap().is_empty());
+        w.append(1, b"fits").unwrap();
+        w.sync_to(1).unwrap();
+        assert_eq!(
+            read_records(&env, "wal-0", 1).unwrap(),
+            vec![(1, b"fits".to_vec())]
+        );
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! configuration is unaffected), uncommitted session-local query results,
 //! and rejected DML (which publishes nothing).
 //!
+//! One commit's WAL payload is capped at [`wsdb_env::wal::MAX_PAYLOAD`]
+//! (1 GiB): a larger commit — e.g. registering an enormous relation —
+//! fails up front with `InvalidInput` instead of being acknowledged and
+//! then silently discarded as a torn record at recovery.
+//!
 //! # WAL record payload
 //!
 //! A [`wsdb_env::wal`]-framed record whose payload is one
@@ -953,6 +958,20 @@ impl Durability {
         if self.poisoned.load(Ordering::SeqCst) {
             return Err(io::Error::other(
                 "durability layer is poisoned by an earlier failure",
+            ));
+        }
+        if payload.len() > wsdb_env::wal::MAX_PAYLOAD {
+            // Nothing reaches the log: fail this one commit (e.g. a
+            // register of an enormous relation) without poisoning the
+            // engine. frame_record enforces the same bound as a
+            // backstop, but an error from inside the writer poisons.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "commit payload of {} bytes exceeds the {}-byte WAL record limit",
+                    payload.len(),
+                    wsdb_env::wal::MAX_PAYLOAD
+                ),
             ));
         }
         let w = self.writer();

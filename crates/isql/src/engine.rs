@@ -280,6 +280,16 @@ impl Engine {
     /// record is fsynced. The fsync itself happens after the writer lock
     /// is released so that concurrent committers batch into one fsync
     /// (group commit).
+    ///
+    /// Group-commit tradeoff: the snapshot therefore *publishes before
+    /// its record is durable*. If the fsync then fails, the committer
+    /// gets an error and the durability layer is poisoned — every later
+    /// commit fails rather than silently diverging from the log — but
+    /// the already-published snapshot stays visible to concurrent
+    /// readers: it cannot be rolled back, because later commits may have
+    /// built on it while the fsync was in flight. The exposure is
+    /// bounded by the poisoning (no further writes are accepted) and
+    /// ends at restart, when recovery reverts to the logged state.
     pub(crate) fn commit_with(
         &self,
         working: (u64, &WorldSet, &BTreeMap<String, Vec<String>>),

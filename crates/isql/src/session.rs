@@ -111,12 +111,25 @@ pub struct Session {
     query_counter: usize,
     /// On a durable engine: the selects run since the last
     /// synchronization. Their `Q‹n›` answers ride into the next
-    /// working-path commit, so its WAL record must replay them.
+    /// working-path commit, so its WAL record must replay them. Capped
+    /// at [`MAX_WAL_PENDING_SELECTS`]; see `pending_overflow`.
     pending: Vec<SelectStmt>,
     /// The query counter before the first pending select (WAL replay
     /// starts `Q‹n›` numbering here).
     pending_base: usize,
+    /// Set when a select arrived with `pending` already full: the local
+    /// answers are no longer fully recorded, so the next commit must
+    /// take the rebase path (which publishes none of them) instead of
+    /// logging a replay list recovery could not bound.
+    pending_overflow: bool,
 }
+
+/// Cap on the pending-select replay list one WAL record may carry. Past
+/// this, the session stops recording selects and its next commit rebases
+/// (local `Q‹n›` answers are left behind, exactly as when another session
+/// published first), so neither session memory nor recovery-time replay
+/// grows without bound under a read-heavy workload.
+const MAX_WAL_PENDING_SELECTS: usize = 256;
 
 impl Default for Session {
     fn default() -> Self {
@@ -162,6 +175,7 @@ impl Session {
             query_counter: 0,
             pending: Vec::new(),
             pending_base: 0,
+            pending_overflow: false,
         }
     }
 
@@ -267,14 +281,31 @@ impl Session {
             Stmt::Select(sel) => {
                 self.refresh_if_clean();
                 let durable = self.engine.is_durable();
-                if durable && self.pending.is_empty() {
+                if durable && self.pending.is_empty() && !self.pending_overflow {
                     self.pending_base = self.query_counter;
                 }
                 let logged = durable.then(|| sel.clone());
+                let counter_before = self.query_counter;
                 let name = self.fresh_query_name();
-                self.ws = eval_select_ws(&sel, &self.ws, &name)?;
+                self.ws = match eval_select_ws(&sel, &self.ws, &name) {
+                    Ok(ws) => ws,
+                    Err(e) => {
+                        // A failed select publishes nothing and is never
+                        // logged, so it must not consume a `Q‹n›` slot:
+                        // WAL replay numbers the logged selects
+                        // consecutively from `pending_base`, and a
+                        // skipped number would rename every later answer
+                        // in the recovered catalog.
+                        self.query_counter = counter_before;
+                        return Err(e);
+                    }
+                };
                 if let Some(sel) = logged {
-                    self.pending.push(sel);
+                    if self.pending.len() < MAX_WAL_PENDING_SELECTS {
+                        self.pending.push(sel);
+                    } else {
+                        self.pending_overflow = true;
+                    }
                 }
                 self.diverged = true;
                 Ok(ExecOutcome::Rows {
@@ -396,15 +427,25 @@ impl Session {
             start_counter: self.pending_base as u64,
             action,
         });
+        // A durable session whose pending-select list overflowed commits
+        // as if it were stale: the rebase path publishes none of its
+        // local answers, so the WAL record carries no replay list that
+        // recovery could fail to reproduce.
+        let opened_seq = if spec.is_some() && self.pending_overflow {
+            u64::MAX // never a published seq: forces the rebase path
+        } else {
+            self.opened.seq()
+        };
         let (snap, committed) =
             self.engine
-                .commit_with((self.opened.seq(), &self.ws, &self.keys), spec, apply)?;
+                .commit_with((opened_seq, &self.ws, &self.keys), spec, apply)?;
         if committed {
             self.ws = snap.world_set().clone();
             self.keys = snap.keys().clone();
             self.opened = snap;
             self.diverged = false;
             self.pending.clear();
+            self.pending_overflow = false;
             self.pending_base = self.query_counter;
         }
         Ok(committed)

@@ -208,6 +208,80 @@ fn crash_at_every_write_boundary_recovers_acked_state() {
     }
 }
 
+/// A select that fails must not consume a `Q‹n›` number: WAL replay
+/// renumbers the logged selects consecutively from the recorded counter
+/// base, so a skipped slot would rename every later answer in the
+/// recovered catalog — and a later logged statement that references one
+/// by name would fail replay, leaving the directory unopenable.
+#[test]
+fn failed_select_does_not_skip_query_numbers_at_recovery() {
+    let env = SimEnv::new();
+    let engine = Engine::open_on(Arc::new(env.clone()), opts()).unwrap();
+    let mut s = engine.session();
+    s.register("T", Relation::table(&["A"], &[&["x"], &["y"]]))
+        .unwrap();
+    s.execute("select possible A from T;").unwrap(); // Q1
+    assert!(
+        s.execute("select A from Missing;").is_err(),
+        "select on an unknown relation must fail"
+    );
+    let out = s.execute("select certain A from T;").unwrap();
+    let isql::ExecOutcome::Rows { name, .. } = &out[0] else {
+        panic!()
+    };
+    assert_eq!(name, "Q2", "a failed select must not burn a Q number");
+    // The commit's WAL record carries [Q1's, Q2's] selects for replay.
+    s.execute("insert into T values ('z');").unwrap();
+    // A later logged statement references Q2 by name: its replay runs
+    // against the recovered catalog, so the name must match there too.
+    s.execute("select possible A from Q2;").unwrap();
+    s.execute("delete from T where A = 'z';").unwrap();
+    let pre = engine.snapshot();
+    drop(engine);
+    let recovered = Engine::open_on(Arc::new(env.recovered()), opts()).unwrap();
+    let snap = recovered.snapshot();
+    assert_eq!(snap.seq(), pre.seq(), "recovery lost a commit");
+    assert!(
+        snap.world_set() == pre.world_set(),
+        "recovered catalog diverged from the pre-crash committed state"
+    );
+    assert!(snap.keys() == pre.keys());
+}
+
+/// A read-heavy session cannot grow its WAL replay list without bound:
+/// past the cap the next commit takes the rebase path (publishing none
+/// of the local answers), and recovery reproduces that committed state
+/// exactly.
+#[test]
+fn overflowing_pending_selects_commit_via_rebase_and_recover() {
+    let env = SimEnv::new();
+    let engine = Engine::open_on(Arc::new(env.clone()), opts()).unwrap();
+    let mut s = engine.session();
+    s.register("T", Relation::table(&["A"], &[&["x"], &["y"]]))
+        .unwrap();
+    // Well past the 256-select cap on one session.
+    for _ in 0..300 {
+        s.execute("select possible A from T;").unwrap();
+    }
+    s.execute("insert into T values ('z');").unwrap();
+    let pre = engine.snapshot();
+    assert!(
+        !pre.world_set()
+            .rel_names()
+            .iter()
+            .any(|n| n.starts_with('Q')),
+        "an overflowed commit must rebase: local Q answers are left behind"
+    );
+    drop(engine);
+    let recovered = Engine::open_on(Arc::new(env.recovered()), opts()).unwrap();
+    let snap = recovered.snapshot();
+    assert_eq!(snap.seq(), pre.seq(), "recovery lost the rebased commit");
+    assert!(
+        snap.world_set() == pre.world_set(),
+        "recovered catalog diverged from the rebased commit"
+    );
+}
+
 /// Flipping any single byte of the trailing WAL record must not
 /// resurrect it: recovery either drops the torn record (state at the
 /// previous commit) or fails cleanly — it never panics and never
