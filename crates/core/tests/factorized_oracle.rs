@@ -11,9 +11,11 @@
 
 use datagen::{random_query, random_world_set, QuerySpec, RandomSpec};
 use proptest::prelude::*;
-use relalg::{attrs, config, pool, Pred};
-use worldset::WorldSet;
-use wsa::{eval_factorized, eval_named, eval_named_routed, Query};
+use relalg::{attrs, config, pool, Pred, Relation};
+use worldset::{World, WorldSet};
+use wsa::{
+    eval_factorized, eval_named, eval_named_routed, eval_planned, plan_query, Query, RepCard,
+};
 
 /// Serializes tests that flip process-wide state (worker count, the
 /// factorize toggle).
@@ -163,6 +165,104 @@ fn repair_by_key_matches_enumerated() {
     }
 }
 
+/// A multi-world base whose splitting factors the planner can steer on:
+/// `wc` worlds share `T` (with `groups` distinct keys) and differ only in
+/// a one-row marker table `M`.
+fn multi(wc: usize, groups: i64) -> WorldSet {
+    let rows: Vec<Vec<i64>> = (0..groups).map(|k| vec![k, k % 3]).collect();
+    let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let t = Relation::table(&["K", "V"], &refs);
+    let worlds: Vec<World> = (0..wc)
+        .map(|i| World::new(vec![t.clone(), Relation::table(&["M"], &[&[i as i64]])]))
+        .collect();
+    WorldSet::from_worlds(vec!["T".to_string(), "M".to_string()], worlds).unwrap()
+}
+
+/// The planned (mixed-representation) evaluator against the enumerated
+/// reference, at thread counts 1 and 4.
+fn assert_planned_matches(q: &Query, ws: &WorldSet) {
+    let _guard = lock();
+    config::set_factorize_enabled(Some(true));
+    let plan = plan_query(q, ws);
+    for threads in [1usize, 4] {
+        pool::set_threads(threads);
+        let reference = eval_named(q, ws, "Ans").expect("reference evaluator");
+        let planned = eval_planned(q, ws, "Ans", &plan).expect("planned evaluator");
+        pool::set_threads(0);
+        assert_eq!(planned, reference, "diverged at {threads} thread(s) on {q}");
+        assert_eq!(
+            render(&planned),
+            render(&reference),
+            "render diverged at {threads} thread(s) on {q}"
+        );
+    }
+    config::set_factorize_enabled(None);
+}
+
+#[test]
+fn mixed_plans_match_enumerated() {
+    // The B15 shape: a union of two choices squares the split (stays
+    // factored, converts at its `cert`), while the single-choice `poss`
+    // tail runs enumerated end-to-end — one plan, both representations.
+    let ws = multi(4, 8);
+    let op1 = Query::rel("T")
+        .choice(attrs(&["K"]))
+        .project(attrs(&["V"]))
+        .union(Query::rel("T").choice(attrs(&["V"])).project(attrs(&["V"])))
+        .cert();
+    let op2 = Query::rel("T")
+        .choice(attrs(&["K"]))
+        .project(attrs(&["V"]))
+        .poss();
+    let q = op1.clone().intersect(op2.clone());
+    {
+        let _guard = lock();
+        config::set_factorize_enabled(Some(true));
+        let plan = plan_query(&q, &ws);
+        assert!(plan.any_f(), "plan must keep a factored region");
+        assert_eq!(plan.kids[0].card, RepCard::Convert, "F→E switch at cert");
+        assert_eq!(plan.kids[1].card, RepCard::E, "linear tail stays enumerated");
+        config::set_factorize_enabled(None);
+    }
+    assert_planned_matches(&q, &ws);
+    // Both forced-switch directions in isolation: the factored region
+    // alone (expansion forced at the root)…
+    assert_planned_matches(&op1, &ws);
+    // …and past a decode boundary, where the collapsing region below is
+    // factored but the grouped merge re-enters enumeration (F→E at `cγ`).
+    let boundary = op1.cert_group(attrs(&["V"]), attrs(&["V"]));
+    {
+        let _guard = lock();
+        config::set_factorize_enabled(Some(true));
+        let plan = plan_query(&boundary, &ws);
+        assert_eq!(plan.card, RepCard::E, "decode boundary always enumerated");
+        assert_eq!(plan.kids[0].card, RepCard::Convert, "subtree expands below it");
+        config::set_factorize_enabled(None);
+    }
+    assert_planned_matches(&boundary, &ws);
+}
+
+#[test]
+fn linear_merges_route_enumerated() {
+    // The B12 `merge_poss` regression: a linear choice→project→poss tail
+    // gains nothing from factorizing, so the per-node chooser must leave
+    // the whole plan enumerated and the routed entry must delegate
+    // wholesale (zero conversion overhead, byte-identical output).
+    let _guard = lock();
+    let ws = multi(4, 8);
+    let q = Query::rel("T")
+        .choice(attrs(&["K"]))
+        .project(attrs(&["V"]))
+        .poss();
+    config::set_factorize_enabled(Some(true));
+    let plan = plan_query(&q, &ws);
+    assert!(!plan.any_f(), "linear merge tails must not factorize");
+    let reference = eval_named(&q, &ws, "Ans").expect("reference");
+    let routed = eval_named_routed(&q, &ws, "Ans").expect("routed");
+    assert_eq!(render(&routed), render(&reference));
+    config::set_factorize_enabled(None);
+}
+
 #[test]
 fn routed_agrees_under_both_toggle_positions() {
     let _guard = lock();
@@ -218,5 +318,42 @@ proptest! {
             (Err(_), Err(_)) => {}
             (r, o) => prop_assert!(false, "routed outcome mismatch on {} (seed {}): reference {:?} vs routed {:?}", q, seed, r.is_ok(), o.is_ok()),
         }
+    }
+
+    /// Lineage-formula compaction is a pure representation change: with
+    /// the `WSDB_NO_COMPACT` toggle in either position, wherever the
+    /// factorized evaluator succeeds its decoded output must be
+    /// byte-identical to the enumerated reference — at 1 and 4 threads.
+    #[test]
+    fn compaction_preserves_decode(seed in any::<u64>()) {
+        let ws = random_world_set(seed, &RandomSpec {
+            schemas: vec![vec!["A", "B"], vec!["C", "D"]],
+            worlds: 3,
+            max_tuples: 5,
+            domain: 4,
+        });
+        let q = random_query(seed, &QuerySpec::default());
+        let _guard = lock();
+        let reference = eval_named(&q, &ws, "Ans");
+        for compact in [true, false] {
+            config::set_compact_enabled(Some(compact));
+            for threads in [1usize, 4] {
+                pool::set_threads(threads);
+                let fact = eval_factorized(&q, &ws, "Ans");
+                pool::set_threads(0);
+                match (&reference, fact) {
+                    (Ok(r), Ok(f)) => {
+                        prop_assert_eq!(&f, r, "decode diverged (compact={}, {} threads) on {} (seed {})", compact, threads, q, seed);
+                        prop_assert_eq!(render(&f), render(r), "render diverged (compact={}, {} threads) on {} (seed {})", compact, threads, q, seed);
+                    }
+                    // Budget overflow is allowed (the uncompacted side may
+                    // hit it earlier); success where the reference errors
+                    // is not.
+                    (Ok(_), Err(_)) | (Err(_), Err(_)) => {}
+                    (Err(e), Ok(_)) => prop_assert!(false, "factorized succeeded where reference failed ({e}) on {} (seed {})", q, seed),
+                }
+            }
+        }
+        config::set_compact_enabled(None);
     }
 }

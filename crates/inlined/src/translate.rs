@@ -569,16 +569,18 @@ fn run_general_uncached(
     // worlds then only materialize at the final decode. The gate reads
     // the representation itself (world-table length, inlined-table column
     // statistics), so the common small-scale case never pays a decode
-    // just to consult the chooser; `should_factorize` then re-checks
-    // against the decoded worlds' real statistics. Any factorized error
-    // (budget overflow, algebra error) falls through to the translation
-    // route, whose result is authoritative.
+    // just to consult the planner; the per-operator [`wsa::RepPlan`] is
+    // then rebuilt against the decoded worlds' real statistics, and only
+    // plans with at least one factored region divert. Any factorized
+    // error (budget overflow, algebra error) falls through to the
+    // translation route, whose result is authoritative.
     if relalg::config::factorize_enabled()
         && estimate_from_rep(q, rep) >= FACTORIZE_TRANSLATE_MIN_WORLDS
     {
         if let Ok(ws) = rep.rep() {
-            if wsa::should_factorize(q, &ws) {
-                if let Ok(out) = wsa::eval_factorized(q, &ws, answer_name) {
+            let plan = wsa::plan_query(q, &ws);
+            if plan.any_f() {
+                if let Ok(out) = wsa::eval_planned(q, &ws, answer_name, &plan) {
                     return Ok(out);
                 }
             }

@@ -30,16 +30,22 @@ pub struct Explanation {
     /// Whether the query maps complete databases to complete databases.
     pub complete_to_complete: bool,
     /// World-set representation the evaluator would use for the optimized
-    /// query: `"factored"` when the chooser routes it through the
-    /// factorized engine (lineage columns + choice variables, worlds
-    /// expanded only at decode boundaries), `"enum"` for explicit
-    /// possible-worlds enumeration.
+    /// query: `"factored"` when the per-operator planner routes every
+    /// node through the factorized engine (lineage columns + choice
+    /// variables, worlds expanded only at decode boundaries), `"mixed"`
+    /// when factored regions and enumerated operators share the plan
+    /// (conversions at the region boundaries), `"enum"` for explicit
+    /// possible-worlds enumeration end-to-end.
     pub rep: &'static str,
     /// Estimated implicit world count of the optimized query over the
-    /// session's world-set (input worlds × per-`choice of` group counts
-    /// from the relation statistics) — the quantity the representation
-    /// chooser thresholds on.
+    /// session's world-set: the *peak* across the plan of input worlds ×
+    /// per-`choice of` group counts from the relation statistics — the
+    /// quantity the per-node representation rule thresholds on.
     pub implicit_worlds: u128,
+    /// Per-node representation decisions of the plan that would execute,
+    /// in pre-order: operator label, `F`/`E`/`convert`, and the node's
+    /// output world estimate.
+    pub rep_plan: Vec<RepNodeLine>,
     /// For `1↦1` queries: the equivalent relational algebra plan
     /// (Section 5.3, simplified) evaluable by any relational engine.
     pub relational_plan: Option<relalg::Expr>,
@@ -74,9 +80,18 @@ impl Explanation {
             }
         ));
         out.push_str(&format!(
-            "rep:        {} (≈{} implicit worlds)\n",
+            "rep:        {} (peak ≈{} implicit worlds)\n",
             self.rep, self.implicit_worlds
         ));
+        for n in &self.rep_plan {
+            out.push_str(&format!(
+                "            {}{}  rep={} ≈{}\n",
+                "  ".repeat(n.depth),
+                n.label,
+                n.card.label(),
+                n.out
+            ));
+        }
         if let Some(plan) = &self.relational_plan {
             out.push_str(&format!("relational: {plan}\n"));
         }
@@ -100,6 +115,81 @@ impl Explanation {
             ));
         }
         out
+    }
+}
+
+/// One line of the per-node representation report: the operator (table
+/// name for a leaf, operator symbol otherwise), its decision, and its
+/// output world estimate.
+#[derive(Clone, Debug)]
+pub struct RepNodeLine {
+    /// Nesting depth in the query tree (0 = root).
+    pub depth: usize,
+    /// Short operator label.
+    pub label: String,
+    /// The representation decision ([`wsa::RepCard::label`] renders it).
+    pub card: wsa::RepCard,
+    /// Estimated worlds distinguished by this node's output.
+    pub out: u128,
+}
+
+/// Short per-node label for the representation report.
+fn node_label(q: &Query) -> String {
+    match q {
+        Query::Rel(n) => n.clone(),
+        Query::Select(_, _) => "σ".into(),
+        Query::Project(_, _) => "π".into(),
+        Query::Rename(_, _) => "δ".into(),
+        Query::Product(_, _) => "×".into(),
+        Query::Union(_, _) => "∪".into(),
+        Query::Intersect(_, _) => "∩".into(),
+        Query::Difference(_, _) => "−".into(),
+        Query::Choice(_, _) => "χ".into(),
+        Query::Poss(_) => "poss".into(),
+        Query::Cert(_) => "cert".into(),
+        Query::PossGroup { .. } => "pγ".into(),
+        Query::CertGroup { .. } => "cγ".into(),
+        Query::RepairKey(_, _) => "repair-key".into(),
+    }
+}
+
+/// Flatten the representation plan into report lines (pre-order, children
+/// in query order). With `force_enum` (factorization disabled for the
+/// session) every node reports `E` — the plan that would actually run.
+fn rep_lines(
+    q: &Query,
+    plan: &wsa::RepPlan,
+    depth: usize,
+    force_enum: bool,
+    out: &mut Vec<RepNodeLine>,
+) {
+    out.push(RepNodeLine {
+        depth,
+        label: node_label(q),
+        card: if force_enum {
+            wsa::RepCard::E
+        } else {
+            plan.card
+        },
+        out: plan.out,
+    });
+    let kids: Vec<&Query> = match q {
+        Query::Rel(_) => vec![],
+        Query::Select(_, i)
+        | Query::Project(_, i)
+        | Query::Rename(_, i)
+        | Query::Poss(i)
+        | Query::Cert(i)
+        | Query::Choice(_, i)
+        | Query::RepairKey(_, i) => vec![i],
+        Query::PossGroup { input, .. } | Query::CertGroup { input, .. } => vec![input],
+        Query::Product(a, b)
+        | Query::Union(a, b)
+        | Query::Intersect(a, b)
+        | Query::Difference(a, b) => vec![a, b],
+    };
+    for (k, kid) in kids.into_iter().enumerate() {
+        rep_lines(kid, &plan.kids[k], depth + 1, force_enum, out);
     }
 }
 
@@ -162,13 +252,21 @@ impl Session {
         let cost_before = wsa_rewrite::cost_ctx(&algebra, &ctx);
         let cost_after = wsa_rewrite::cost_ctx(&optimized, &ctx);
         let complete = is_complete_to_complete(&algebra);
-        // Representation choice for the plan that would execute: the
-        // factorized chooser thresholds on the implicit world estimate.
-        let implicit_worlds = wsa::implicit_world_estimate(&optimized, ws);
-        let rep = if wsa::should_factorize(&optimized, ws) {
-            "factored"
-        } else {
+        // Representation plan for the query that would execute: the
+        // per-operator rule assigns each node factored or enumerated;
+        // EXPLAIN reports the peak estimate and the per-node decisions.
+        let plan = wsa::plan_query(&optimized, ws);
+        let implicit_worlds = plan.peak;
+        let routed =
+            relalg::config::factorize_enabled() && !ws.is_empty() && plan.any_f();
+        let mut rep_plan = Vec::new();
+        rep_lines(&optimized, &plan, 0, !routed, &mut rep_plan);
+        let rep = if !routed {
             "enum"
+        } else if rep_plan.iter().any(|l| l.card == wsa::RepCard::E) {
+            "mixed"
+        } else {
+            "factored"
         };
         let relational_plan = if complete {
             let names: Vec<String> = ws.rel_names().to_vec();
@@ -212,6 +310,7 @@ impl Session {
             complete_to_complete: complete,
             rep,
             implicit_worlds,
+            rep_plan,
             relational_plan,
             cache,
             node_cards,
@@ -332,13 +431,24 @@ mod tests {
             lines.next().unwrap(),
             "type:       1↦1 (complete-to-complete)"
         );
-        // The representation chooser resolves `choice of Dep` through the
+        // The representation planner resolves `choice of Dep` through the
         // compile-inserted rename to HFlights' statistics: 3 distinct Dep
         // values over 1 input world — far below the factorization
-        // threshold, so the query evaluates enumerated.
+        // threshold, so every node evaluates enumerated. The per-node
+        // report shows where the worlds would split (χ peaks at 3) and
+        // collapse again (cert back to 1).
         assert_eq!(
             lines.next().unwrap(),
-            "rep:        enum (≈3 implicit worlds)"
+            "rep:        enum (peak ≈3 implicit worlds)"
+        );
+        assert_eq!(lines.next().unwrap(), "            δ  rep=E ≈1");
+        assert_eq!(lines.next().unwrap(), "              cert  rep=E ≈1");
+        assert_eq!(lines.next().unwrap(), "                π  rep=E ≈3");
+        assert_eq!(lines.next().unwrap(), "                  χ  rep=E ≈3");
+        assert_eq!(lines.next().unwrap(), "                    δ  rep=E ≈1");
+        assert_eq!(
+            lines.next().unwrap(),
+            "                      HFlights  rep=E ≈1"
         );
         assert_eq!(
             lines.next().unwrap(),
@@ -382,9 +492,10 @@ mod tests {
         );
     }
 
-    /// A `choice of` over enough distinct values trips the factorization
-    /// threshold: EXPLAIN reports `rep=factored` with the implicit world
-    /// estimate the chooser used.
+    /// A `certain` query over a `choice of` with enough distinct values
+    /// trips the per-node factorization rule: the implicit worlds peak at
+    /// the choice but collapse at the `cert`, so the whole plan runs
+    /// factored and EXPLAIN reports the per-node decisions.
     #[test]
     fn explain_reports_factorized_rep_for_many_worlds() {
         let _guard = toggle_lock();
@@ -396,15 +507,18 @@ mod tests {
         )
         .unwrap();
         s.register("T", rel).unwrap();
-        let e = s.explain("select * from T choice of K;").unwrap();
+        let e = s.explain("select certain V from T choice of K;").unwrap();
         relalg::config::set_factorize_enabled(None);
         assert_eq!(e.rep, "factored");
         assert!(e.implicit_worlds >= 20, "{}", e.implicit_worlds);
-        assert!(
-            e.render().contains("rep:        factored (≈"),
-            "{}",
-            e.render()
-        );
+        let rendered = e.render();
+        assert!(rendered.contains("rep:        factored (peak ≈"), "{rendered}");
+        // The region root converts at the output; everything below is F.
+        assert!(rendered.contains("rep=convert"), "{rendered}");
+        assert!(rendered.contains("χ  rep=F ≈20"), "{rendered}");
+        // A χ-ended query decodes its peak at the output: enumerated.
+        let e2 = s.explain("select * from T choice of K;").unwrap();
+        assert_eq!(e2.rep, "enum");
     }
 
     #[test]

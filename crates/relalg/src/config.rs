@@ -20,6 +20,8 @@
 //! | [`COLUMNAR`] | `WSDB_NO_COLUMNAR` (non-empty disables) | columnar physical paths |
 //! | [`FACTORIZE`] | `WSDB_NO_FACTORIZE` (non-empty disables) | factorized world-set execution |
 //! | [`FACTORIZE_MIN_WORLDS`] | `WSDB_FACTORIZE_MIN_WORLDS` | implicit-world estimate before the factorized path engages |
+//! | [`WORLDS_BUDGET`] | `WSDB_WORLDS_BUDGET` | base world-validity DNF disjunct allowance (scaled adaptively by variable count) |
+//! | [`COMPACT`] | `WSDB_NO_COMPACT` (non-empty disables) | lineage/validity formula compaction |
 //!
 //! The long-standing public accessors (`pool::num_threads`,
 //! `columnar_enabled`, `plan_cache::rewrite_enabled`, …) remain the
@@ -43,7 +45,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Number of overlay slots (one per knob/toggle static below).
-const NUM_SLOTS: usize = 7;
+const NUM_SLOTS: usize = 9;
 
 /// Sentinel slot for knobs/toggles that opt out of the session overlay
 /// (test-local statics).
@@ -56,6 +58,8 @@ const SLOT_REWRITE: usize = 3;
 const SLOT_COLUMNAR: usize = 4;
 const SLOT_FACTORIZE: usize = 5;
 const SLOT_FACTORIZE_MIN_WORLDS: usize = 6;
+const SLOT_WORLDS_BUDGET: usize = 7;
+const SLOT_COMPACT: usize = 8;
 
 /// Encoding shared by all slots: `0` = inherit the process-wide value.
 /// Knob slots store the value itself; toggle slots store 1 = on, 2 = off.
@@ -87,9 +91,9 @@ fn overlay_slot(slot: usize) -> usize {
 ///
 /// Knob names accepted by [`SessionConfig::set`] (case-insensitive):
 /// `threads`, `par_min_tuples`, `columnar_min_rows`,
-/// `factorize_min_worlds` (positive integer or `default`), and the toggles
-/// `rewrite`, `columnar`, `factorize` (`on`/`off`/`true`/`false`/`1`/`0`
-/// or `default`).
+/// `factorize_min_worlds`, `worlds_budget` (positive integer or
+/// `default`), and the toggles `rewrite`, `columnar`, `factorize`,
+/// `compact` (`on`/`off`/`true`/`false`/`1`/`0` or `default`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct SessionConfig {
     slots: Slots,
@@ -118,14 +122,16 @@ impl SessionConfig {
             "par_min_tuples" => (SLOT_PAR_MIN_TUPLES, false),
             "columnar_min_rows" => (SLOT_COLUMNAR_MIN_ROWS, false),
             "factorize_min_worlds" => (SLOT_FACTORIZE_MIN_WORLDS, false),
+            "worlds_budget" => (SLOT_WORLDS_BUDGET, false),
             "rewrite" => (SLOT_REWRITE, true),
             "columnar" => (SLOT_COLUMNAR, true),
             "factorize" => (SLOT_FACTORIZE, true),
+            "compact" => (SLOT_COMPACT, true),
             _ => {
                 return Err(format!(
                     "unknown knob {name}; known: threads, par_min_tuples, \
-                     columnar_min_rows, factorize_min_worlds, rewrite, \
-                     columnar, factorize"
+                     columnar_min_rows, factorize_min_worlds, worlds_budget, \
+                     rewrite, columnar, factorize, compact"
                 ))
             }
         };
@@ -171,8 +177,12 @@ impl SessionConfig {
             "columnar",
             "factorize",
             "factorize_min_worlds",
+            "worlds_budget",
+            "compact",
         ];
-        const TOGGLES: [bool; NUM_SLOTS] = [false, false, false, true, true, true, false];
+        const TOGGLES: [bool; NUM_SLOTS] = [
+            false, false, false, true, true, true, false, false, true,
+        ];
         let mut parts = Vec::new();
         for (i, &v) in self.slots.iter().enumerate() {
             if v == 0 {
@@ -482,6 +492,21 @@ pub static FACTORIZE_MIN_WORLDS: Knob = Knob::with_slot(
     SLOT_FACTORIZE_MIN_WORLDS,
 );
 
+/// Base disjunct allowance of a world-validity DNF before the factorized
+/// path declines (`WSDB_WORLDS_BUDGET`). The effective budget is adaptive:
+/// the formula layer scales this base with the number of live choice
+/// variables (a representation with more variables legitimately carries
+/// more disjuncts), so the knob sets the *per-variable-group* allowance
+/// rather than a hard cap. Runtime setter: `WORLDS_BUDGET.set(..)`, or
+/// `set local worlds_budget = <n>;` per session.
+pub static WORLDS_BUDGET: Knob = Knob::with_slot("WSDB_WORLDS_BUDGET", || 1024, SLOT_WORLDS_BUDGET);
+
+/// Lineage/validity formula compaction (`WSDB_NO_COMPACT` disables):
+/// DNF subsumption, single-variable disjunct merging and decode-boundary
+/// variable elimination in the factorized engine. On by default; the
+/// off leg exists for A/B benchmarks and debugging.
+pub static COMPACT: Toggle = Toggle::with_slot("WSDB_NO_COMPACT", SLOT_COMPACT);
+
 /// Whether factorized world-set execution is on (the [`FACTORIZE`] toggle).
 pub fn factorize_enabled() -> bool {
     FACTORIZE.enabled()
@@ -491,6 +516,17 @@ pub fn factorize_enabled() -> bool {
 /// environment-derived default.
 pub fn set_factorize_enabled(on: Option<bool>) {
     FACTORIZE.set(on);
+}
+
+/// Whether formula compaction is on (the [`COMPACT`] toggle).
+pub fn compact_enabled() -> bool {
+    COMPACT.enabled()
+}
+
+/// Force formula compaction on/off for this process; `None` restores the
+/// environment-derived default.
+pub fn set_compact_enabled(on: Option<bool>) {
+    COMPACT.set(on);
 }
 
 #[cfg(test)]
@@ -587,6 +623,25 @@ mod tests {
         let seen = current_overlay();
         assert_eq!(seen, cfg);
         assert!(!seen.columnar_enabled());
+    }
+
+    #[test]
+    fn worlds_budget_and_compact_knobs() {
+        // Environment-free default of the budget base.
+        assert!(WORLDS_BUDGET.get() >= 1);
+        let mut cfg = SessionConfig::new();
+        cfg.set("worlds_budget", "4096").unwrap();
+        cfg.set("compact", "off").unwrap();
+        assert_eq!(cfg.describe(), "worlds_budget = 4096, compact = off");
+        cfg.set("worlds_budget", "default").unwrap();
+        cfg.set("compact", "default").unwrap();
+        assert!(cfg.is_default());
+        // Process-wide setter roundtrip (restore the env default after).
+        let env_default = std::env::var_os("WSDB_NO_COMPACT").is_none_or(|v| v.is_empty());
+        set_compact_enabled(Some(false));
+        assert!(!compact_enabled());
+        set_compact_enabled(None);
+        assert_eq!(compact_enabled(), env_default);
     }
 
     #[test]

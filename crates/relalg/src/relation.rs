@@ -286,6 +286,24 @@ impl Relation {
         Relation::sealed(schema, tuples)
     }
 
+    /// Build a relation from rows that are already strictly sorted
+    /// (ascending, no duplicates), validating arity and skipping the
+    /// builder's sort+dedup pass. Callers own the ordering proof — the
+    /// sortedness is only `debug_assert`ed; sorted-map iteration and
+    /// sorted-merge producers (the factorized layer's conversion and
+    /// decode paths) use this to avoid re-sorting what they emit in
+    /// order.
+    pub fn from_sorted_rows(schema: Schema, tuples: Vec<Tuple>) -> Result<Relation> {
+        let arity = schema.arity();
+        if let Some(t) = tuples.iter().find(|t| t.len() != arity) {
+            return Err(RelalgError::ArityMismatch {
+                expected: arity,
+                got: t.len(),
+            });
+        }
+        Ok(Relation::from_sorted_vec(schema, tuples))
+    }
+
     /// Build a relation from rows, validating arity.
     pub fn from_rows(
         schema: Schema,

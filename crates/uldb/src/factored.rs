@@ -57,9 +57,30 @@ const LIN2_ATTR: &str = "#lin2";
 /// Pool id of the always-true lineage constraint `⊤`.
 pub const TOP: u32 = 0;
 
-/// Maximum number of disjuncts in a world-validity [`Dnf`] before the
-/// factorized path gives up ([`FactorError::Budget`]).
-pub const WORLDS_BUDGET: usize = 1024;
+/// Effective maximum number of disjuncts in a world-validity [`Dnf`]
+/// before the factorized path gives up ([`FactorError::Budget`]), for a
+/// representation with `nvars` choice variables.
+///
+/// The base allowance is the `relalg::config::WORLDS_BUDGET` knob
+/// (`WSDB_WORLDS_BUDGET`, default 1024; runtime setter and per-session
+/// `set local worlds_budget = …;` both honored) and the effective budget
+/// is **adaptive**: it scales with the variable count, because a formula
+/// over more choice variables legitimately carries more disjuncts — a
+/// fixed cap made deep choice chains fall back to enumeration even when
+/// each conjunction site stayed small after compaction.
+pub fn worlds_budget(nvars: usize) -> usize {
+    relalg::config::WORLDS_BUDGET
+        .get()
+        .saturating_mul(nvars / 4 + 1)
+}
+
+/// Disjunct count below which [`Dnf`] compaction is not attempted (tiny
+/// formulas are already cheap; the passes would only burn cycles).
+const COMPACT_MIN: usize = 4;
+
+/// Disjunct count above which the quadratic subsumption pass is skipped
+/// (the budget is about to trip anyway).
+const SUBSUME_MAX: usize = 2048;
 
 /// Maximum number of conjuncts produced while expanding one tuple's
 /// negated lineage in `difference`/`cert`.
@@ -155,6 +176,42 @@ impl AltSet {
             neg: !self.neg,
             items: Arc::clone(&self.items),
         }
+    }
+
+    /// Whether every member of `self` is a member of `other`, given the
+    /// variable's domain size.
+    fn subset_of(&self, other: &AltSet, dom: usize) -> bool {
+        if self.width(dom) > other.width(dom) {
+            return false;
+        }
+        match (self.neg, other.neg) {
+            (false, false) => self
+                .items
+                .iter()
+                .all(|a| other.items.binary_search(a).is_ok()),
+            (false, true) => self
+                .items
+                .iter()
+                .all(|a| other.items.binary_search(a).is_err()),
+            (true, true) => other
+                .items
+                .iter()
+                .all(|a| self.items.binary_search(a).is_ok()),
+            // `dom \ items ⊆ other.items`: walk the domain once. Rare
+            // (a complemented literal against a positive one) and the
+            // width guard above already filtered the common failures.
+            (true, false) => (0..dom as u32).all(|a| {
+                self.items.binary_search(&a).is_ok() || other.items.binary_search(&a).is_ok()
+            }),
+        }
+    }
+
+    /// Set union (unnormalized: may be full; literal construction
+    /// normalizes against the domain size).
+    fn union(&self, other: &AltSet) -> AltSet {
+        self.complement()
+            .intersect(&other.complement())
+            .complement()
     }
 
     /// Set intersection (unnormalized: may be empty or full; literal
@@ -310,6 +367,30 @@ impl Constraint {
         })
     }
 
+    /// Whether every model of `self` is a model of `other` (`self ⇒
+    /// other`): for each of `other`'s literals, `self` must constrain the
+    /// same variable at least as tightly. Literals are per-variable unary
+    /// constraints, so this syntactic check is exact.
+    fn implies(&self, other: &Constraint, doms: &[usize]) -> bool {
+        let mut i = 0;
+        for (vo, so) in &other.lits {
+            while i < self.lits.len() && self.lits[i].0 < *vo {
+                i += 1;
+            }
+            match self.lits.get(i) {
+                Some((vs, ss)) if vs == vo => {
+                    if !ss.subset_of(so, doms[*vo as usize]) {
+                        return false;
+                    }
+                }
+                // `self` leaves the variable unconstrained while `other`
+                // restricts it (literals are non-trivial by construction).
+                _ => return false,
+            }
+        }
+        true
+    }
+
     /// The complement as a disjunction of single-literal constraints
     /// (unsatisfiable complements dropped): `¬(∧ᵢ vᵢ∈Sᵢ) = ∨ᵢ vᵢ∉Sᵢ`.
     /// Empty for `⊤` (whose complement is unsatisfiable).
@@ -376,12 +457,65 @@ impl Dnf {
         Dnf { ds }
     }
 
+    /// [`Dnf::canon`] plus **formula compaction** when the
+    /// `relalg::config::COMPACT` toggle is on and the formula is big
+    /// enough to pay: single-variable disjunct merging
+    /// (`A∧v∈S₁ ∨ A∧v∈S₂ → A∧v∈S₁∪S₂`, dropping the literal entirely
+    /// when the union covers the domain) and subsumption (a disjunct
+    /// implied by another is redundant). Both passes preserve the *model
+    /// set* of the formula exactly, so they are safe at every conjunction
+    /// site — validity formulas included. Run incrementally here, they
+    /// keep `pair_cert`-style validity formulas from growing
+    /// superlinearly with the world count.
+    fn canon_compact(ds: Vec<Constraint>, doms: &[usize]) -> Dnf {
+        let d = Dnf::canon(ds);
+        if d.ds.len() <= COMPACT_MIN || !relalg::config::compact_enabled() {
+            return d;
+        }
+        Dnf::canon(compact_disjuncts(d.ds, doms))
+    }
+
+    /// Existential projection onto the `keep` variables: drop every
+    /// literal on a variable outside `keep`, then compact.
+    ///
+    /// The result is *satisfiability-equivalent* over the kept variables
+    /// (`∃u.(∨ᵢ dᵢ) = ∨ᵢ ∃u.dᵢ`, and each dropped literal is
+    /// independently satisfiable because literals are per-variable and
+    /// non-trivial) — exactly what refutation checks and decode-time
+    /// enumeration consume. It is **not** model-preserving over the full
+    /// variable space: never store the result as a validity formula.
+    /// No-op when compaction is off (the A/B legs compare PR 7 behavior).
+    fn project_onto(&self, keep: &BTreeSet<Var>, doms: &[usize]) -> Dnf {
+        if !relalg::config::compact_enabled()
+            || self
+                .ds
+                .iter()
+                .all(|d| d.lits.iter().all(|(v, _)| keep.contains(v)))
+        {
+            return self.clone();
+        }
+        Dnf::canon_compact(
+            self.ds
+                .iter()
+                .map(|d| Constraint {
+                    lits: d
+                        .lits
+                        .iter()
+                        .filter(|(v, _)| keep.contains(v))
+                        .cloned()
+                        .collect(),
+                })
+                .collect(),
+            doms,
+        )
+    }
+
     /// `self ∧ c`, distributing over the disjuncts.
     pub fn and_constraint(&self, c: &Constraint, doms: &[usize]) -> Dnf {
         if c.is_top() {
             return self.clone();
         }
-        Dnf::canon(self.ds.iter().filter_map(|d| d.conjoin(c, doms)).collect())
+        Dnf::canon_compact(self.ds.iter().filter_map(|d| d.conjoin(c, doms)).collect(), doms)
     }
 
     /// `self ∧ other` (DNF product); `None` when the result exceeds
@@ -404,7 +538,7 @@ impl Dnf {
                 return None;
             }
         }
-        let d = Dnf::canon(out);
+        let d = Dnf::canon_compact(out, doms);
         (d.len() <= budget).then_some(d)
     }
 
@@ -425,7 +559,7 @@ impl Dnf {
                 return None;
             }
         }
-        let d = Dnf::canon(out);
+        let d = Dnf::canon_compact(out, doms);
         (d.len() <= budget).then_some(d)
     }
 
@@ -434,6 +568,130 @@ impl Dnf {
     pub fn consistent_with(&self, c: &Constraint, doms: &[usize]) -> bool {
         self.ds.iter().any(|d| d.consistent(c, doms))
     }
+}
+
+/// Model-preserving DNF compaction: alternate single-variable disjunct
+/// merging and subsumption to a (bounded) fixpoint. Deterministic — the
+/// merge pass groups through a `BTreeMap` and ties in the subsumption
+/// pass break toward the lower index — so a given formula always compacts
+/// to the same shape.
+fn compact_disjuncts(mut ds: Vec<Constraint>, doms: &[usize]) -> Vec<Constraint> {
+    for _ in 0..4 {
+        ds.sort_unstable();
+        ds.dedup();
+        let merged = merge_single_var(&mut ds, doms);
+        let subsumed = subsume(&mut ds, doms);
+        if !merged && !subsumed {
+            break;
+        }
+    }
+    ds
+}
+
+/// Merge disjuncts that are identical except for one variable's
+/// alternative set: `A∧v∈S₁ ∨ A∧v∈S₂ → A∧v∈(S₁∪S₂)`; when the union
+/// covers the domain the literal drops (possibly leaving `⊤`). Each
+/// disjunct joins at most one merge group per pass (claimed in
+/// deterministic key order).
+fn merge_single_var(ds: &mut Vec<Constraint>, doms: &[usize]) -> bool {
+    if ds.len() < 2 {
+        return false;
+    }
+    let mut groups: BTreeMap<(Constraint, Var), Vec<usize>> = BTreeMap::new();
+    for (idx, d) in ds.iter().enumerate() {
+        for i in 0..d.lits.len() {
+            let (v, _) = d.lits[i];
+            let mut rest = d.lits.clone();
+            rest.remove(i);
+            groups
+                .entry((Constraint { lits: rest }, v))
+                .or_default()
+                .push(idx);
+        }
+    }
+    let mut dead = vec![false; ds.len()];
+    let mut fresh: Vec<Constraint> = Vec::new();
+    let mut changed = false;
+    for ((rest, v), members) in groups {
+        let live: Vec<usize> = members.into_iter().filter(|&i| !dead[i]).collect();
+        if live.len() < 2 {
+            continue;
+        }
+        let mut union: Option<AltSet> = None;
+        for &i in &live {
+            let pos = ds[i]
+                .lits
+                .binary_search_by_key(&v, |(x, _)| *x)
+                .expect("grouped on a present literal");
+            let s = &ds[i].lits[pos].1;
+            union = Some(match union {
+                None => s.clone(),
+                Some(acc) => acc.union(s),
+            });
+        }
+        let merged = match norm_lit(union.expect("non-empty group"), doms[v as usize]) {
+            // The union covers the domain: the literal drops entirely.
+            Lit::True => rest,
+            Lit::Keep(s) => rest
+                .and_lit(v, &s, doms)
+                .expect("union of satisfiable sets is satisfiable"),
+            Lit::Unsat => unreachable!("union of non-empty sets is non-empty"),
+        };
+        for &i in &live {
+            dead[i] = true;
+        }
+        fresh.push(merged);
+        changed = true;
+    }
+    if changed {
+        let mut out: Vec<Constraint> = ds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dead[*i])
+            .map(|(_, d)| d.clone())
+            .collect();
+        out.extend(fresh);
+        *ds = out;
+    }
+    changed
+}
+
+/// Drop disjuncts implied by another disjunct (their models are already
+/// covered). Mutually-implied pairs — syntactically different but
+/// equivalent — keep the lower index. Skipped above [`SUBSUME_MAX`]
+/// disjuncts, where the quadratic pass would cost more than the budget
+/// fallback it tries to prevent.
+fn subsume(ds: &mut Vec<Constraint>, doms: &[usize]) -> bool {
+    let n = ds.len();
+    if n < 2 || n > SUBSUME_MAX {
+        return false;
+    }
+    let mut dead = vec![false; n];
+    let mut changed = false;
+    for j in 0..n {
+        if dead[j] {
+            continue;
+        }
+        for i in 0..n {
+            if i == j || dead[i] {
+                continue;
+            }
+            if ds[j].implies(&ds[i], doms) && (i < j || !ds[i].implies(&ds[j], doms)) {
+                dead[j] = true;
+                changed = true;
+                break;
+            }
+        }
+    }
+    if changed {
+        let mut i = 0;
+        ds.retain(|_| {
+            let keep = !dead[i];
+            i += 1;
+            keep
+        });
+    }
+    changed
 }
 
 /// Interning pool of lineage constraints. Id [`TOP`] is always `⊤`; ids
@@ -485,6 +743,12 @@ pub struct FactoredSet {
     pool: Pool,
     worlds: Dnf,
     tables: Vec<Relation>,
+    /// Relations excluded from factorization
+    /// ([`FactoredSet::from_world_set_filtered`]): per-world originals,
+    /// aligned with `names` (`None` = factorized). [`FactoredSet::table`]
+    /// reports them absent; [`FactoredSet::expand_with`] splices the
+    /// original relation back by the base-world variable's assignment.
+    skipped: Vec<Option<Vec<Arc<Relation>>>>,
 }
 
 fn lin_attr() -> Attr {
@@ -521,6 +785,22 @@ impl FactoredSet {
     /// (`⊤` when `S` is every world), so a table equal in all worlds
     /// stays a single untagged copy instead of `n` tagged ones.
     pub fn from_world_set(ws: &WorldSet) -> FResult<FactoredSet> {
+        Self::from_world_set_filtered(ws, &|_| true)
+    }
+
+    /// [`FactoredSet::from_world_set`], but only relations with
+    /// `keep(name)` are factorized (hashed across worlds and assigned
+    /// lineage). The rest are carried as per-world originals: a mixed
+    /// plan whose factored region touches a few small relations skips
+    /// paying the conversion scan over large relations only its
+    /// enumerated regions read. Skipped relations are invisible to
+    /// [`FactoredSet::table`] but reappear — spliced from the originals —
+    /// in every world [`FactoredSet::expand_with`] produces, so decode
+    /// output is independent of the filter.
+    pub fn from_world_set_filtered(
+        ws: &WorldSet,
+        keep: &dyn Fn(&str) -> bool,
+    ) -> FResult<FactoredSet> {
         let names = ws.rel_names().to_vec();
         let mut pool = Pool::new();
         let worlds_vec = ws.worlds();
@@ -531,28 +811,65 @@ impl FactoredSet {
                 pool,
                 worlds: Dnf::none(),
                 tables: vec![],
+                skipped: vec![],
             });
         }
         let n = worlds_vec.len();
         let doms = if n == 1 { vec![] } else { vec![n] };
         let mut tables = Vec::with_capacity(names.len());
+        let mut skipped: Vec<Option<Vec<Arc<Relation>>>> = Vec::with_capacity(names.len());
         for pos in 0..names.len() {
             let schema0 = worlds_vec[0].rel(pos).schema().clone();
             let schema = lin_schema(&schema0)?;
+            if !keep(&names[pos]) {
+                skipped.push(Some(
+                    worlds_vec.iter().map(|w| w.rel_shared(pos).clone()).collect(),
+                ));
+                tables.push(Relation::empty(schema));
+                continue;
+            }
+            skipped.push(None);
+            // Shared-relation fast path: when every world holds the same
+            // `Arc` for this table (prefix relations untouched since the
+            // worlds split), every row is in all worlds — tag them `⊤` in
+            // one pass instead of hashing rows × worlds memberships.
+            if n > 1
+                && worlds_vec
+                    .iter()
+                    .all(|w| Arc::ptr_eq(w.rel_shared(pos), worlds_vec[0].rel_shared(pos)))
+            {
+                let rows: Vec<Tuple> = worlds_vec[0]
+                    .rel(pos)
+                    .iter()
+                    .map(|t| push_lin(t, TOP))
+                    .collect();
+                // Relation storage is sorted; appending the constant
+                // lineage id keeps the order strict.
+                tables.push(Relation::from_sorted_rows(schema, rows).map_err(FactorError::from)?);
+                continue;
+            }
             // Worlds containing each distinct row (ascending, distinct —
-            // relations are sets and `i` increases).
-            let mut membership: BTreeMap<Tuple, Vec<u32>> = BTreeMap::new();
+            // relations are sets and `i` increases). Keys borrow from the
+            // worlds; rows are cloned once, at emission.
+            let mut aligned: Vec<Relation> = Vec::new();
+            for w in worlds_vec.iter() {
+                let r = w.rel(pos);
+                if r.schema().attrs() != schema0.attrs() {
+                    aligned.push(r.project(schema0.attrs()).map_err(FactorError::from)?);
+                }
+            }
+            let mut membership: BTreeMap<&Tuple, Vec<u32>> = BTreeMap::new();
+            let mut ai = 0usize;
             for (i, w) in worlds_vec.iter().enumerate() {
                 let r = w.rel(pos);
-                if r.schema().attrs() == schema0.attrs() {
-                    for t in r.iter() {
-                        membership.entry(t.clone()).or_default().push(i as u32);
-                    }
+                let r = if r.schema().attrs() == schema0.attrs() {
+                    r
                 } else {
-                    let aligned = r.project(schema0.attrs()).map_err(FactorError::from)?;
-                    for t in aligned.iter() {
-                        membership.entry(t.clone()).or_default().push(i as u32);
-                    }
+                    ai += 1;
+                    &aligned[ai - 1]
+                };
+                for t in r.iter() {
+                    membership.entry(t).or_default().push(i as u32);
                 }
             }
             let mut rows: Vec<Tuple> = Vec::with_capacity(membership.len());
@@ -562,9 +879,11 @@ impl FactoredSet {
                 } else {
                     pool.intern(Constraint::lit(0, AltSet::from_sorted(false, in_worlds)))
                 };
-                rows.push(push_lin(&t, lid));
+                rows.push(push_lin(t, lid));
             }
-            tables.push(Relation::from_rows(schema, rows).map_err(FactorError::from)?);
+            // `membership` iterates in sorted data order and keys are
+            // distinct, so the emitted rows are strictly sorted.
+            tables.push(Relation::from_sorted_rows(schema, rows).map_err(FactorError::from)?);
         }
         Ok(FactoredSet {
             names,
@@ -572,6 +891,7 @@ impl FactoredSet {
             pool,
             worlds: Dnf::top(),
             tables,
+            skipped,
         })
     }
 
@@ -581,17 +901,26 @@ impl FactoredSet {
     }
 
     /// The factored table registered under `name` (lineage column
-    /// included).
+    /// included). `None` for unknown names and for relations excluded by
+    /// [`FactoredSet::from_world_set_filtered`] — skipped relations have
+    /// no lineage and cannot be operated on in factored form.
     pub fn table(&self, name: &str) -> Option<&Relation> {
         self.names
             .iter()
             .position(|n| n == name)
+            .filter(|&i| self.skipped[i].is_none())
             .map(|i| &self.tables[i])
     }
 
     /// Domain sizes of the choice variables.
     pub fn doms(&self) -> &[usize] {
         &self.doms
+    }
+
+    /// The adaptive DNF budget for this set's current variable count
+    /// (see [`worlds_budget`]).
+    pub fn budget(&self) -> usize {
+        worlds_budget(self.doms.len())
     }
 
     /// The base world-validity formula (before any per-branch extension).
@@ -732,8 +1061,10 @@ impl FactoredSet {
                             }
                         }
                     }
-                    next.sort_unstable();
-                    next.dedup();
+                    // Compaction keeps the negation chain from blowing
+                    // up row counts: the complements of successive
+                    // lineages often re-merge into few disjuncts.
+                    let next = Dnf::canon_compact(next, &self.doms).ds;
                     if next.len() > DIFF_BUDGET {
                         return Err(FactorError::Budget("difference negation"));
                     }
@@ -778,10 +1109,18 @@ impl FactoredSet {
         let empty_dnf = if all_lins.contains(&TOP) {
             Dnf::none()
         } else {
+            // Compact the lineage family first (see [`cert_covers`]):
+            // per-world presence literals merge into a few set-valued
+            // constraints, shortening the negation chain.
+            let mut lcs: Vec<Constraint> =
+                all_lins.iter().map(|&l| self.pool.get(l).clone()).collect();
+            if relalg::config::compact_enabled() {
+                lcs = compact_disjuncts(lcs, &self.doms);
+            }
             let mut cur = w.clone();
-            for &l in &all_lins {
+            for c in &lcs {
                 cur = cur
-                    .and_not(self.pool.get(l), &self.doms, WORLDS_BUDGET)
+                    .and_not(c, &self.doms, self.budget())
                     .ok_or(FactorError::Budget("choice emptiness analysis"))?;
                 if cur.is_unsat() {
                     break;
@@ -823,15 +1162,25 @@ impl FactoredSet {
             let mut ds: Vec<Constraint> = Vec::new();
             for (g, pres) in presence.iter().enumerate() {
                 let x_is_g = Constraint::lit(x, AltSet::one(g as u32));
-                for &l in pres {
-                    let with_l = match self.pool.get(l).conjoin(&x_is_g, &self.doms) {
+                // Compact each group's presence family before
+                // distributing it over `w`: per-world literals merge
+                // into a few set-valued constraints, so the validity
+                // formula is built near its compacted size instead of
+                // one disjunct per derivation.
+                let mut pcs: Vec<Constraint> =
+                    pres.iter().map(|&l| self.pool.get(l).clone()).collect();
+                if relalg::config::compact_enabled() {
+                    pcs = compact_disjuncts(pcs, &self.doms);
+                }
+                for c in &pcs {
+                    let with_l = match c.conjoin(&x_is_g, &self.doms) {
                         Some(c) => c,
                         None => continue,
                     };
                     for d in w.and_constraint(&with_l, &self.doms).ds {
                         ds.push(d);
                     }
-                    if ds.len() > WORLDS_BUDGET * 4 {
+                    if ds.len() > self.budget() * 4 {
                         return Err(FactorError::Budget("choice validity formula"));
                     }
                 }
@@ -842,27 +1191,25 @@ impl FactoredSet {
                     ds.push(d);
                 }
             }
-            let d = Dnf::canon(ds);
-            if d.len() > WORLDS_BUDGET {
+            let d = Dnf::canon_compact(ds, &self.doms);
+            if d.len() > self.budget() {
                 return Err(FactorError::Budget("choice validity formula"));
             }
             d
         };
 
-        // Tag each tuple with its group's alternative.
+        // Tag each tuple with its group's alternative. The fresh
+        // variable's id is larger than every id a lineage can mention,
+        // so the conjunction is a plain literal append — no merge walk.
         let mut memo: HashMap<(u32, u32), u32> = HashMap::new();
         let mut rows: Vec<Tuple> = Vec::new();
         for (g, (_, part)) in parts.iter().enumerate() {
-            let x_is_g = Constraint::lit(x, AltSet::one(g as u32));
             for t in part.iter() {
                 let l = lin_of(t);
                 let lid = *memo.entry((g as u32, l)).or_insert_with(|| {
-                    let c = self
-                        .pool
-                        .get(l)
-                        .conjoin(&x_is_g, &self.doms)
-                        .expect("fresh variable cannot conflict");
-                    self.pool.intern(c)
+                    let mut lits = self.pool.get(l).lits.clone();
+                    lits.push((x, AltSet::one(g as u32)));
+                    self.pool.intern(Constraint { lits })
                 });
                 rows.push(push_lin(&t[..t.len() - 1], lid));
             }
@@ -891,13 +1238,14 @@ impl FactoredSet {
 
     /// `cert` under `w`: the values present in *every* valid world —
     /// those whose lineage disjunction covers `w` (checked by
-    /// budget-bounded refutation: `w ∧ ¬L₁ ∧ … ∧ ¬L_s` unsatisfiable).
+    /// budget-bounded refutation, memoized per distinct lineage set).
     pub fn cert(&self, rel: &Relation, w: &Dnf) -> FResult<Relation> {
         if w.is_unsat() {
             // No valid worlds: the expansion is the empty world-set and
             // the answer never materializes.
             return Ok(Relation::empty(rel.schema().clone()));
         }
+        let mut memo: HashMap<Vec<u32>, bool> = HashMap::new();
         let mut rows: Vec<Tuple> = Vec::new();
         for (data, la, _) in match_groups(rel, rel) {
             let mut lins: Vec<u32> = la.to_vec();
@@ -905,25 +1253,76 @@ impl FactoredSet {
             lins.dedup();
             let certain = if lins.contains(&TOP) {
                 true
+            } else if let Some(&c) = memo.get(&lins) {
+                c
             } else {
-                let mut cur = w.clone();
-                let mut refuted = false;
-                for &l in &lins {
-                    cur = cur
-                        .and_not(self.pool.get(l), &self.doms, WORLDS_BUDGET)
-                        .ok_or(FactorError::Budget("cert refutation"))?;
-                    if cur.is_unsat() {
-                        refuted = true;
-                        break;
-                    }
-                }
-                refuted || cur.is_unsat()
+                let c = self.cert_covers(&lins, w)?;
+                memo.insert(lins, c);
+                c
             };
             if certain {
                 rows.push(push_lin(data, TOP));
             }
         }
-        Ok(Relation::from_rows(rel.schema().clone(), rows)?)
+        // `match_groups` yields distinct data values in ascending order
+        // and the appended lineage is constant, so rows are sorted.
+        Ok(Relation::from_sorted_rows(rel.schema().clone(), rows)?)
+    }
+
+    /// Does the disjunction of the lineages `lins` cover every valid
+    /// world of `w`? `w ∧ ¬L₁ ∧ … ∧ ¬L_s` is unsatisfiable iff each
+    /// `dᵢ ∧ ¬L₁ ∧ … ∧ ¬L_s` is for every disjunct `dᵢ` of `w` (the
+    /// conjunction distributes over the disjunction), so the refutation
+    /// runs disjunct-by-disjunct: intermediate formulas stay small and
+    /// the first uncovered disjunct answers `false` immediately. `w` is
+    /// first projected onto the variables the lineages mention —
+    /// satisfiability against lineage-var formulas is preserved
+    /// ([`Dnf::project_onto`]) and the compacted projection is usually
+    /// far smaller than the full validity formula.
+    fn cert_covers(&self, lins: &[u32], w: &Dnf) -> FResult<bool> {
+        let budget = self.budget();
+        let mut keep: BTreeSet<Var> = BTreeSet::new();
+        for &l in lins {
+            keep.extend(self.pool.get(l).vars());
+        }
+        let w = w.project_onto(&keep, &self.doms);
+        // The lineage set is itself a DNF; compact it before refuting.
+        // χ-produced lineages come in single-variable families
+        // (`X=d ∧ Y=g` across `d`, say), which [`merge_single_var`]
+        // collapses into one constraint each — the negation chain then
+        // runs over a handful of merged constraints instead of one per
+        // derivation. Model-preserving, so coverage is unchanged.
+        let mut lcs: Vec<Constraint> = lins.iter().map(|&l| self.pool.get(l).clone()).collect();
+        if relalg::config::compact_enabled() {
+            lcs = compact_disjuncts(lcs, &self.doms);
+        }
+        'disjunct: for d in &w.ds {
+            // Fast path: a single lineage constraint implied by the
+            // disjunct covers it outright (every world of `d` satisfies
+            // that lineage). This is the common case for χ-produced
+            // lineages, whose per-(group, alternative) literals mirror
+            // the validity disjuncts — it turns the quadratic negation
+            // chain into a linear scan of cheap literal comparisons.
+            if lcs.iter().any(|c| d.implies(c, &self.doms)) {
+                continue 'disjunct;
+            }
+            let mut cur = Dnf { ds: vec![d.clone()] };
+            for c in &lcs {
+                // A lineage inconsistent with the disjunct excludes no
+                // world of it: `cur ∧ ¬c = cur` since `cur ⊨ d ⊨ ¬c`.
+                if !d.consistent(c, &self.doms) {
+                    continue;
+                }
+                cur = cur
+                    .and_not(c, &self.doms, budget)
+                    .ok_or(FactorError::Budget("cert refutation"))?;
+                if cur.is_unsat() {
+                    continue 'disjunct;
+                }
+            }
+            return Ok(false);
+        }
+        Ok(true)
     }
 
     /// Align `b`'s columns to `a`'s order (both lineage-carrying), with
@@ -953,23 +1352,37 @@ impl FactoredSet {
     /// from the pre-split parts.
     pub fn expand_with(&self, w: &Dnf, answer: Option<(&str, &Relation)>) -> FResult<WorldSet> {
         let mut names = self.names.clone();
-        let mut rels: Vec<&Relation> = self.tables.iter().collect();
+        let mut rels: Vec<(&Relation, Option<&[Arc<Relation>]>)> = self
+            .tables
+            .iter()
+            .zip(&self.skipped)
+            .map(|(t, sk)| (t, sk.as_deref()))
+            .collect();
         if let Some((n, r)) = answer {
             names.push(n.to_string());
-            rels.push(r);
+            rels.push((r, None));
         }
         if w.is_unsat() {
             return Ok(WorldSet::empty(names));
         }
 
-        // Split every table by lineage id, once.
-        struct Parts<'a> {
-            schema: Schema,
-            parts: Vec<(&'a Constraint, Relation)>,
+        // Split every factored table by lineage id, once. Skipped
+        // relations have no lineage: they contribute their per-world
+        // originals directly at assembly time.
+        enum Src<'a> {
+            Split {
+                schema: Schema,
+                parts: Vec<(&'a Constraint, Arc<Relation>)>,
+            },
+            Orig(&'a [Arc<Relation>]),
         }
-        let mut split: Vec<Parts> = Vec::with_capacity(rels.len());
+        let mut split: Vec<Src> = Vec::with_capacity(rels.len());
         let mut content: BTreeSet<Var> = BTreeSet::new();
-        for r in &rels {
+        for &(r, sk) in &rels {
+            if let Some(orig) = sk {
+                split.push(Src::Orig(orig));
+                continue;
+            }
             let data: Vec<Attr> = r.schema().attrs()[..r.schema().arity() - 1].to_vec();
             let schema = Schema::new(data.clone());
             let parts = r
@@ -979,11 +1392,30 @@ impl FactoredSet {
                     let id = key[0].as_int().expect("lineage id") as u32;
                     let c = self.pool.get(id);
                     content.extend(c.vars());
-                    (c, part)
+                    (c, Arc::new(part))
                 })
                 .collect();
-            split.push(Parts { schema, parts });
+            split.push(Src::Split { schema, parts });
         }
+        // A skipped relation that differs across base worlds forces the
+        // base-world variable (always variable 0 in a set built by
+        // `from_world_set_filtered`) into the enumeration: the worlds it
+        // distinguishes must not merge, or the splice would be ambiguous.
+        let varies = rels.iter().any(|&(_, sk)| {
+            sk.is_some_and(|orig| {
+                orig.windows(2)
+                    .any(|p| !Arc::ptr_eq(&p[0], &p[1]) && p[0] != p[1])
+            })
+        });
+        if varies {
+            content.insert(0);
+        }
+        // Project the validity formula onto the content variables:
+        // validity-only literals are existentially satisfiable per
+        // disjunct, so the projection prunes exactly the same branches
+        // while the compacted result gives the enumeration fewer
+        // disjuncts to test at each level.
+        let wp = w.project_onto(&content, &self.doms);
         let content: Vec<Var> = content.into_iter().collect();
         let pos_of: HashMap<Var, usize> =
             content.iter().enumerate().map(|(i, &v)| (v, i)).collect();
@@ -993,33 +1425,41 @@ impl FactoredSet {
         // consistent with the partial assignment.
         let mut assigns: Vec<Vec<u32>> = Vec::new();
         let mut stack: Vec<u32> = Vec::with_capacity(content.len());
-        let alive: Vec<&Constraint> = w.ds.iter().collect();
+        let alive: Vec<&Constraint> = wp.ds.iter().collect();
         self.enumerate(&content, &mut stack, &alive, &mut assigns)?;
 
         // Assemble one world per valid assignment (pool fan-out; chunked
         // in-order concatenation keeps the order deterministic, and the
         // world-set constructor deduplicates).
         let worlds: Vec<World> = relalg::pool::par_map(&assigns, |assign| {
-            let rels: Vec<Relation> = split
+            let rels: Vec<Arc<Relation>> = split
                 .iter()
-                .map(|p| {
-                    let live: Vec<&Relation> = p
-                        .parts
+                .map(|src| {
+                    let Src::Split { schema, parts } = src else {
+                        let Src::Orig(orig) = src else { unreachable!() };
+                        let i = pos_of
+                            .get(&0)
+                            .map(|&p| assign[p] as usize)
+                            .filter(|_| orig.len() > 1)
+                            .unwrap_or(0);
+                        return Ok(orig[i].clone());
+                    };
+                    let live: Vec<&Arc<Relation>> = parts
                         .iter()
                         .filter(|(c, _)| c.satisfied_by(assign, &pos_of))
                         .map(|(_, part)| part)
                         .collect();
                     match live.len() {
-                        0 => Ok(Relation::empty(p.schema.clone())),
+                        0 => Ok(Arc::new(Relation::empty(schema.clone()))),
                         1 => Ok(live[0].clone()),
-                        _ => Relation::from_rows(
-                            p.schema.clone(),
+                        _ => Ok(Arc::new(Relation::from_rows(
+                            schema.clone(),
                             live.iter().flat_map(|r| r.iter().cloned()),
-                        ),
+                        )?)),
                     }
                 })
                 .collect::<relalg::Result<_>>()?;
-            Ok::<_, RelalgError>(World::new(rels))
+            Ok::<_, RelalgError>(World::from_shared(rels))
         })
         .into_iter()
         .collect::<relalg::Result<_>>()?;
@@ -1134,6 +1574,7 @@ impl Uldb {
                 pool,
                 worlds: Dnf::none(),
                 tables: vec![Relation::empty(schema)],
+                skipped: vec![None],
             });
         }
         let mut doms: Vec<usize> = Vec::new();
@@ -1195,7 +1636,7 @@ impl Uldb {
                 let mut cur = Dnf { ds: vec![absent] };
                 for c in alt_cons.iter().flatten() {
                     cur = cur
-                        .and_not(c, &doms, WORLDS_BUDGET)
+                        .and_not(c, &doms, worlds_budget(doms.len()))
                         .ok_or(FactorError::Budget("uldb absence analysis"))?;
                     if cur.is_unsat() {
                         break;
@@ -1204,7 +1645,11 @@ impl Uldb {
                 term.extend(cur.ds);
             }
             w = w
-                .and_dnf(&Dnf::canon(term), &doms, WORLDS_BUDGET)
+                .and_dnf(
+                    &Dnf::canon_compact(term, &doms),
+                    &doms,
+                    worlds_budget(doms.len()),
+                )
                 .ok_or(FactorError::Budget("uldb validity formula"))?;
         }
         let table = Relation::from_rows(schema, rows)?;
@@ -1214,6 +1659,7 @@ impl Uldb {
             pool,
             worlds: w,
             tables: vec![table],
+            skipped: vec![None],
         })
     }
 }
@@ -1221,6 +1667,7 @@ impl Uldb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn flights() -> Relation {
         Relation::table(
@@ -1285,6 +1732,27 @@ mod tests {
     }
 
     #[test]
+    fn filtered_conversion_splices_skipped_relations() {
+        let q = wsa_choice();
+        let ws = wsa::eval_named(&q, &single(), "Q").unwrap();
+        // Keep only the world-varying answer "Q": the uniform "Flights"
+        // rides through unconverted and is spliced back at expansion.
+        let fs = FactoredSet::from_world_set_filtered(&ws, &|n| n == "Q").unwrap();
+        assert!(fs.table("Q").is_some());
+        assert!(fs.table("Flights").is_none(), "skipped tables are not operable");
+        assert_eq!(fs.expand().unwrap(), ws);
+        // Keep only the uniform "Flights": the skipped "Q" *varies* per
+        // world, so expansion must enumerate the base-world variable and
+        // splice the matching original instead of merging worlds.
+        let fs2 = FactoredSet::from_world_set_filtered(&ws, &|n| n == "Flights").unwrap();
+        assert_eq!(fs2.expand().unwrap(), ws);
+        // Degenerate filter: nothing factorized — the world-set must
+        // still round-trip from the originals alone.
+        let none = FactoredSet::from_world_set_filtered(&ws, &|_| false).unwrap();
+        assert_eq!(none.expand().unwrap(), ws);
+    }
+
+    #[test]
     fn choice_fast_path_leaves_worlds_top() {
         let ws = single();
         let mut fs = FactoredSet::from_world_set(&ws).unwrap();
@@ -1300,18 +1768,31 @@ mod tests {
         assert_eq!(expanded, reference);
     }
 
+    /// Pin `compact = on` for the current thread, so tests that assert
+    /// compacted formula shapes hold even under a `WSDB_NO_COMPACT=1`
+    /// test run (the A/B leg disables the default process-wide).
+    fn pin_compact_on() -> relalg::config::OverlayGuard {
+        let mut cfg = relalg::config::SessionConfig::new();
+        cfg.set("compact", "on").unwrap();
+        relalg::config::overlay(&cfg)
+    }
+
     #[test]
     fn chained_choices_multiply_domains_not_formula() {
+        let _compact = pin_compact_on();
         let ws = single();
         let mut fs = FactoredSet::from_world_set(&ws).unwrap();
         let rel = fs.table("Flights").unwrap().clone();
         let w = fs.worlds().clone();
         let (a1, w1) = fs.choice(&rel, &relalg::attrs(&["Dep"]), &w).unwrap();
         let (_a2, w2) = fs.choice(&a1, &relalg::attrs(&["Arr"]), &w1).unwrap();
-        // One disjunct per (Arr group, Dep lineage) pair: ATL is reachable
-        // from all three Deps, BCN from two — linear in the data, not in
-        // the 6 = 3×2 implicit worlds.
-        assert_eq!(w2.len(), 5);
+        // Pre-compaction: one disjunct per (Arr group, Dep lineage) pair
+        // — ATL reachable from all three Deps, BCN from two, 5 in total
+        // (linear in the data, not in the 6 = 3×2 implicit worlds).
+        // Compaction then merges ATL's three `X=i ∧ Y=ATL` disjuncts: the
+        // union of the X-sets covers the domain, the literal drops, and
+        // `Y=ATL` alone remains next to `X∈{...} ∧ Y=BCN`.
+        assert_eq!(w2.len(), 2);
         assert_eq!(fs.doms().len(), 2);
     }
 
@@ -1431,5 +1912,126 @@ mod tests {
         assert_eq!(fs2.expand().unwrap(), u2.rep().unwrap());
         // And the two factorizations expand to the same world-set.
         assert_eq!(fs.expand().unwrap(), fs2.expand().unwrap());
+    }
+
+    /// Build a constraint from per-variable alternative bitmasks (`0`
+    /// bits excluded); `None` when some mask is empty (unsatisfiable).
+    fn cons(masks: &[u32], doms: &[usize]) -> Option<Constraint> {
+        let mut c = Constraint::top();
+        for (v, &mask) in masks.iter().enumerate() {
+            let items: Vec<u32> = (0..doms[v] as u32).filter(|a| mask & (1 << a) != 0).collect();
+            c = c.and_lit(v as Var, &AltSet::from_sorted(false, items), doms)?;
+        }
+        Some(c)
+    }
+
+    /// All satisfying assignments of a disjunct list, by brute-force
+    /// enumeration of the full domain product.
+    fn models(ds: &[Constraint], doms: &[usize]) -> BTreeSet<Vec<u32>> {
+        let pos_of: HashMap<Var, usize> = (0..doms.len()).map(|i| (i as Var, i)).collect();
+        let mut out = BTreeSet::new();
+        let mut assign = vec![0u32; doms.len()];
+        'all: loop {
+            if ds.iter().any(|c| c.satisfied_by(&assign, &pos_of)) {
+                out.insert(assign.clone());
+            }
+            let mut i = 0;
+            loop {
+                if i == doms.len() {
+                    break 'all;
+                }
+                assign[i] += 1;
+                if (assign[i] as usize) < doms[i] {
+                    break;
+                }
+                assign[i] = 0;
+                i += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn compaction_merges_single_var_disjuncts() {
+        let doms = [3usize, 2];
+        // X=0∧Y=0 ∨ X=1∧Y=0 ∨ X=2∧Y=0: the X-sets union to the full
+        // domain, so the whole thing collapses to Y=0.
+        let ds: Vec<Constraint> = (0..3)
+            .map(|x| cons(&[1 << x, 0b01], &doms).unwrap())
+            .collect();
+        let before = models(&ds, &doms);
+        let out = compact_disjuncts(ds, &doms);
+        assert_eq!(out, vec![cons(&[0b111, 0b01], &doms).unwrap()]);
+        assert_eq!(models(&out, &doms), before);
+    }
+
+    #[test]
+    fn compaction_subsumes_covered_disjuncts() {
+        let doms = [3usize, 2];
+        // X∈{0,1} absorbs X=0∧Y=1 (every model of the latter satisfies
+        // the former); the unrelated X=2∧Y=0 survives.
+        let wide = cons(&[0b011, 0b11], &doms).unwrap();
+        let narrow = cons(&[0b001, 0b10], &doms).unwrap();
+        let other = cons(&[0b100, 0b01], &doms).unwrap();
+        let ds = vec![narrow, wide.clone(), other.clone()];
+        let before = models(&ds, &doms);
+        let mut out = compact_disjuncts(ds, &doms);
+        out.sort_unstable();
+        let mut expect = vec![wide, other];
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+        assert_eq!(models(&out, &doms), before);
+    }
+
+    #[test]
+    fn projection_is_satisfiability_equivalent() {
+        let _compact = pin_compact_on();
+        let doms = [3usize, 2, 4];
+        // w = (X=0 ∧ Z=1) ∨ (X=1 ∧ Y=0 ∧ Z=2); projected onto {X} the
+        // Y/Z literals drop (each independently satisfiable). The result
+        // stays below COMPACT_MIN so the X-singletons are kept as-is.
+        let w = Dnf::canon(vec![
+            cons(&[0b001, 0b11, 0b0010], &doms).unwrap(),
+            cons(&[0b010, 0b01, 0b0100], &doms).unwrap(),
+        ]);
+        let keep: BTreeSet<Var> = [0].into_iter().collect();
+        let p = w.project_onto(&keep, &doms);
+        assert_eq!(
+            p.ds,
+            vec![cons(&[0b001], &doms).unwrap(), cons(&[0b010], &doms).unwrap()]
+        );
+        // Satisfiability against X-only constraints is unchanged.
+        for mask in 1u32..8 {
+            let c = cons(&[mask], &doms).unwrap();
+            assert_eq!(
+                w.consistent_with(&c, &doms),
+                p.consistent_with(&c, &doms),
+                "mask {mask:#b}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(300))]
+        /// Compaction never changes the model set of a formula.
+        #[test]
+        fn compaction_preserves_models(
+            raw in proptest::collection::vec((0u32..8, 0u32..4, 0u32..16), 0..12)
+        ) {
+            let doms = [3usize, 2, 4];
+            let ds: Vec<Constraint> = raw
+                .iter()
+                .filter_map(|&(a, b, c)| cons(&[a, b, c], &doms))
+                .collect();
+            let before = models(&ds, &doms);
+            let out = compact_disjuncts(ds.clone(), &doms);
+            prop_assert!(out.len() <= {
+                let mut d = ds.clone();
+                d.sort_unstable();
+                d.dedup();
+                d.len()
+            });
+            prop_assert_eq!(models(&out, &doms), before);
+        }
     }
 }

@@ -14,9 +14,53 @@ use relalg::{RelalgError, Relation, Result, Schema};
 /// relation data. This is what makes the Figure-3 semantics affordable when
 /// `choice-of` fans a single world out into hundreds: the base relations
 /// `R₁…R_k` are shared by every successor world.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[derive(Clone, Eq, Debug)]
 pub struct World {
     rels: Vec<Arc<Relation>>,
+}
+
+// Comparisons shortcut on pointer identity before falling back to content:
+// worlds produced by fan-out (and by the factorized decode) share their
+// unchanged relations by `Arc`, and deduplicating them into a `BTreeSet`
+// would otherwise re-compare those shared relations row-by-row on every
+// insertion. Pointer equality implies content equality, so the orderings
+// are unchanged. `Hash` stays content-based to remain consistent with `Eq`.
+impl PartialEq for World {
+    fn eq(&self, other: &World) -> bool {
+        self.rels.len() == other.rels.len()
+            && self
+                .rels
+                .iter()
+                .zip(&other.rels)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || a == b)
+    }
+}
+
+impl Ord for World {
+    fn cmp(&self, other: &World) -> std::cmp::Ordering {
+        for (a, b) in self.rels.iter().zip(&other.rels) {
+            if Arc::ptr_eq(a, b) {
+                continue;
+            }
+            match a.cmp(b) {
+                std::cmp::Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        self.rels.len().cmp(&other.rels.len())
+    }
+}
+
+impl PartialOrd for World {
+    fn partial_cmp(&self, other: &World) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::hash::Hash for World {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.rels.hash(state);
+    }
 }
 
 impl World {

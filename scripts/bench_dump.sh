@@ -19,7 +19,7 @@ trap 'rm -f "$raw"' EXIT
 
 targets=("$@")
 if [ ${#targets[@]} -eq 0 ]; then
-    targets=(translation rewrite_gain rewrite_pipeline division repair translation_size worldset_ops tuple_layout wide_scan parallel_scaling columnar_exec factorized_worlds concurrent_sessions durability)
+    targets=(translation rewrite_gain rewrite_pipeline division repair translation_size worldset_ops tuple_layout wide_scan parallel_scaling columnar_exec factorized_worlds mixed_plans concurrent_sessions durability)
 fi
 
 for t in "${targets[@]}"; do
